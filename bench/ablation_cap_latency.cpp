@@ -1,0 +1,88 @@
+// Ablation: cap-application latency and steady-state convergence (§V:
+// "documentation on granularities of power capping, error bounds, and
+// steady state convergence is sparse in the public domain"). We make the
+// missing documentation: with firmware settle latencies injected into the
+// AC922 model, measure how long a node takes from "cap write issued" to
+// "draw within 2% of its converged value", and how a dynamic manager's
+// control loop interacts with slow caps.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "hwsim/ibm_ac922.hpp"
+#include "sim/simulation.hpp"
+#include "util/table.hpp"
+
+using namespace fluxpower;
+
+namespace {
+
+/// Time from cap write to draw settling within 2% of final, under a
+/// GEMM-like steady demand.
+double convergence_time_s(double node_latency_s, double gpu_latency_s,
+                          bool via_node_dial) {
+  sim::Simulation sim;
+  hwsim::IbmAc922Config hw;
+  hw.node_cap_latency_s = node_latency_s;
+  hw.gpu_cap_latency_s = gpu_latency_s;
+  hwsim::IbmAc922Node node(sim, "n0", hw);
+  hwsim::LoadDemand demand;
+  demand.cpu_w = {110, 110};
+  demand.gpu_w = {280, 280, 280, 280};
+  demand.mem_w = 70;
+  node.set_demand(demand);
+  sim.run_until(10.0);
+
+  const double t0 = sim.now();
+  if (via_node_dial) {
+    node.set_node_power_cap(1200.0);
+  } else {
+    for (int g = 0; g < 4; ++g) node.set_gpu_power_cap(g, 150.0);
+  }
+  // Sample the draw on a fine grid until stable.
+  double converged_at = -1.0;
+  double final_draw = 0.0;
+  sim.run_until(t0 + std::max(node_latency_s, gpu_latency_s) + 5.0);
+  final_draw = node.node_draw_w();
+  // Replay: rerun and detect first time within 2% of final.
+  sim::Simulation sim2;
+  hwsim::IbmAc922Node node2(sim2, "n1", hw);
+  node2.set_demand(demand);
+  sim2.run_until(10.0);
+  if (via_node_dial) {
+    node2.set_node_power_cap(1200.0);
+  } else {
+    for (int g = 0; g < 4; ++g) node2.set_gpu_power_cap(g, 150.0);
+  }
+  for (double t = 0.0; t <= std::max(node_latency_s, gpu_latency_s) + 5.0;
+       t += 0.05) {
+    sim2.run_until(10.0 + t);
+    if (std::abs(node2.node_draw_w() - final_draw) <= 0.02 * final_draw) {
+      converged_at = t;
+      break;
+    }
+  }
+  return converged_at;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: cap latency & convergence",
+                "time from cap write to steady state (AC922 model)");
+  util::TextTable table({"dial", "firmware latency s", "convergence s"});
+  for (double latency : {0.0, 0.2, 1.0, 2.0, 5.0}) {
+    table.add_row({"OPAL node cap", bench::num(latency, 1),
+                   bench::num(convergence_time_s(latency, 0.0, true), 2)});
+    table.add_row({"NVML per-GPU", bench::num(latency, 1),
+                   bench::num(convergence_time_s(0.0, latency, false), 2)});
+  }
+  table.print(std::cout);
+  bench::note(
+      "in the model convergence equals the injected firmware latency (the "
+      "power step is instantaneous once applied). The operational "
+      "consequence: a manager whose control period is shorter than the "
+      "firmware latency reads pre-write power and oscillates — the paper's "
+      "argument for documented convergence bounds. FPP's 90 s interval is "
+      "safely above any of these latencies.");
+  return 0;
+}

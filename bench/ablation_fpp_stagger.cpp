@@ -1,0 +1,86 @@
+// Ablation: synchronized vs staggered FPP probing.
+//
+// Probing one GPU at a time looks gentler than dropping all four caps at
+// once — but a single-GPU −50 W probe slows the bulk-synchronous
+// application by only a few percent, so the FFT sees |ΔT| under the 2 s
+// convergence threshold and the caps could ratchet down one GPU at a time.
+// Measured outcome: the opposite failure mode — staggering divides each
+// controller's decision rate by the GPU count (one decision per 360 s on a
+// 4-GPU node), so jobs finish before most controllers ever probe; the
+// policy degenerates toward plain proportional sharing (fewer probes,
+// shallower caps). Either way the lesson stands: per-device controllers
+// fed by a single bulk-synchronous signal are cadence-sensitive, and
+// synchronized actuation at the documented 90 s interval is the sane
+// default.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "experiments/scenario.hpp"
+#include "manager/power_manager.hpp"
+
+using namespace fluxpower;
+using namespace fluxpower::experiments;
+
+namespace {
+
+struct Outcome {
+  double gemm_t, gemm_kj;
+  double min_cap_w = 1e9;
+};
+
+Outcome run(bool stagger) {
+  ScenarioConfig cfg;
+  cfg.nodes = 8;
+  cfg.load_manager = true;
+  cfg.manager.cluster_power_bound_w = 9600.0;
+  cfg.manager.static_node_cap_w = 1950.0;
+  cfg.manager.node_policy = manager::NodePolicy::Fpp;
+  cfg.manager.fpp.stagger_probes = stagger;
+  Scenario s(cfg);
+  JobRequest gemm;
+  gemm.kind = apps::AppKind::Gemm;
+  gemm.nnodes = 6;
+  gemm.work_scale = 2.0;
+  const flux::JobId gid = s.submit(gemm);
+  JobRequest qs;
+  qs.kind = apps::AppKind::Quicksilver;
+  qs.nnodes = 2;
+  qs.work_scale = 27.5;
+  s.submit(qs);
+
+  Outcome out{};
+  // Track the deepest per-GPU cap ever applied on a GEMM node.
+  sim::PeriodicTask probe(s.sim(), 10.0, [&s, &out] {
+    for (int g = 0; g < 4; ++g) {
+      const auto cap = s.cluster().node(0).gpu_power_cap(g);
+      if (cap) out.min_cap_w = std::min(out.min_cap_w, *cap);
+    }
+    return true;
+  });
+  auto res = s.run();
+  out.gemm_t = res.job(gid).runtime_s;
+  out.gemm_kj = res.job(gid).exact_avg_node_energy_j / 1e3;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: FPP probe synchronization",
+                "all-GPU probes vs one-GPU-per-round (Table IV workload)");
+  util::TextTable table({"probing", "GEMM t s", "GEMM kJ/node",
+                         "deepest GPU cap W"});
+  for (bool stagger : {false, true}) {
+    const Outcome o = run(stagger);
+    table.add_row({stagger ? "staggered (1 GPU/round)" : "synchronized",
+                   bench::num(o.gemm_t, 0), bench::num(o.gemm_kj, 0),
+                   bench::num(o.min_cap_w, 0)});
+  }
+  table.print(std::cout);
+  bench::note(
+      "measured: staggering slows each controller's decision rate by the "
+      "device count, so most GPUs never complete a probe cycle before the "
+      "job ends — shallower caps, behavior collapses toward proportional "
+      "sharing. Control cadence, not just step size, is an FPP parameter.");
+  return 0;
+}

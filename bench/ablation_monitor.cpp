@@ -1,0 +1,58 @@
+// Ablation: monitor sampling period vs overhead, energy-estimate accuracy
+// and buffer coverage. The paper fixes a 2 s period and a 100,000-sample
+// buffer (43.4 MB, ~2.3 days of coverage); this sweep shows the trade-off
+// that motivates those defaults — faster sampling costs application time
+// and shortens buffer coverage, slower sampling degrades the trapezoidal
+// energy estimate on phase-heavy applications.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "experiments/scenario.hpp"
+#include "monitor/client.hpp"
+
+using namespace fluxpower;
+using namespace fluxpower::experiments;
+
+int main() {
+  bench::banner("Ablation: monitor sampling period",
+                "overhead vs accuracy vs buffer coverage (Quicksilver, 2 "
+                "nodes, Lassen)");
+  util::TextTable table({"period s", "runtime s", "overhead % vs no-monitor",
+                         "energy est err %", "buffer covers (days)"});
+
+  // Baseline without the monitor.
+  const double base_t =
+      run_single_job(hwsim::Platform::LassenIbmAc922, apps::AppKind::Quicksilver,
+                     2, 27.5, /*with_monitor=*/false)
+          .result.runtime_s;
+
+  for (double period : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    ScenarioConfig cfg;
+    cfg.nodes = 2;
+    monitor::PowerMonitorConfig mcfg = monitor::PowerMonitorConfig::for_lassen();
+    mcfg.sample_period_s = period;
+    cfg.monitor = mcfg;
+    Scenario s(cfg);
+    JobRequest req;
+    req.kind = apps::AppKind::Quicksilver;
+    req.nnodes = 2;
+    req.work_scale = 27.5;
+    const flux::JobId id = s.submit(req);
+    auto res = s.run();
+    const JobResult& job = res.job(id);
+
+    const double overhead = (job.runtime_s - base_t) / base_t * 100.0;
+    const double err = (job.avg_node_energy_j - job.exact_avg_node_energy_j) /
+                       job.exact_avg_node_energy_j * 100.0;
+    const double coverage_days = 100000.0 * period / 86400.0;
+    table.add_row({bench::num(period, 1), bench::num(job.runtime_s, 1),
+                   bench::num(overhead, 2), bench::num(err, 2),
+                   bench::num(coverage_days, 2)});
+  }
+  table.print(std::cout);
+  bench::note(
+      "the paper's 2 s / 100k-sample default sits where overhead is ~0.4%, "
+      "the 2 s trapezoid tracks exact energy within a few percent, and the "
+      "circular buffer covers multi-day jobs.");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// common.hpp — shared helpers for the table/figure reproduction binaries.
+//
+// Every bench prints (a) the measured quantity from the simulator next to
+// (b) the value the paper reports, so running `for b in build/bench/*` gives
+// a complete paper-vs-measured readout. Absolute agreement is not expected
+// (the substrate is a simulator); the *shape* — who wins, rough factors,
+// crossovers — is the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace fluxpower::bench {
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+inline std::string num(double v, int precision = 2) {
+  return util::TextTable::num(v, precision);
+}
+
+/// "measured (paper X)" cell.
+inline std::string vs(double measured, double paper, int precision = 2) {
+  return num(measured, precision) + " (" + num(paper, precision) + ")";
+}
+
+inline std::string vs_str(double measured, const std::string& paper,
+                          int precision = 2) {
+  return num(measured, precision) + " (" + paper + ")";
+}
+
+}  // namespace fluxpower::bench

@@ -1,0 +1,94 @@
+// Extension: comparing the two dynamic node policies the paper's design
+// admits (§III-B: "policies based on past power history, measured
+// performance counters, or other progress metrics"):
+//
+//   * FPP            — FFT over the power signal; application-oblivious,
+//                      works only when power shows periodic phases;
+//   * ProgressBased  — probe caps downward guarded by the application's
+//                      own progress rate; needs cooperation, works on any
+//                      application including aperiodic ones.
+//
+// Workloads: the Table IV pair (GEMM + Quicksilver) and a GPU-light pair
+// (Quicksilver + Laghos) where caps have headroom.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "experiments/scenario.hpp"
+
+using namespace fluxpower;
+using namespace fluxpower::experiments;
+
+namespace {
+
+struct Workload {
+  const char* label;
+  apps::AppKind a_kind;
+  int a_nodes;
+  double a_scale;
+  apps::AppKind b_kind;
+  int b_nodes;
+  double b_scale;
+};
+
+struct Outcome {
+  double a_t, a_kj, b_t, b_kj;
+};
+
+Outcome run(const Workload& w, manager::NodePolicy policy) {
+  ScenarioConfig cfg;
+  cfg.nodes = 8;
+  cfg.load_manager = true;
+  cfg.manager.cluster_power_bound_w = 9600.0;
+  cfg.manager.static_node_cap_w = 1950.0;
+  cfg.manager.node_policy = policy;
+  cfg.report_progress = true;  // harmless for non-progress policies
+  Scenario s(cfg);
+  JobRequest a;
+  a.kind = w.a_kind;
+  a.nnodes = w.a_nodes;
+  a.work_scale = w.a_scale;
+  const flux::JobId aid = s.submit(a);
+  JobRequest b;
+  b.kind = w.b_kind;
+  b.nnodes = w.b_nodes;
+  b.work_scale = w.b_scale;
+  const flux::JobId bid = s.submit(b);
+  auto res = s.run();
+  return {res.job(aid).runtime_s, res.job(aid).exact_avg_node_energy_j / 1e3,
+          res.job(bid).runtime_s, res.job(bid).exact_avg_node_energy_j / 1e3};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Extension: dynamic policy comparison",
+                "FPP (power-signal) vs ProgressBased (progress-metric)");
+
+  const Workload workloads[] = {
+      {"Table IV (GEMM x6 + QS x2)", apps::AppKind::Gemm, 6, 2.0,
+       apps::AppKind::Quicksilver, 2, 27.5},
+      {"GPU-light (QS x4 + Laghos x4)", apps::AppKind::Quicksilver, 4, 30.0,
+       apps::AppKind::Laghos, 4, 30.0},
+  };
+
+  for (const Workload& w : workloads) {
+    std::printf("\n%s:\n", w.label);
+    util::TextTable table({"policy", "job A t s", "job A kJ/node",
+                           "job B t s", "job B kJ/node"});
+    for (auto [name, policy] :
+         {std::pair{"prop sharing", manager::NodePolicy::DirectGpuBudget},
+          std::pair{"FPP", manager::NodePolicy::Fpp},
+          std::pair{"ProgressBased", manager::NodePolicy::ProgressBased}}) {
+      const Outcome o = run(w, policy);
+      table.add_row({name, bench::num(o.a_t, 0), bench::num(o.a_kj, 0),
+                     bench::num(o.b_t, 0), bench::num(o.b_kj, 0)});
+    }
+    table.print(std::cout);
+  }
+  bench::note(
+      "shape: on the compute-bound Table IV pair both dynamic policies "
+      "track proportional sharing closely (little headroom). On the "
+      "GPU-light pair ProgressBased walks the caps to the floor and saves "
+      "energy FPP cannot see, at a bounded (tolerance-guarded) slowdown.");
+  return 0;
+}

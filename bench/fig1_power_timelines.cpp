@@ -1,0 +1,60 @@
+// Fig 1 reproduction: power-consumption timeline for LAMMPS and Quicksilver
+// on a single Lassen node using all four GPUs. The paper's plot shows node,
+// one-socket and one-GPU power on a log scale; we print the same three
+// series on the monitor's 2 s grid, downsampled for readability.
+//
+// Shape targets (Fig 1): LAMMPS has a flat high-power profile (~1300 W
+// node); Quicksilver shows periodic phase behaviour with large swings
+// between a GPU-active high phase (~950 W) and a CPU phase (~450 W).
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "experiments/scenario.hpp"
+#include "util/stats.hpp"
+
+using namespace fluxpower;
+using namespace fluxpower::experiments;
+
+namespace {
+
+void timeline(const char* name, apps::AppKind kind, double work_scale,
+              double print_every_s) {
+  auto out = run_single_job(hwsim::Platform::LassenIbmAc922, kind, 1,
+                            work_scale);
+  std::printf("\n%s, 1 node, 4 GPUs (runtime %.1f s)\n", name,
+              out.result.runtime_s);
+  util::TextTable table({"t (s)", "node W", "cpu0 W", "gpu0 W"});
+  double next_print = 0.0;
+  for (const TimelinePoint& p : out.timeline) {
+    if (p.t_s + 1e-9 < next_print) continue;
+    next_print = p.t_s + print_every_s;
+    table.add_row({bench::num(p.t_s, 0), bench::num(p.node_w, 0),
+                   bench::num(p.cpu_w.empty() ? 0.0 : p.cpu_w[0], 0),
+                   bench::num(p.gpu_w.empty() ? 0.0 : p.gpu_w[0], 0)});
+  }
+  table.print(std::cout);
+
+  std::vector<double> node_w;
+  for (const TimelinePoint& p : out.timeline) node_w.push_back(p.node_w);
+  const double swing = util::max_of(node_w) - util::min_of(node_w);
+  std::printf("node power: mean %.0f W, min %.0f W, max %.0f W, swing %.0f W\n",
+              util::mean(node_w), util::min_of(node_w), util::max_of(node_w),
+              swing);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig 1", "power timelines, LAMMPS and Quicksilver on Lassen");
+
+  // LAMMPS on one node (strong-scaled baseline problem): flat profile.
+  timeline("LAMMPS (a)", apps::AppKind::Lammps, 1.0, 20.0);
+  bench::note("paper shape: relatively flat power timeline without swings");
+
+  // Quicksilver scaled long enough to show several of its ~8.7 s phases.
+  timeline("Quicksilver (b)", apps::AppKind::Quicksilver, 27.5, 8.0);
+  bench::note(
+      "paper shape: periodic phase behaviour, large swings between the "
+      "GPU cycle-tracking phase (~950 W) and the CPU phase (~450 W)");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig 3 reproduction: percentage slowdown in execution time with the
+// flux-power-monitor loaded vs not loaded, averaged over six repetitions,
+// for three applications across node counts on Lassen (1-32) and Tioga
+// (1-8). The run-to-run variability model is active, so low node counts on
+// Lassen show the same noisy outliers the paper reports (Laghos 6.2% @ 1
+// node, 8.2% @ 2 nodes; Quicksilver 9.3% @ 2 nodes), while the systematic
+// monitor cost stays small (~0.4% at 2 s sampling).
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "experiments/scenario.hpp"
+#include "util/stats.hpp"
+
+using namespace fluxpower;
+using namespace fluxpower::experiments;
+
+namespace {
+constexpr int kReps = 6;
+
+double run_once(hwsim::Platform platform, apps::AppKind kind, int nnodes,
+                bool with_monitor, std::uint64_t seed) {
+  auto out = run_single_job(platform, kind, nnodes, /*work_scale=*/1.0,
+                            with_monitor, seed, /*runtime_variability=*/true);
+  return out.result.runtime_s;
+}
+
+void sweep(const char* label, hwsim::Platform platform,
+           const std::vector<int>& node_counts) {
+  std::printf("\n-- %s --\n", label);
+  util::TextTable table({"app", "nodes", "t off (s)", "t on (s)",
+                         "overhead %"});
+  util::RunningStats all_overheads;
+  for (apps::AppKind kind : {apps::AppKind::Lammps, apps::AppKind::Laghos,
+                             apps::AppKind::Quicksilver}) {
+    for (int n : node_counts) {
+      std::vector<double> off, on;
+      for (int rep = 0; rep < kReps; ++rep) {
+        // Distinct, independent seeds per repetition and configuration:
+        // as on the real machine, with- and without-monitor repetitions see
+        // different jitter draws, so low-node-count cells reflect
+        // variability luck on top of the monitor's systematic cost.
+        const std::uint64_t seed =
+            30011ULL * static_cast<std::uint64_t>(n) + 131ULL * rep +
+            static_cast<std::uint64_t>(kind);
+        off.push_back(run_once(platform, kind, n, false, seed));
+        on.push_back(run_once(platform, kind, n, true, seed + 999983ULL));
+      }
+      const double overhead =
+          util::percent_change(util::mean(off), util::mean(on));
+      all_overheads.add(overhead);
+      table.add_row({apps::app_kind_name(kind), std::to_string(n),
+                     bench::num(util::mean(off)), bench::num(util::mean(on)),
+                     bench::num(overhead)});
+    }
+  }
+  table.print(std::cout);
+  std::printf("average overhead across apps/scales: %.2f%%\n",
+              all_overheads.mean());
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig 3", "flux-power-monitor overhead, 6 repetitions");
+  sweep("Lassen (paper: 1.2% average; noisy at 1-2 nodes)",
+        hwsim::Platform::LassenIbmAc922, {1, 2, 4, 8, 16, 32});
+  sweep("Tioga (paper: 0.04% average)", hwsim::Platform::TiogaCrayEx235a,
+        {1, 2, 4, 8});
+  bench::note(
+      "negative overheads are run-to-run noise, as in the paper ('we don't "
+      "believe using flux-power-monitor can speed applications up').");
+  return 0;
+}

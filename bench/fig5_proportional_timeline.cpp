@@ -1,0 +1,76 @@
+// Fig 5 reproduction: proportional power sharing timeline. GEMM (6 nodes)
+// and Quicksilver (2 nodes) share a 9.6 kW cluster bound; while both run,
+// every allocated node is limited to 1200 W. When Quicksilver finishes,
+// the cluster-level-manager reclaims its power and GEMM's per-node limit
+// rises to 1600 W — visible as a step up in GEMM's node power.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "experiments/scenario.hpp"
+#include "util/stats.hpp"
+
+using namespace fluxpower;
+using namespace fluxpower::experiments;
+
+int main() {
+  bench::banner("Fig 5",
+                "proportional power sharing: GEMM gains power when "
+                "Quicksilver finishes");
+
+  ScenarioConfig cfg;
+  cfg.nodes = 8;
+  cfg.load_manager = true;
+  cfg.manager.cluster_power_bound_w = 9600.0;
+  cfg.manager.static_node_cap_w = 1950.0;
+  cfg.manager.node_policy = manager::NodePolicy::DirectGpuBudget;
+  Scenario s(cfg);
+
+  JobRequest gemm;
+  gemm.kind = apps::AppKind::Gemm;
+  gemm.nnodes = 6;
+  gemm.work_scale = 2.0;
+  const flux::JobId gemm_id = s.submit(gemm);
+  JobRequest qs;
+  qs.kind = apps::AppKind::Quicksilver;
+  qs.nnodes = 2;
+  qs.work_scale = 27.5;
+  const flux::JobId qs_id = s.submit(qs);
+
+  auto res = s.run();
+  const double qs_end = res.job(qs_id).t_end;
+
+  util::TextTable table({"t (s)", "GEMM node W", "GEMM gpu0 cap W",
+                         "QS node W"});
+  const auto& gemm_tl = res.timelines.at(gemm_id);
+  const auto& qs_tl = res.timelines.at(qs_id);
+  auto qs_at = [&](double t) -> std::string {
+    for (const TimelinePoint& p : qs_tl) {
+      if (std::abs(p.t_s - t) < 1.0) return bench::num(p.node_w, 0);
+    }
+    return "(done)";
+  };
+  double next_print = 0.0;
+  for (const TimelinePoint& p : gemm_tl) {
+    if (p.t_s + 1e-9 < next_print) continue;
+    next_print = p.t_s + 20.0;
+    table.add_row({bench::num(p.t_s, 0), bench::num(p.node_w, 0),
+                   bench::num(p.gpu_cap_w.empty() ? 0.0 : p.gpu_cap_w[0], 0),
+                   qs_at(p.t_s)});
+  }
+  table.print(std::cout);
+
+  // Quantify the step.
+  util::RunningStats before, after;
+  for (const TimelinePoint& p : gemm_tl) {
+    if (p.t_s < qs_end - 10.0) before.add(p.node_w);
+    else if (p.t_s > qs_end + 20.0) after.add(p.node_w);
+  }
+  std::printf(
+      "Quicksilver ends at t=%.0f s; GEMM node power steps %.0f W -> %.0f W "
+      "(per-node limit 1200 -> 1600 W)\n",
+      qs_end, before.mean(), after.mean());
+  bench::note(
+      "paper shape: GEMM receives additional power the moment Quicksilver "
+      "is no longer executing; other nodes behave identically.");
+  return 0;
+}

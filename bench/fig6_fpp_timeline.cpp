@@ -1,0 +1,73 @@
+// Fig 6 reproduction: FPP timeline for GEMM + Quicksilver under the 9.6 kW
+// bound. Visible events: the 90 s control cadence; the exploratory -50 W
+// probe; the give-back when GEMM's iteration period stretches; convergence
+// ("FPP converges quickly for both applications, as there is not a lot of
+// opportunity to save power while preserving performance").
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "experiments/scenario.hpp"
+
+using namespace fluxpower;
+using namespace fluxpower::experiments;
+
+int main() {
+  bench::banner("Fig 6", "FFT-based power policy (FPP) timeline");
+
+  ScenarioConfig cfg;
+  cfg.nodes = 8;
+  cfg.load_manager = true;
+  cfg.manager.cluster_power_bound_w = 9600.0;
+  cfg.manager.static_node_cap_w = 1950.0;
+  cfg.manager.node_policy = manager::NodePolicy::Fpp;
+  Scenario s(cfg);
+
+  JobRequest gemm;
+  gemm.kind = apps::AppKind::Gemm;
+  gemm.nnodes = 6;
+  gemm.work_scale = 2.0;
+  const flux::JobId gemm_id = s.submit(gemm);
+  JobRequest qs;
+  qs.kind = apps::AppKind::Quicksilver;
+  qs.nnodes = 2;
+  qs.work_scale = 27.5;
+  const flux::JobId qs_id = s.submit(qs);
+
+  auto res = s.run();
+
+  util::TextTable table(
+      {"t (s)", "GEMM node W", "GEMM gpu0 cap W", "QS node W", "QS gpu0 cap W"});
+  const auto& gemm_tl = res.timelines.at(gemm_id);
+  const auto& qs_tl = res.timelines.at(qs_id);
+  auto qs_at = [&](double t, bool cap) -> std::string {
+    for (const TimelinePoint& p : qs_tl) {
+      if (std::abs(p.t_s - t) < 1.0) {
+        return bench::num(cap ? (p.gpu_cap_w.empty() ? 0.0 : p.gpu_cap_w[0])
+                              : p.node_w,
+                          0);
+      }
+    }
+    return "(done)";
+  };
+  double next_print = 0.0;
+  for (const TimelinePoint& p : gemm_tl) {
+    if (p.t_s + 1e-9 < next_print) continue;
+    next_print = p.t_s + 30.0;
+    table.add_row({bench::num(p.t_s, 0), bench::num(p.node_w, 0),
+                   bench::num(p.gpu_cap_w.empty() ? 0.0 : p.gpu_cap_w[0], 0),
+                   qs_at(p.t_s, false), qs_at(p.t_s, true)});
+  }
+  table.print(std::cout);
+
+  std::printf("GEMM: t=%.0f s, %.0f kJ/node | QS: t=%.0f s, %.0f kJ/node\n",
+              res.job(gemm_id).runtime_s,
+              res.job(gemm_id).exact_avg_node_energy_j / 1e3,
+              res.job(qs_id).runtime_s,
+              res.job(qs_id).exact_avg_node_energy_j / 1e3);
+  bench::note(
+      "paper shape: FPP probes -50 W per GPU on the 90 s control boundary; "
+      "GEMM's period stretches, so the cap is given back and FPP converges "
+      "near the budget; Quicksilver's period is insensitive, so it converges "
+      "immediately. Paper: GEMM 602 s / 598 kJ, QS 350 s / 174 kJ.");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig 7 reproduction: proportional power capping applied to a non-MPI
+// application. A Charm++ NQueens job (2 nodes, CPU-only, 160 PEs) runs
+// alongside GEMM (6 nodes). Because the power manager operates on Flux
+// jobs, not on MPI, the capping applies identically: GEMM's power drops
+// the moment NQueens enters the system and recovers when it leaves.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "experiments/scenario.hpp"
+#include "util/stats.hpp"
+
+using namespace fluxpower;
+using namespace fluxpower::experiments;
+
+int main() {
+  bench::banner("Fig 7",
+                "proportional capping with a non-MPI (Charm++) application");
+
+  ScenarioConfig cfg;
+  cfg.nodes = 8;
+  cfg.load_manager = true;
+  cfg.manager.cluster_power_bound_w = 9600.0;
+  cfg.manager.static_node_cap_w = 1950.0;
+  cfg.manager.node_policy = manager::NodePolicy::DirectGpuBudget;
+  Scenario s(cfg);
+
+  JobRequest gemm;
+  gemm.kind = apps::AppKind::Gemm;
+  gemm.nnodes = 6;
+  gemm.work_scale = 2.0;
+  const flux::JobId gemm_id = s.submit(gemm);
+
+  // NQueens enters 60 s into GEMM's run and finishes well before it.
+  JobRequest nq;
+  nq.kind = apps::AppKind::NQueens;
+  nq.nnodes = 2;
+  nq.work_scale = 1.0;
+  nq.submit_time_s = 60.0;
+  const flux::JobId nq_id = s.submit(nq);
+
+  auto res = s.run();
+  const double nq_start = res.job(nq_id).t_start;
+  const double nq_end = res.job(nq_id).t_end;
+
+  util::TextTable table({"t (s)", "GEMM node W", "NQueens node W"});
+  const auto& gemm_tl = res.timelines.at(gemm_id);
+  const auto& nq_tl = res.timelines.at(nq_id);
+  auto nq_at = [&](double t) -> std::string {
+    for (const TimelinePoint& p : nq_tl) {
+      if (std::abs(p.t_s - t) < 1.0) return bench::num(p.node_w, 0);
+    }
+    return t < nq_start ? "(not started)" : "(done)";
+  };
+  double next_print = 0.0;
+  for (const TimelinePoint& p : gemm_tl) {
+    if (p.t_s + 1e-9 < next_print) continue;
+    next_print = p.t_s + 20.0;
+    table.add_row({bench::num(p.t_s, 0), bench::num(p.node_w, 0),
+                   nq_at(p.t_s)});
+  }
+  table.print(std::cout);
+
+  util::RunningStats solo, shared;
+  for (const TimelinePoint& p : gemm_tl) {
+    if (p.t_s < nq_start - 5.0) solo.add(p.node_w);
+    else if (p.t_s > nq_start + 15.0 && p.t_s < nq_end - 5.0) shared.add(p.node_w);
+  }
+  std::printf(
+      "NQueens (Charm++, CPU-only) runs t=%.0f..%.0f s; GEMM node power "
+      "drops %.0f W -> %.0f W while sharing the bound, then recovers.\n",
+      nq_start, nq_end, solo.mean(), shared.mean());
+  bench::note(
+      "paper shape: 'GEMM power consumption drops when the NQueens "
+      "application enters the system' — power management applies to any "
+      "Flux job, MPI or not.");
+  return 0;
+}

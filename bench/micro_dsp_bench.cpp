@@ -1,0 +1,82 @@
+// Microbenchmarks for the DSP substrate: FFT kernel cost across sizes
+// (radix-2 vs Bluestein paths) and the full FINDPERIOD estimator at FPP's
+// operating point (45 samples = 90 s window at 2 s sampling). These bound
+// the compute cost FPP adds to the node-level-manager control loop.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/fft.hpp"
+#include "dsp/period.hpp"
+#include "util/rng.hpp"
+
+using namespace fluxpower;
+
+namespace {
+
+std::vector<dsp::Complex> random_signal(std::size_t n) {
+  util::Rng rng(n);
+  std::vector<dsp::Complex> x(n);
+  for (auto& c : x) c = dsp::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return x;
+}
+
+std::vector<double> power_signal(std::size_t n, double period_s) {
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = 2.0 * static_cast<double>(i);
+    xs[i] = 500.0 + 250.0 * std::sin(2.0 * std::numbers::pi * t / period_s);
+  }
+  return xs;
+}
+
+void BM_FftRadix2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = random_signal(n);
+  for (auto _ : state) {
+    auto copy = x;
+    dsp::fft_radix2(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftRadix2)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+void BM_FftBluestein(benchmark::State& state) {
+  // Prime-ish sizes force the Bluestein path.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = random_signal(n);
+  for (auto _ : state) {
+    auto spectrum = dsp::fft(x);
+    benchmark::DoNotOptimize(spectrum);
+  }
+}
+BENCHMARK(BM_FftBluestein)->Arg(63)->Arg(251)->Arg(1021)->Arg(4093);
+
+void BM_FindPeriodFppWindow(benchmark::State& state) {
+  // FPP's real operating point: 90 s of 2 s samples.
+  const auto xs = power_signal(45, 8.7);
+  for (auto _ : state) {
+    auto est = dsp::find_period(xs, 2.0);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_FindPeriodFppWindow);
+
+void BM_FindPeriodMethod(benchmark::State& state) {
+  const auto method = static_cast<dsp::PeriodMethod>(state.range(0));
+  const auto xs = power_signal(256, 12.0);
+  for (auto _ : state) {
+    auto est = dsp::find_period(xs, 2.0, method);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_FindPeriodMethod)
+    ->Arg(static_cast<int>(dsp::PeriodMethod::HannPeriodogram))
+    ->Arg(static_cast<int>(dsp::PeriodMethod::RawPeriodogram))
+    ->Arg(static_cast<int>(dsp::PeriodMethod::Autocorrelation));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// §IV-E reproduction: impact of proportional sharing and FPP on a real job
+// queue — 10 jobs (3 Laghos, 2 Quicksilver, 3 LAMMPS, 2 GEMM; 1-8 nodes
+// each) on a 16-node Lassen allocation, FCFS scheduled.
+//
+// Shape targets (paper): the queue makespan is IDENTICAL under proportional
+// sharing and FPP (1539 s), and FPP improves average per-job energy-per-
+// node by ~1.26%.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "experiments/scenario.hpp"
+#include "util/stats.hpp"
+
+using namespace fluxpower;
+using namespace fluxpower::experiments;
+
+namespace {
+
+struct QueueOutcome {
+  double makespan_s = 0.0;
+  double avg_energy_per_node_kj = 0.0;
+  double total_energy_mj = 0.0;
+};
+
+QueueOutcome run_queue(manager::NodePolicy policy, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.nodes = 16;
+  cfg.load_manager = true;
+  cfg.manager.cluster_power_bound_w = 16 * 1200.0;  // constrained cluster
+  cfg.manager.static_node_cap_w = 1950.0;
+  cfg.manager.node_policy = policy;
+  cfg.seed = seed;
+  Scenario s(cfg);
+
+  double t = 0.0;
+  for (const apps::WorkloadJob& job : apps::paper_queue(seed)) {
+    t += job.submit_delay_s;
+    JobRequest req;
+    req.kind = job.kind;
+    req.nnodes = job.nnodes;
+    req.work_scale = job.work_scale;
+    req.submit_time_s = t;
+    s.submit(req);
+  }
+  auto res = s.run();
+
+  QueueOutcome out;
+  out.makespan_s = res.makespan_s;
+  util::RunningStats per_job;
+  for (const JobResult& j : res.jobs) {
+    per_job.add(j.exact_avg_node_energy_j / 1e3);
+  }
+  out.avg_energy_per_node_kj = per_job.mean();
+  out.total_energy_mj = res.total_energy_j / 1e6;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Queue (§IV-E)",
+                "10-job queue on a 16-node allocation: prop sharing vs FPP");
+
+  constexpr std::uint64_t kSeed = 2024;
+  const QueueOutcome prop = run_queue(manager::NodePolicy::DirectGpuBudget, kSeed);
+  const QueueOutcome fpp = run_queue(manager::NodePolicy::Fpp, kSeed);
+
+  util::TextTable table({"policy", "makespan s", "avg job energy kJ/node",
+                         "cluster energy MJ"});
+  table.add_row({"Proportional sharing", bench::num(prop.makespan_s, 0),
+                 bench::num(prop.avg_energy_per_node_kj, 1),
+                 bench::num(prop.total_energy_mj, 2)});
+  table.add_row({"FPP", bench::num(fpp.makespan_s, 0),
+                 bench::num(fpp.avg_energy_per_node_kj, 1),
+                 bench::num(fpp.total_energy_mj, 2)});
+  table.print(std::cout);
+
+  std::printf(
+      "makespan delta: %.1f s (paper: identical, 1539 s); FPP energy/job "
+      "change: %+.2f%% (paper: -1.26%%)\n",
+      fpp.makespan_s - prop.makespan_s,
+      (fpp.avg_energy_per_node_kj - prop.avg_energy_per_node_kj) /
+          prop.avg_energy_per_node_kj * 100.0);
+  bench::note(
+      "the queue mix is the paper's (3 Laghos, 2 Quicksilver, 3 LAMMPS, 2 "
+      "GEMM; 1-8 nodes each), deterministically shuffled; Flux schedules "
+      "FCFS like any regular resource manager.");
+  return 0;
+}

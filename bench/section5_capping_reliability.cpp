@@ -1,0 +1,104 @@
+// §V reproduction: production challenges with vendor power capping.
+//
+// "On some nodes at a low node-level power cap (1200 W), NVIDIA GPU power
+// capping failed intermittently, either picking up the last set power cap
+// or defaulting to the maximum power cap."
+//
+// We inject that failure mode into the Lassen node model and quantify what
+// it does to a power-constrained run: silent-failure counts, per-node peak
+// power, and nodes exceeding their limit — with and without the OPAL node
+// dial as a safety net. This is the paper's argument for why sites
+// hesitate to adopt dynamic capping in production.
+#include <iostream>
+#include <memory>
+
+#include "bench/common.hpp"
+#include "hwsim/ibm_ac922.hpp"
+#include "sim/simulation.hpp"
+#include "util/table.hpp"
+
+using namespace fluxpower;
+
+namespace {
+
+struct Outcome {
+  int silent_failures = 0;
+  double worst_peak_w = 0.0;
+  int nodes_over_limit = 0;
+};
+
+/// 8 nodes under a 1150 W limit, GEMM-like demand, a manager-style NVML
+/// cap write (190 W per GPU) every 10 s for 600 s.
+Outcome run(double failure_rate, bool opal_safety_net) {
+  sim::Simulation sim;
+  hwsim::IbmAc922Config hw;
+  hw.nvml_failure_rate = failure_rate;
+  std::vector<std::unique_ptr<hwsim::IbmAc922Node>> nodes;
+  for (int i = 0; i < 8; ++i) {
+    nodes.push_back(std::make_unique<hwsim::IbmAc922Node>(
+        sim, "flaky" + std::to_string(i), hw));
+  }
+  hwsim::LoadDemand demand;
+  demand.cpu_w = {110, 110};
+  demand.gpu_w = {280, 280, 280, 280};
+  demand.mem_w = 70;
+  for (auto& n : nodes) {
+    if (opal_safety_net) {
+      n->set_node_power_cap(1150.0);  // puts NVML in the failure regime too
+    } else {
+      // Failure regime is keyed on the node cap; emulate "no node dial"
+      // platforms by setting the cap then pretending enforcement is NVML
+      // only: the failure threshold check uses the cap value.
+      n->set_node_power_cap(1150.0);
+      n->clear_node_power_cap();
+      // Without OPAL the failure mode needs an explicit trigger: re-apply
+      // a node cap below threshold is the model's knob, so approximate the
+      // NVML-only platform by a cap at the threshold boundary.
+      n->set_node_power_cap(1200.0);
+    }
+    n->set_demand(demand);
+  }
+  std::vector<double> peaks(8, 0.0);
+  sim::PeriodicTask driver(sim, 10.0, [&] {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (int g = 0; g < 4; ++g) nodes[i]->set_gpu_power_cap(g, 190.0);
+      peaks[i] = std::max(peaks[i], nodes[i]->node_draw_w());
+    }
+    return true;
+  });
+  sim.run_until(600.0);
+
+  Outcome out;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    out.silent_failures += nodes[i]->nvml_silent_failures();
+    out.worst_peak_w = std::max(out.worst_peak_w, peaks[i]);
+    if (peaks[i] > 1150.0 + 1.0) ++out.nodes_over_limit;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("§V", "vendor capping reliability under injected NVML failures");
+
+  util::TextTable table({"failure rate", "OPAL node cap", "silent failures",
+                         "worst node peak W", "nodes over 1150 W"});
+  for (double rate : {0.0, 0.05, 0.15, 0.30}) {
+    for (bool opal : {true, false}) {
+      const Outcome o = run(rate, opal);
+      table.add_row({bench::num(rate, 2), opal ? "1150 W" : "1200 W (loose)",
+                     std::to_string(o.silent_failures),
+                     bench::num(o.worst_peak_w, 0),
+                     std::to_string(o.nodes_over_limit)});
+    }
+  }
+  table.print(std::cout);
+  bench::note(
+      "a silent NVML failure either keeps the stale cap (benign) or resets "
+      "the GPU to 300 W; with the OPAL dial at the target the OCC still "
+      "bounds the node, with a looser dial the node bursts past its "
+      "intended limit until the next manager control round — the §V "
+      "reliability gap that delays production adoption.");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table II reproduction: runtime, average per-node power and per-node
+// energy for LAMMPS, Laghos and Quicksilver at 4 and 8 nodes on Lassen and
+// Tioga. Quicksilver's Tioga numbers carry the HIP-variant anomaly the
+// paper reports (expected ~24-28 s from weak scaling, observed 102-106 s);
+// like the paper we flag its cross-system energy as not comparable.
+#include <iostream>
+#include <map>
+
+#include "bench/common.hpp"
+#include "experiments/scenario.hpp"
+
+using namespace fluxpower;
+using namespace fluxpower::experiments;
+
+namespace {
+
+struct PaperRow {
+  double lassen_t, tioga_t, lassen_w, tioga_w;
+  const char* lassen_e;
+  const char* tioga_e;
+};
+
+// Paper values from Table II (energy in kJ/node; "-" = not reported).
+const std::map<std::pair<apps::AppKind, int>, PaperRow> kPaper = {
+    {{apps::AppKind::Lammps, 4}, {77.17, 51.00, 1283.74, 1552.40, "99.07", "79.17"}},
+    {{apps::AppKind::Lammps, 8}, {46.33, 29.67, 1155.08, 1388.99, "53.51", "41.21"}},
+    {{apps::AppKind::Laghos, 4}, {12.55, 26.71, 472.91, 530.87, "5.94", "14.18"}},
+    {{apps::AppKind::Laghos, 8}, {12.62, 26.81, 469.59, 532.28, "5.93", "14.27"}},
+    {{apps::AppKind::Quicksilver, 4}, {12.78, 102.03, 546.99, 915.82, "-", "-"}},
+    {{apps::AppKind::Quicksilver, 8}, {13.63, 106.15, 559.64, 924.85, "-", "-"}},
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Table II", "cross-system performance at 4 and 8 nodes");
+  util::TextTable table({"app", "nodes", "Lassen t s (paper)",
+                         "Tioga t s (paper)", "Lassen W/node (paper)",
+                         "Tioga W/node (paper)", "Lassen kJ/node (paper)",
+                         "Tioga kJ/node (paper)"});
+
+  for (apps::AppKind kind : {apps::AppKind::Lammps, apps::AppKind::Laghos,
+                             apps::AppKind::Quicksilver}) {
+    for (int n : {4, 8}) {
+      const auto lassen =
+          run_single_job(hwsim::Platform::LassenIbmAc922, kind, n);
+      const auto tioga =
+          run_single_job(hwsim::Platform::TiogaCrayEx235a, kind, n);
+      const PaperRow& p = kPaper.at({kind, n});
+      const bool qs = kind == apps::AppKind::Quicksilver;
+      table.add_row(
+          {apps::app_kind_name(kind), std::to_string(n),
+           bench::vs(lassen.result.runtime_s, p.lassen_t),
+           bench::vs(tioga.result.runtime_s, p.tioga_t) + (qs ? "*" : ""),
+           bench::vs(lassen.result.avg_node_power_w, p.lassen_w, 0),
+           bench::vs(tioga.result.avg_node_power_w, p.tioga_w, 0),
+           qs ? "-" : bench::vs_str(
+                          lassen.result.exact_avg_node_energy_j / 1e3,
+                          p.lassen_e),
+           qs ? "-" : bench::vs_str(tioga.result.exact_avg_node_energy_j / 1e3,
+                                    p.tioga_e)});
+    }
+  }
+  table.print(std::cout);
+  bench::note(
+      "* Quicksilver-on-Tioga reproduces the HIP-variant anomaly (expected "
+      "~24-28 s under weak scaling); energy is not compared, as in the paper.");
+  bench::note(
+      "shape: LAMMPS is faster and lower-energy on Tioga (-21.5% energy in "
+      "the paper); Laghos energy/node rises on Tioga because the task count "
+      "doubled under weak scaling.");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Table IV reproduction: static vs dynamic job power management on the
+// 8-node Lassen cluster (GEMM x6 nodes, Quicksilver x2 nodes, cluster bound
+// 9.6 kW for the constrained rows). Policies:
+//   * Unconstrained       — no caps;
+//   * Constr. IBM default — static 1200 W node cap, OPAL enforcement;
+//   * Constr. Static      — static 1950 W node cap;
+//   * Constr. Prop. Shar. — proportional sharing, direct GPU-budget
+//                           enforcement, 1950 W safety node cap;
+//   * Constr. FPP         — proportional sharing + per-GPU FFT policy.
+//
+// Shape targets (paper): IBM default is worst on BOTH axes (GEMM 1145 s,
+// 805 kJ); prop sharing beats static-1950 on energy; FPP beats prop on
+// energy (~1%) at <1% runtime cost; Quicksilver is barely affected by any
+// policy.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "experiments/scenario.hpp"
+
+using namespace fluxpower;
+using namespace fluxpower::experiments;
+
+namespace {
+
+struct PolicyRow {
+  const char* label;
+  double node_cap;
+  bool load_manager;
+  manager::PowerManagerConfig mcfg;
+  // Paper values: {gemm_max_w, qs_max_w, gemm_t, qs_t, gemm_kj, qs_kj}
+  double paper[6];
+};
+
+ScenarioResult run_policy(const PolicyRow& row) {
+  ScenarioConfig cfg;
+  cfg.nodes = 8;
+  cfg.load_manager = row.load_manager;
+  cfg.manager = row.mcfg;
+  Scenario s(cfg);
+  JobRequest gemm;
+  gemm.kind = apps::AppKind::Gemm;
+  gemm.nnodes = 6;
+  gemm.work_scale = 2.0;
+  s.submit(gemm);
+  JobRequest qs;
+  qs.kind = apps::AppKind::Quicksilver;
+  qs.nnodes = 2;
+  qs.work_scale = 27.5;
+  s.submit(qs);
+  return s.run();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table IV", "static vs dynamic power capping comparison");
+
+  std::vector<PolicyRow> rows;
+  {
+    PolicyRow r{"Unconstr.", 3050, false, {}, {1523, 952, 548, 348, 726, 177}};
+    rows.push_back(r);
+  }
+  {
+    PolicyRow r{"Constr. IBM default", 1200, true, {},
+                {841, 820, 1145, 359, 805, 160}};
+    r.mcfg.static_node_cap_w = 1200.0;
+    rows.push_back(r);
+  }
+  {
+    PolicyRow r{"Constr. Static", 1950, true, {},
+                {1330, 975, 564, 347, 652, 175}};
+    r.mcfg.static_node_cap_w = 1950.0;
+    rows.push_back(r);
+  }
+  {
+    PolicyRow r{"Constr. Prop. Shar.", 1950, true, {},
+                {1343, 939, 597, 347, 612, 170}};
+    r.mcfg.static_node_cap_w = 1950.0;
+    r.mcfg.cluster_power_bound_w = 9600.0;
+    r.mcfg.node_policy = manager::NodePolicy::DirectGpuBudget;
+    rows.push_back(r);
+  }
+  {
+    PolicyRow r{"Constr. FPP", 1950, true, {},
+                {1325, 951, 602, 350, 598, 174}};
+    r.mcfg.static_node_cap_w = 1950.0;
+    r.mcfg.cluster_power_bound_w = 9600.0;
+    r.mcfg.node_policy = manager::NodePolicy::Fpp;
+    rows.push_back(r);
+  }
+
+  util::TextTable table({"use case / policy", "node cap W",
+                         "GEMM max W (paper)", "QS max W (paper)",
+                         "GEMM t s (paper)", "QS t s (paper)",
+                         "GEMM kJ (paper)", "QS kJ (paper)"});
+
+  double ibm_gemm_e = 0.0, ibm_gemm_t = 0.0;
+  double prop_gemm_e = 0.0, fpp_gemm_e = 0.0, fpp_gemm_t = 0.0;
+  double static_gemm_e = 0.0;
+  for (const PolicyRow& row : rows) {
+    auto res = run_policy(row);
+    const JobResult& gemm = res.jobs[0];
+    const JobResult& qs = res.jobs[1];
+    table.add_row({row.label, bench::num(row.node_cap, 0),
+                   bench::vs(gemm.max_node_power_w, row.paper[0], 0),
+                   bench::vs(qs.max_node_power_w, row.paper[1], 0),
+                   bench::vs(gemm.runtime_s, row.paper[2], 0),
+                   bench::vs(qs.runtime_s, row.paper[3], 0),
+                   bench::vs(gemm.exact_avg_node_energy_j / 1e3, row.paper[4], 0),
+                   bench::vs(qs.exact_avg_node_energy_j / 1e3, row.paper[5], 0)});
+    if (std::string(row.label) == "Constr. IBM default") {
+      ibm_gemm_e = gemm.exact_avg_node_energy_j;
+      ibm_gemm_t = gemm.runtime_s;
+    } else if (std::string(row.label) == "Constr. Static") {
+      static_gemm_e = gemm.exact_avg_node_energy_j;
+    } else if (std::string(row.label) == "Constr. Prop. Shar.") {
+      prop_gemm_e = gemm.exact_avg_node_energy_j;
+    } else if (std::string(row.label) == "Constr. FPP") {
+      fpp_gemm_e = gemm.exact_avg_node_energy_j;
+      fpp_gemm_t = gemm.runtime_s;
+    }
+  }
+  table.print(std::cout);
+
+  std::printf("\nheadline comparisons (GEMM):\n");
+  std::printf("  FPP vs IBM default : energy %+.1f%% (paper -20%%), speedup %.2fx (paper 1.58x)\n",
+              (fpp_gemm_e - ibm_gemm_e) / ibm_gemm_e * 100.0,
+              ibm_gemm_t / fpp_gemm_t);
+  std::printf("  FPP vs static 1950 : energy %+.1f%% (paper -6.6%%)\n",
+              (fpp_gemm_e - static_gemm_e) / static_gemm_e * 100.0);
+  std::printf("  FPP vs prop. share : energy %+.1f%% (paper -1.2%%)\n",
+              (fpp_gemm_e - prop_gemm_e) / prop_gemm_e * 100.0);
+  std::printf("  prop vs static 1950: energy %+.1f%% (paper -5.4%%)\n",
+              (prop_gemm_e - static_gemm_e) / static_gemm_e * 100.0);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// non_mpi_and_user_instances — two capabilities the paper highlights that
+// traditional power runtimes (GEOPM, EAR) lack:
+//
+//   A. Power management of NON-MPI workloads: a Charm++ NQueens job shares
+//      the constrained cluster with an MPI GEMM job; the manager caps both
+//      identically because it operates on Flux jobs, not MPI (Fig 7).
+//
+//   B. USER-LEVEL instances: a user spawns their own Flux instance on the
+//      nodes allocated to them and loads their own power monitor with a
+//      custom (faster) sampling policy inside it — "different users can
+//      choose different power-aware scheduling policies within their
+//      respective allocations" (§I).
+//
+// Build & run:  ./build/examples/non_mpi_and_user_instances
+#include <cstdio>
+
+#include "apps/launcher.hpp"
+#include "experiments/scenario.hpp"
+#include "monitor/client.hpp"
+#include "monitor/power_monitor.hpp"
+#include "util/stats.hpp"
+
+using namespace fluxpower;
+using namespace fluxpower::experiments;
+
+int main() {
+  // ---- Part A: non-MPI job under proportional capping (Fig 7) -------------
+  std::printf("A. Charm++ NQueens alongside MPI GEMM under a 9.6 kW bound\n");
+  ScenarioConfig cfg;
+  cfg.nodes = 8;
+  cfg.load_manager = true;
+  cfg.manager.cluster_power_bound_w = 9600.0;
+  cfg.manager.static_node_cap_w = 1950.0;
+  cfg.manager.node_policy = manager::NodePolicy::DirectGpuBudget;
+  Scenario s(cfg);
+
+  JobRequest gemm;
+  gemm.kind = apps::AppKind::Gemm;
+  gemm.nnodes = 6;
+  gemm.work_scale = 1.5;
+  const flux::JobId gemm_id = s.submit(gemm);
+  JobRequest nq;
+  nq.kind = apps::AppKind::NQueens;  // Charm++, CPU-only, +p160
+  nq.nnodes = 2;
+  nq.submit_time_s = 60.0;
+  const flux::JobId nq_id = s.submit(nq);
+
+  ScenarioResult res = s.run();
+  const JobResult& g = res.job(gemm_id);
+  const JobResult& n = res.job(nq_id);
+  std::printf("   GEMM    (MPI)    : %6.1f s, peak node %6.0f W\n",
+              g.runtime_s, g.max_node_power_w);
+  std::printf("   NQueens (Charm++): %6.1f s, peak node %6.0f W (GPUs idle)\n",
+              n.runtime_s, n.max_node_power_w);
+
+  // GEMM's node power before vs while NQueens shares the bound.
+  const auto& tl = res.timelines.at(gemm_id);
+  util::RunningStats solo, shared;
+  for (const TimelinePoint& p : tl) {
+    if (p.t_s < n.t_start - 5.0) solo.add(p.node_w);
+    else if (p.t_s > n.t_start + 15.0 && p.t_s < n.t_end - 5.0) shared.add(p.node_w);
+  }
+  std::printf("   GEMM node power %.0f W -> %.0f W when NQueens enters: the "
+              "manager is application-agnostic.\n\n",
+              solo.mean(), shared.mean());
+
+  // ---- Part B: user-level instance with a custom telemetry policy ---------
+  std::printf("B. user-level Flux instance with custom monitor policy\n");
+  sim::Simulation sim;
+  hwsim::Cluster cluster =
+      hwsim::make_cluster(sim, hwsim::Platform::LassenIbmAc922, 8);
+  std::vector<hwsim::Node*> nodes;
+  for (int i = 0; i < cluster.size(); ++i) nodes.push_back(&cluster.node(i));
+  flux::Instance system_instance(sim, std::move(nodes));
+  system_instance.jobs().set_launcher(apps::make_launcher(
+      {.platform = hwsim::Platform::LassenIbmAc922}));
+  // Site default: 2 s sampling everywhere.
+  system_instance.load_module_on_all<monitor::PowerMonitorModule>(
+      monitor::PowerMonitorConfig::for_lassen());
+
+  // The user got ranks 2..5; they bootstrap their own instance there and
+  // load a 0.5 s-sampling monitor under their own control.
+  flux::Instance& user_instance = system_instance.spawn_child({2, 3, 4, 5});
+  user_instance.jobs().set_launcher(apps::make_launcher(
+      {.platform = hwsim::Platform::LassenIbmAc922}));
+  monitor::PowerMonitorConfig fast = monitor::PowerMonitorConfig::for_lassen();
+  fast.sample_period_s = 0.5;
+  user_instance.load_module_on_all<monitor::PowerMonitorModule>(fast);
+
+  flux::JobSpec spec;
+  spec.name = "user-laghos";
+  spec.app = "laghos";
+  spec.nnodes = 4;
+  spec.attributes = util::Json::object();
+  spec.attributes["work_scale"] = 4.0;
+  const flux::JobId uid = user_instance.jobs().submit(spec);
+  while (!user_instance.jobs().job(uid).done() && sim.step()) {
+  }
+
+  monitor::MonitorClient user_client(user_instance);
+  auto udata = user_client.query_blocking(uid);
+  if (udata) {
+    const std::size_t samples = udata->nodes.front().samples.size();
+    std::printf("   user instance sampled %zu points over a %.1f s job "
+                "(0.5 s period vs the system-wide 2 s)\n",
+                samples, user_instance.jobs().job(uid).runtime());
+    std::printf("   avg node power %.0f W; telemetry stayed inside the "
+                "user's allocation.\n",
+                udata->average_node_power_w());
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "apps/launcher.hpp"
+
+namespace fluxpower::apps {
+
+AppProfile profile_for_job(const flux::Job& job,
+                           const LauncherOptions& options) {
+  const AppKind kind = app_kind_from_name(job.spec.app);
+  const double work_scale = job.spec.attributes.number_or("work_scale", 1.0);
+  return make_profile(kind, options.platform, job.spec.nnodes, work_scale);
+}
+
+flux::Launcher make_launcher(LauncherOptions options) {
+  // The RNG is shared across all launches from this launcher and advanced
+  // once per job, so a scenario's k-th job always sees the same draw.
+  auto rng = std::make_shared<util::Rng>(options.noise_seed);
+  return [options, rng](const flux::Job& job, flux::Instance& instance)
+             -> std::unique_ptr<flux::JobExecution> {
+    AppProfile profile = profile_for_job(job, options);
+
+    AppRuntimeOptions rt_options;
+    rt_options.step_s = options.step_s;
+    if (options.runtime_variability) {
+      const double sigma =
+          runtime_sigma(profile.kind, options.platform, job.spec.nnodes);
+      // OS jitter and congestion mostly slow a run (half-normal), with a
+      // small symmetric component that occasionally yields the minor
+      // "speedups" the paper attributes to noise (§IV-B).
+      const double slow = std::abs(rng->normal(0.0, sigma));
+      const double wiggle = rng->normal(0.0, 0.2 * sigma);
+      rt_options.speed_factor = 1.0 / std::max(0.5, 1.0 + slow + wiggle);
+    }
+
+    std::vector<hwsim::Node*> nodes;
+    nodes.reserve(job.ranks.size());
+    for (flux::Rank r : job.ranks) {
+      hwsim::Node* n = instance.node(r);
+      if (n == nullptr) {
+        throw std::logic_error("launcher: broker has no hardware node");
+      }
+      nodes.push_back(n);
+    }
+    if (options.report_progress && !job.ranks.empty()) {
+      rt_options.progress_broker = &instance.broker(job.ranks.front());
+      rt_options.job_id = job.id;
+      rt_options.ranks = job.ranks;
+      rt_options.progress_period_s = options.progress_period_s;
+    }
+    return std::make_unique<AppRuntime>(instance.sim(), std::move(nodes),
+                                        std::move(profile), rt_options);
+  };
+}
+
+}  // namespace fluxpower::apps

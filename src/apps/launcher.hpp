@@ -1,0 +1,39 @@
+// launcher.hpp — binds application models to the flux job-manager.
+//
+// The launcher turns a Job (whose spec.app names an application and whose
+// attributes carry problem scaling) into an AppRuntime over the job's
+// allocated nodes. Per-run variability is drawn from a seeded RNG so
+// repeated runs of the same scenario differ realistically yet the whole
+// experiment remains deterministic.
+#pragma once
+
+#include <memory>
+
+#include "apps/app_model.hpp"
+#include "apps/app_runtime.hpp"
+#include "flux/instance.hpp"
+#include "util/rng.hpp"
+
+namespace fluxpower::apps {
+
+struct LauncherOptions {
+  hwsim::Platform platform = hwsim::Platform::LassenIbmAc922;
+  double step_s = 0.5;
+  /// Enable the run-to-run variability model (off = every run nominal).
+  bool runtime_variability = false;
+  std::uint64_t noise_seed = 42;
+  /// Publish `job.progress` events (from the job's first-rank broker) every
+  /// `progress_period_s` — required by the progress-based dynamic policy.
+  bool report_progress = false;
+  double progress_period_s = 10.0;
+};
+
+/// Job attributes understood by the launcher:
+///   work_scale (number) — problem-size multiplier (default 1.0).
+flux::Launcher make_launcher(LauncherOptions options);
+
+/// Build the AppProfile a job would run with (for benches that want the
+/// model without going through the scheduler).
+AppProfile profile_for_job(const flux::Job& job, const LauncherOptions& options);
+
+}  // namespace fluxpower::apps

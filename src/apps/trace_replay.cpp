@@ -1,0 +1,154 @@
+#include "apps/trace_replay.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace fluxpower::apps {
+
+namespace {
+
+/// Column map resolved from a header row.
+struct Columns {
+  int timestamp = -1;
+  std::vector<int> cpu;
+  int mem = -1;
+  std::vector<int> gpu;
+};
+
+Columns resolve_columns(const std::vector<std::string>& header) {
+  Columns cols;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    const std::string& name = header[i];
+    const int idx = static_cast<int>(i);
+    if (name == "timestamp_s" || name == "timestamp") {
+      cols.timestamp = idx;
+    } else if (name.rfind("cpu", 0) == 0 && name.ends_with("_w")) {
+      cols.cpu.push_back(idx);
+    } else if (name == "mem_w") {
+      cols.mem = idx;
+    } else if ((name.rfind("gpu", 0) == 0 || name.rfind("oam", 0) == 0) &&
+               name.ends_with("_w") && name.find("cap") == std::string::npos) {
+      cols.gpu.push_back(idx);
+    }
+  }
+  if (cols.timestamp < 0) {
+    throw std::invalid_argument("trace: no timestamp column in header");
+  }
+  return cols;
+}
+
+double cell_number(const std::vector<std::string>& row, int idx) {
+  if (idx < 0 || static_cast<std::size_t>(idx) >= row.size() ||
+      row[static_cast<std::size_t>(idx)].empty()) {
+    return 0.0;
+  }
+  try {
+    return std::stod(row[static_cast<std::size_t>(idx)]);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("trace: non-numeric cell '" +
+                                row[static_cast<std::size_t>(idx)] + "'");
+  }
+}
+
+}  // namespace
+
+PowerTrace PowerTrace::from_csv(const std::string& csv_text) {
+  std::istringstream lines(csv_text);
+  std::string line;
+  if (!std::getline(lines, line)) {
+    throw std::invalid_argument("trace: empty input");
+  }
+  const Columns cols = resolve_columns(util::parse_csv_line(line));
+
+  PowerTrace trace;
+  double t0 = 0.0;
+  double prev_t = -1.0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const auto row = util::parse_csv_line(line);
+    TracePoint p;
+    const double t = cell_number(row, cols.timestamp);
+    if (trace.points.empty()) t0 = t;
+    p.t_s = t - t0;
+    if (p.t_s < prev_t) {
+      throw std::invalid_argument("trace: timestamps must be nondecreasing");
+    }
+    prev_t = p.t_s;
+    for (int idx : cols.cpu) p.demand.cpu_w.push_back(cell_number(row, idx));
+    for (int idx : cols.gpu) p.demand.gpu_w.push_back(cell_number(row, idx));
+    p.demand.mem_w = cell_number(row, cols.mem);
+    trace.points.push_back(std::move(p));
+  }
+  if (trace.points.empty()) {
+    throw std::invalid_argument("trace: no data rows");
+  }
+  return trace;
+}
+
+TraceReplayRuntime::TraceReplayRuntime(sim::Simulation& sim,
+                                       std::vector<hwsim::Node*> nodes,
+                                       PowerTrace trace)
+    : sim_(sim), nodes_(std::move(nodes)), trace_(std::move(trace)) {
+  if (nodes_.empty()) {
+    throw std::invalid_argument("TraceReplayRuntime: no nodes");
+  }
+  if (trace_.points.empty()) {
+    throw std::invalid_argument("TraceReplayRuntime: empty trace");
+  }
+}
+
+TraceReplayRuntime::~TraceReplayRuntime() { cancel(); }
+
+void TraceReplayRuntime::start(std::function<void()> on_complete) {
+  if (running_) {
+    throw std::logic_error("TraceReplayRuntime::start: already running");
+  }
+  running_ = true;
+  on_complete_ = std::move(on_complete);
+  apply_point(0);
+}
+
+void TraceReplayRuntime::cancel() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != sim::kInvalidEvent) {
+    sim_.cancel(pending_);
+    pending_ = sim::kInvalidEvent;
+  }
+  for (hwsim::Node* n : nodes_) n->idle();
+}
+
+void TraceReplayRuntime::apply_point(std::size_t index) {
+  pending_ = sim::kInvalidEvent;
+  if (!running_) return;
+  const TracePoint& p = trace_.points[index];
+  for (hwsim::Node* n : nodes_) n->set_demand(p.demand);
+  if (index + 1 >= trace_.points.size()) {
+    // Hold the final point for one nominal gap, then finish. Single-point
+    // traces hold for 2 s (one telemetry period).
+    const double hold =
+        trace_.points.size() > 1
+            ? p.t_s - trace_.points[index - 1].t_s
+            : 2.0;
+    pending_ = sim_.schedule_after(std::max(hold, 1e-3), [this] { finish(); });
+    return;
+  }
+  const double dt = trace_.points[index + 1].t_s - p.t_s;
+  pending_ = sim_.schedule_after(std::max(dt, 1e-3),
+                                 [this, index] { apply_point(index + 1); });
+}
+
+void TraceReplayRuntime::finish() {
+  pending_ = sim::kInvalidEvent;
+  if (!running_) return;
+  running_ = false;
+  for (hwsim::Node* n : nodes_) n->idle();
+  if (on_complete_) {
+    auto cb = std::move(on_complete_);
+    cb();
+  }
+}
+
+}  // namespace fluxpower::apps

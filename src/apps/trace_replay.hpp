@@ -1,0 +1,67 @@
+// trace_replay.hpp — replay recorded telemetry as a workload.
+//
+// Closes the telemetry loop: the CSV the monitor client writes (or any CSV
+// with `timestamp_s`/`cpu<i>_w`/`mem_w`/`gpu<i>_w` columns) can be played
+// back as a node's power demand, so policies can be evaluated against
+// *recorded production shapes* rather than synthetic models — how a site
+// would validate FPP against its own machines before enabling it.
+//
+// Replay is telemetry-shaped, not performance-modeled: the job runs for the
+// trace's duration regardless of caps; caps simply clip the drawn power
+// (grants). Use AppRuntime when the power-performance feedback matters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flux/job_manager.hpp"
+#include "hwsim/node.hpp"
+#include "sim/simulation.hpp"
+
+namespace fluxpower::apps {
+
+/// One demand point of a trace.
+struct TracePoint {
+  double t_s = 0.0;  ///< relative to trace start
+  hwsim::LoadDemand demand;
+};
+
+struct PowerTrace {
+  std::vector<TracePoint> points;
+
+  double duration_s() const {
+    return points.empty() ? 0.0 : points.back().t_s;
+  }
+
+  /// Parse monitor-client CSV (columns: anything containing `timestamp_s`,
+  /// `cpu<i>_w`, `mem_w`, `gpu<i>_w` / `oam<i>_w`; extra columns ignored).
+  /// Rows must carry nondecreasing timestamps; timestamps are rebased so
+  /// the first row is t=0. Throws std::invalid_argument on malformed input.
+  static PowerTrace from_csv(const std::string& csv_text);
+};
+
+/// JobExecution that replays a trace on every allocated node.
+class TraceReplayRuntime final : public flux::JobExecution {
+ public:
+  TraceReplayRuntime(sim::Simulation& sim, std::vector<hwsim::Node*> nodes,
+                     PowerTrace trace);
+  ~TraceReplayRuntime() override;
+
+  void start(std::function<void()> on_complete) override;
+  void cancel() override;
+
+  bool running() const noexcept { return running_; }
+
+ private:
+  void apply_point(std::size_t index);
+  void finish();
+
+  sim::Simulation& sim_;
+  std::vector<hwsim::Node*> nodes_;
+  PowerTrace trace_;
+  std::function<void()> on_complete_;
+  sim::EventId pending_ = sim::kInvalidEvent;
+  bool running_ = false;
+};
+
+}  // namespace fluxpower::apps

@@ -1,0 +1,45 @@
+// fft.hpp — fast Fourier transform kernels.
+//
+// FPP (the paper's FFT-based power policy, Algorithm 1) identifies an
+// application's phase period from its sampled power signal. The estimator
+// needs a transform for arbitrary sample counts: the node-agent delivers
+// however many samples accumulated in the 30 s window, which is rarely a
+// power of two. We provide an iterative radix-2 Cooley–Tukey kernel plus
+// Bluestein's chirp-z algorithm for general N.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fluxpower::dsp {
+
+using Complex = std::complex<double>;
+
+/// True if n is a power of two (n >= 1).
+constexpr bool is_power_of_two(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n);
+
+/// In-place iterative radix-2 DIT FFT. data.size() must be a power of two.
+/// `inverse` applies the conjugate transform *without* the 1/N scaling;
+/// callers that need a round trip use ifft() below.
+void fft_radix2(std::span<Complex> data, bool inverse = false);
+
+/// FFT for arbitrary N via Bluestein; dispatches to radix-2 when possible.
+std::vector<Complex> fft(std::span<const Complex> input);
+
+/// Inverse FFT (includes the 1/N scaling).
+std::vector<Complex> ifft(std::span<const Complex> input);
+
+/// FFT of a real signal; returns the full complex spectrum (size N).
+std::vector<Complex> fft_real(std::span<const double> input);
+
+/// Power spectrum |X_k|^2 for k = 0..N/2 of a real signal.
+std::vector<double> power_spectrum(std::span<const double> input);
+
+}  // namespace fluxpower::dsp

@@ -1,0 +1,122 @@
+#include "experiments/report.hpp"
+
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace fluxpower::experiments {
+
+void write_jobs_csv(const ScenarioResult& result, std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.header({"id", "app", "nnodes", "t_submit_s", "t_start_s", "t_end_s",
+              "runtime_s", "wait_s", "avg_node_power_w", "max_node_power_w",
+              "max_job_power_w", "avg_node_energy_kj",
+              "exact_avg_node_energy_kj", "telemetry"});
+  for (const JobResult& j : result.jobs) {
+    csv.row(std::to_string(j.id), j.app, j.nnodes, j.t_submit, j.t_start,
+            j.t_end, j.runtime_s, j.t_start - j.t_submit, j.avg_node_power_w,
+            j.max_node_power_w, j.max_aggregate_power_w,
+            j.avg_node_energy_j / 1e3, j.exact_avg_node_energy_j / 1e3,
+            j.telemetry_complete ? "complete" : "partial");
+  }
+}
+
+void write_cluster_timeline_csv(const ScenarioResult& result,
+                                std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.header({"t_s", "cluster_power_w"});
+  for (const auto& [t, w] : result.cluster_timeline) {
+    csv.row(t, w);
+  }
+}
+
+void write_job_timeline_csv(const ScenarioResult& result, flux::JobId id,
+                            std::ostream& out) {
+  auto it = result.timelines.find(id);
+  if (it == result.timelines.end()) {
+    throw std::out_of_range("write_job_timeline_csv: no timeline for job " +
+                            std::to_string(id));
+  }
+  const auto& timeline = it->second;
+  std::size_t ncpu = 0, ngpu = 0;
+  for (const TimelinePoint& p : timeline) {
+    ncpu = std::max(ncpu, p.cpu_w.size());
+    ngpu = std::max(ngpu, p.gpu_w.size());
+  }
+  util::CsvWriter csv(out);
+  std::vector<std::string> header{"t_s", "node_w", "mem_w"};
+  for (std::size_t i = 0; i < ncpu; ++i) {
+    header.push_back("cpu" + std::to_string(i) + "_w");
+  }
+  for (std::size_t i = 0; i < ngpu; ++i) {
+    header.push_back("gpu" + std::to_string(i) + "_w");
+  }
+  for (std::size_t i = 0; i < ngpu; ++i) {
+    header.push_back("gpu" + std::to_string(i) + "_cap_w");
+  }
+  csv.row(header);
+  auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    return std::string(buf);
+  };
+  for (const TimelinePoint& p : timeline) {
+    std::vector<std::string> row{fmt(p.t_s), fmt(p.node_w), fmt(p.mem_w)};
+    for (std::size_t i = 0; i < ncpu; ++i) {
+      row.push_back(i < p.cpu_w.size() ? fmt(p.cpu_w[i]) : "");
+    }
+    for (std::size_t i = 0; i < ngpu; ++i) {
+      row.push_back(i < p.gpu_w.size() ? fmt(p.gpu_w[i]) : "");
+    }
+    for (std::size_t i = 0; i < ngpu; ++i) {
+      row.push_back(i < p.gpu_cap_w.size() ? fmt(p.gpu_cap_w[i]) : "");
+    }
+    csv.row(row);
+  }
+}
+
+util::Json to_json(const ScenarioResult& result, bool include_timelines) {
+  util::Json doc = util::Json::object();
+  doc["makespan_s"] = result.makespan_s;
+  doc["total_energy_j"] = result.total_energy_j;
+  doc["max_cluster_power_w"] = result.max_cluster_power_w;
+  doc["avg_cluster_power_w"] = result.avg_cluster_power_w;
+
+  util::Json jobs = util::Json::array();
+  for (const JobResult& j : result.jobs) {
+    util::Json job = util::Json::object();
+    job["id"] = j.id;
+    job["app"] = j.app;
+    job["nnodes"] = j.nnodes;
+    job["t_submit_s"] = j.t_submit;
+    job["t_start_s"] = j.t_start;
+    job["t_end_s"] = j.t_end;
+    job["runtime_s"] = j.runtime_s;
+    job["avg_node_power_w"] = j.avg_node_power_w;
+    job["max_node_power_w"] = j.max_node_power_w;
+    job["max_job_power_w"] = j.max_aggregate_power_w;
+    job["avg_node_energy_j"] = j.avg_node_energy_j;
+    job["exact_avg_node_energy_j"] = j.exact_avg_node_energy_j;
+    job["telemetry_complete"] = j.telemetry_complete;
+    jobs.push_back(std::move(job));
+  }
+  doc["jobs"] = std::move(jobs);
+
+  if (include_timelines) {
+    util::Json timelines = util::Json::object();
+    for (const auto& [id, points] : result.timelines) {
+      util::Json series = util::Json::array();
+      for (const TimelinePoint& p : points) {
+        util::Json point = util::Json::object();
+        point["t_s"] = p.t_s;
+        point["node_w"] = p.node_w;
+        series.push_back(std::move(point));
+      }
+      timelines[std::to_string(id)] = std::move(series);
+    }
+    doc["timelines"] = std::move(timelines);
+  }
+  return doc;
+}
+
+}  // namespace fluxpower::experiments

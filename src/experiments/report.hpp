@@ -1,0 +1,33 @@
+// report.hpp — structured export of scenario results.
+//
+// Benches print human tables; anything that needs machine-readable output
+// (plotting scripts, the CLI's --csv mode, regression diffing) goes through
+// these writers: per-job CSV, cluster/job power timelines as CSV, and a
+// complete JSON document of a ScenarioResult.
+#pragma once
+
+#include <ostream>
+
+#include "experiments/scenario.hpp"
+#include "util/json.hpp"
+
+namespace fluxpower::experiments {
+
+/// One row per job: id, app, nodes, timing, power and energy statistics.
+void write_jobs_csv(const ScenarioResult& result, std::ostream& out);
+
+/// Cluster total-draw timeline: t_s, power_w.
+void write_cluster_timeline_csv(const ScenarioResult& result,
+                                std::ostream& out);
+
+/// First-node timeline of one job: t_s, node_w, mem_w, gpu<i>_w,
+/// gpu<i>_cap_w, cpu<i>_w columns. Throws std::out_of_range for an unknown
+/// job id.
+void write_job_timeline_csv(const ScenarioResult& result, flux::JobId id,
+                            std::ostream& out);
+
+/// Whole result as one JSON document (jobs + aggregates; timelines included
+/// only when `include_timelines`).
+util::Json to_json(const ScenarioResult& result, bool include_timelines = false);
+
+}  // namespace fluxpower::experiments

@@ -1,0 +1,261 @@
+#include "experiments/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fluxpower::experiments {
+
+const JobResult& ScenarioResult::job(flux::JobId id) const {
+  for (const JobResult& j : jobs) {
+    if (j.id == id) return j;
+  }
+  throw std::out_of_range("ScenarioResult::job: unknown id");
+}
+
+Scenario::Scenario(ScenarioConfig config) : config_(config) {
+  cluster_ = hwsim::make_cluster(sim_, config_.platform, config_.nodes);
+  cluster_.set_sensor_noise(config_.sensor_noise);
+  for (int i = 0; i < cluster_.size(); ++i) {
+    cluster_.node(i).reseed_sensor_noise(config_.seed * 1000003ULL +
+                                         static_cast<std::uint64_t>(i));
+  }
+
+  std::vector<hwsim::Node*> nodes;
+  nodes.reserve(static_cast<std::size_t>(cluster_.size()));
+  for (int i = 0; i < cluster_.size(); ++i) nodes.push_back(&cluster_.node(i));
+
+  flux::InstanceConfig icfg;
+  icfg.tbon_fanout = config_.tbon_fanout;
+  instance_ = std::make_unique<flux::Instance>(sim_, std::move(nodes), icfg);
+
+  apps::LauncherOptions lopts;
+  lopts.platform = config_.platform;
+  lopts.step_s = config_.app_step_s;
+  lopts.runtime_variability = config_.runtime_variability;
+  lopts.noise_seed = config_.seed;
+  lopts.report_progress = config_.report_progress;
+  instance_->jobs().set_launcher(apps::make_launcher(lopts));
+
+  if (config_.load_monitor) {
+    // IBM OCC in-band reads are the slow path; every MSR-based platform
+    // (AMD, Intel, ARM) samples at the cheap Tioga-like cost.
+    monitor::PowerMonitorConfig mcfg = config_.monitor.value_or(
+        config_.platform == hwsim::Platform::LassenIbmAc922
+            ? monitor::PowerMonitorConfig::for_lassen()
+            : monitor::PowerMonitorConfig::for_tioga());
+    instance_->load_module_on_all<monitor::PowerMonitorModule>(mcfg);
+  }
+  if (config_.load_manager) {
+    instance_->load_module_on_all<manager::PowerManagerModule>(config_.manager);
+    // Expose the power budget to the scheduler so Policy::PowerAware can
+    // admit against it (inert under FCFS/backfill).
+    instance_->scheduler().set_power_budget(config_.manager.cluster_power_bound_w,
+                                            config_.manager.node_peak_w);
+  }
+
+  // Track job lifecycle for energy accounting and completion detection.
+  instance_->root().subscribe_event("job.state-run", [this](const flux::Message& m) {
+    const auto id = static_cast<flux::JobId>(m.payload.int_or("id", 0));
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) return;
+    Tracked& t = tracked_[it->second];
+    double e = 0.0;
+    for (const util::Json& r : m.payload.at("ranks").as_array()) {
+      e += instance_->node(static_cast<flux::Rank>(r.as_int()))->energy_joules();
+    }
+    t.energy_at_start_j = e;
+  });
+  instance_->root().subscribe_event(
+      "job.state-inactive", [this](const flux::Message& m) {
+        const auto id = static_cast<flux::JobId>(m.payload.int_or("id", 0));
+        auto it = by_id_.find(id);
+        if (it == by_id_.end()) return;
+        Tracked& t = tracked_[it->second];
+        if (t.done) return;
+        t.done = true;
+        double e = 0.0;
+        for (const util::Json& r : m.payload.at("ranks").as_array()) {
+          e += instance_->node(static_cast<flux::Rank>(r.as_int()))
+                   ->energy_joules();
+        }
+        job_energy_j_[id] = e - t.energy_at_start_j;
+        ++completed_;
+      });
+
+  recorder_ = std::make_unique<sim::PeriodicTask>(
+      sim_, config_.record_period_s, [this] {
+        record_tick();
+        return true;
+      },
+      /*initial_delay=*/0.0);
+}
+
+Scenario::~Scenario() = default;
+
+flux::JobId Scenario::submit(const JobRequest& request) {
+  if (ran_) throw std::logic_error("Scenario::submit after run()");
+  // JobIds are predicted from submission order; that only holds when
+  // requests arrive in nondecreasing submit-time order (events at equal
+  // times are FIFO).
+  if (!tracked_.empty() &&
+      request.submit_time_s < tracked_.back().request.submit_time_s) {
+    throw std::invalid_argument(
+        "Scenario::submit: submissions must be ordered by submit_time_s");
+  }
+  Tracked t;
+  t.request = request;
+  const std::size_t index = tracked_.size();
+  tracked_.push_back(t);
+
+  // Reserve the JobId up front by submitting through a deferred event; ids
+  // are assigned in submission order, which equals event order because the
+  // event queue is FIFO at equal timestamps.
+  flux::JobSpec spec;
+  spec.name = std::string(apps::app_kind_name(request.kind)) + "-" +
+              std::to_string(request.nnodes) + "n";
+  spec.app = apps::app_kind_name(request.kind);
+  spec.nnodes = request.nnodes;
+  spec.tasks_per_node = 4;
+  spec.attributes = util::Json::object();
+  spec.attributes["work_scale"] = request.work_scale;
+  // Attach the model's peak-power estimate so the power-aware scheduling
+  // policy can admit against it (ignored by FCFS/backfill).
+  spec.attributes["power_estimate_w_per_node"] = apps::estimate_peak_node_power_w(
+      apps::make_profile(request.kind, config_.platform,
+                         std::max(1, request.nnodes), request.work_scale));
+
+  // JobIds are sequential starting at 1 in submission order across the
+  // whole instance; predict this job's id for result bookkeeping.
+  const flux::JobId predicted = static_cast<flux::JobId>(index + 1);
+  tracked_[index].id = predicted;
+  by_id_[predicted] = index;
+
+  sim_.schedule_at(request.submit_time_s, [this, spec, index] {
+    const flux::JobId actual = instance_->jobs().submit(spec);
+    if (actual != tracked_[index].id) {
+      // Submission order at identical timestamps is FIFO, so this can only
+      // happen if user code submitted jobs outside the Scenario API.
+      by_id_.erase(tracked_[index].id);
+      tracked_[index].id = actual;
+      by_id_[actual] = index;
+    }
+  });
+  return predicted;
+}
+
+void Scenario::record_tick() {
+  const double t = sim_.now();
+  const double total = cluster_.total_draw_w();
+  cluster_timeline_.emplace_back(t, total);
+
+  // Per-job first-node timeline (exact draw, not noisy sensor reads).
+  for (const Tracked& tracked : tracked_) {
+    if (tracked.id == 0 || tracked.done) continue;
+    if (!instance_->jobs().has_job(tracked.id)) continue;
+    const flux::Job& job = instance_->jobs().job(tracked.id);
+    if (job.state != flux::JobState::Run || job.ranks.empty()) continue;
+    hwsim::Node* node = instance_->node(job.ranks.front());
+    TimelinePoint p;
+    p.t_s = t;
+    const hwsim::Grants& g = node->grants();
+    p.node_w = g.total();
+    p.gpu_w = g.gpu_w;
+    p.cpu_w = g.cpu_w;
+    p.mem_w = g.mem_w;
+    for (int i = 0; i < node->gpu_count(); ++i) {
+      p.gpu_cap_w.push_back(node->gpu_power_cap(i).value_or(0.0));
+    }
+    timelines_[tracked.id].push_back(std::move(p));
+  }
+}
+
+ScenarioResult Scenario::run(double max_time_s) {
+  if (ran_) throw std::logic_error("Scenario::run called twice");
+  ran_ = true;
+
+  const int expected = static_cast<int>(tracked_.size());
+  // Advance until all jobs are done, stepping the recorder-driven queue.
+  while (completed_ < expected && sim_.now() < max_time_s) {
+    if (!sim_.step()) break;
+  }
+
+  ScenarioResult result;
+  result.timelines = std::move(timelines_);
+  result.cluster_timeline = std::move(cluster_timeline_);
+  result.total_energy_j = cluster_.total_energy_joules();
+
+  double first_submit = -1.0, last_end = 0.0;
+  monitor::MonitorClient client(*instance_);
+  for (const Tracked& t : tracked_) {
+    if (t.id == 0 || !instance_->jobs().has_job(t.id)) continue;
+    const flux::Job& job = instance_->jobs().job(t.id);
+    JobResult jr;
+    jr.id = t.id;
+    jr.app = job.spec.app;
+    jr.nnodes = job.spec.nnodes;
+    jr.t_submit = job.t_submit;
+    jr.t_start = job.t_start;
+    jr.t_end = job.t_end;
+    jr.runtime_s = job.done() ? job.runtime() : -1.0;
+    if (auto it = job_energy_j_.find(t.id); it != job_energy_j_.end()) {
+      jr.exact_avg_node_energy_j = it->second / std::max(1, jr.nnodes);
+    }
+    if (config_.load_monitor && job.done()) {
+      if (auto data = client.query_blocking(t.id)) {
+        jr.avg_node_power_w = data->average_node_power_w();
+        jr.max_node_power_w = data->max_node_power_w();
+        jr.max_aggregate_power_w = data->max_aggregate_power_w();
+        jr.avg_node_energy_j = data->average_node_energy_j();
+        jr.telemetry_complete = std::all_of(
+            data->nodes.begin(), data->nodes.end(),
+            [](const monitor::NodePowerData& n) { return n.complete; });
+      }
+    }
+    if (first_submit < 0.0 || jr.t_submit < first_submit) {
+      first_submit = jr.t_submit;
+    }
+    last_end = std::max(last_end, jr.t_end);
+    result.jobs.push_back(std::move(jr));
+  }
+  result.makespan_s = first_submit >= 0.0 ? last_end - first_submit : 0.0;
+
+  double peak = 0.0, sum = 0.0;
+  for (const auto& [t, w] : result.cluster_timeline) {
+    peak = std::max(peak, w);
+    sum += w;
+  }
+  result.max_cluster_power_w = peak;
+  result.avg_cluster_power_w =
+      result.cluster_timeline.empty()
+          ? 0.0
+          : sum / static_cast<double>(result.cluster_timeline.size());
+  return result;
+}
+
+SingleJobOutcome run_single_job(hwsim::Platform platform, apps::AppKind kind,
+                                int nnodes, double work_scale,
+                                bool with_monitor, std::uint64_t seed,
+                                bool runtime_variability) {
+  ScenarioConfig cfg;
+  cfg.platform = platform;
+  cfg.nodes = nnodes;
+  cfg.load_monitor = with_monitor;
+  cfg.seed = seed;
+  cfg.runtime_variability = runtime_variability;
+  Scenario scenario(cfg);
+  JobRequest req;
+  req.kind = kind;
+  req.nnodes = nnodes;
+  req.work_scale = work_scale;
+  const flux::JobId id = scenario.submit(req);
+  ScenarioResult res = scenario.run();
+
+  SingleJobOutcome out;
+  out.result = res.job(id);
+  if (auto it = res.timelines.find(id); it != res.timelines.end()) {
+    out.timeline = it->second;
+  }
+  return out;
+}
+
+}  // namespace fluxpower::experiments

@@ -1,0 +1,157 @@
+// scenario.hpp — end-to-end experiment runner.
+//
+// A Scenario assembles the full stack the paper deploys — simulated
+// cluster, Flux instance, power-monitor module on every broker, optional
+// power-manager with a chosen policy, application launcher — submits jobs,
+// runs the simulation to completion, and reports per-job runtime/power/
+// energy plus cluster-level aggregates and power timelines. Every bench
+// and example builds on this runner so the measurement methodology is
+// identical across tables and figures.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/launcher.hpp"
+#include "apps/workload.hpp"
+#include "flux/instance.hpp"
+#include "hwsim/cluster.hpp"
+#include "manager/power_manager.hpp"
+#include "monitor/client.hpp"
+#include "monitor/power_monitor.hpp"
+#include "sim/simulation.hpp"
+
+namespace fluxpower::experiments {
+
+struct ScenarioConfig {
+  hwsim::Platform platform = hwsim::Platform::LassenIbmAc922;
+  int nodes = 8;
+  int tbon_fanout = 2;
+
+  bool load_monitor = true;
+  std::optional<monitor::PowerMonitorConfig> monitor;  ///< platform default if unset
+
+  bool load_manager = false;
+  manager::PowerManagerConfig manager;
+
+  /// Publish job.progress events from running jobs (required by
+  /// manager::NodePolicy::ProgressBased).
+  bool report_progress = false;
+
+  /// Relative sensor noise (reads only; exact meters are unaffected).
+  double sensor_noise = 0.004;
+  /// Enable the run-to-run variability model (Fig 3/4 studies).
+  bool runtime_variability = false;
+  std::uint64_t seed = 42;
+  double app_step_s = 0.5;
+  /// Cadence of the cluster power recorder (2 s, like the monitor).
+  double record_period_s = 2.0;
+};
+
+struct JobRequest {
+  apps::AppKind kind = apps::AppKind::Gemm;
+  int nnodes = 1;
+  double work_scale = 1.0;
+  double submit_time_s = 0.0;
+};
+
+struct JobResult {
+  flux::JobId id = 0;
+  std::string app;
+  int nnodes = 0;
+  double t_submit = 0.0;
+  double t_start = 0.0;
+  double t_end = 0.0;
+  double runtime_s = 0.0;
+  /// Telemetry-derived statistics (monitor client; absent if no monitor).
+  double avg_node_power_w = 0.0;
+  double max_node_power_w = 0.0;
+  double max_aggregate_power_w = 0.0;
+  double avg_node_energy_j = 0.0;
+  bool telemetry_complete = false;
+  /// Exact per-node energy over the job window from the hardware meters.
+  double exact_avg_node_energy_j = 0.0;
+};
+
+struct TimelinePoint {
+  double t_s = 0.0;
+  double node_w = 0.0;
+  std::vector<double> gpu_w;
+  std::vector<double> cpu_w;
+  double mem_w = 0.0;
+  std::vector<double> gpu_cap_w;  ///< active per-GPU caps (0 = none)
+};
+
+struct ScenarioResult {
+  std::vector<JobResult> jobs;
+  double makespan_s = 0.0;  ///< last end − first submit
+  double total_energy_j = 0.0;
+  double max_cluster_power_w = 0.0;  ///< peak of 2 s-sampled total draw
+  double avg_cluster_power_w = 0.0;
+  /// Exact-draw timeline of the first node of each job (Figs 1, 5, 6, 7).
+  std::map<flux::JobId, std::vector<TimelinePoint>> timelines;
+  /// Cluster total-draw timeline.
+  std::vector<std::pair<double, double>> cluster_timeline;
+
+  const JobResult& job(flux::JobId id) const;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Queue a job for submission at its submit_time_s.
+  flux::JobId submit(const JobRequest& request);
+
+  /// Run until every submitted job completes (or max_time_s elapses) and
+  /// collect results. May be called once.
+  ScenarioResult run(double max_time_s = 86400.0);
+
+  sim::Simulation& sim() noexcept { return sim_; }
+  hwsim::Cluster& cluster() noexcept { return cluster_; }
+  flux::Instance& instance() noexcept { return *instance_; }
+
+ private:
+  void record_tick();
+
+  ScenarioConfig config_;
+  sim::Simulation sim_;
+  hwsim::Cluster cluster_;
+  std::unique_ptr<flux::Instance> instance_;
+  std::unique_ptr<sim::PeriodicTask> recorder_;
+
+  struct Tracked {
+    JobRequest request;
+    flux::JobId id = 0;
+    double energy_at_start_j = 0.0;
+    bool done = false;
+  };
+  std::vector<Tracked> tracked_;
+  std::map<flux::JobId, std::size_t> by_id_;
+  std::map<flux::JobId, std::vector<TimelinePoint>> timelines_;
+  std::vector<std::pair<double, double>> cluster_timeline_;
+  std::map<flux::JobId, double> job_energy_j_;
+  int completed_ = 0;
+  bool ran_ = false;
+};
+
+/// Convenience: run one job alone on a fresh cluster and return its result
+/// plus the first-node timeline (Fig 1 / Table II style measurements).
+struct SingleJobOutcome {
+  JobResult result;
+  std::vector<TimelinePoint> timeline;
+};
+SingleJobOutcome run_single_job(hwsim::Platform platform, apps::AppKind kind,
+                                int nnodes, double work_scale = 1.0,
+                                bool with_monitor = true,
+                                std::uint64_t seed = 42,
+                                bool runtime_variability = false);
+
+}  // namespace fluxpower::experiments

@@ -1,0 +1,216 @@
+#include "flux/broker.hpp"
+
+#include <stdexcept>
+
+#include "flux/instance.hpp"
+#include "util/log.hpp"
+
+namespace fluxpower::flux {
+
+Broker::Broker(Instance& instance, Rank rank, hwsim::Node* node)
+    : instance_(instance), rank_(rank), node_(node) {}
+
+Broker::~Broker() {
+  // Unload in reverse load order so dependent modules tear down first.
+  while (!modules_.empty()) {
+    modules_.back()->unload();
+    modules_.pop_back();
+  }
+}
+
+sim::Simulation& Broker::sim() { return instance_.sim(); }
+
+void Broker::register_service(const std::string& topic,
+                              ServiceHandler handler) {
+  if (!handler) {
+    throw std::invalid_argument("Broker::register_service: null handler");
+  }
+  if (services_.contains(topic)) {
+    throw std::invalid_argument("Broker::register_service: topic '" + topic +
+                                "' already registered");
+  }
+  services_[topic] = std::move(handler);
+}
+
+void Broker::unregister_service(const std::string& topic) {
+  services_.erase(topic);
+}
+
+bool Broker::has_service(const std::string& topic) const {
+  return services_.contains(topic);
+}
+
+std::uint64_t Broker::rpc(Rank dest, const std::string& topic,
+                          util::Json payload, ResponseHandler on_response,
+                          double timeout_s) {
+  Message msg;
+  msg.type = Message::Type::Request;
+  msg.topic = topic;
+  msg.sender = rank_;
+  msg.dest = dest;
+  msg.matchtag = next_matchtag_++;
+  msg.userid = userid_;
+  msg.payload = std::move(payload);
+  if (on_response) {
+    PendingRpc pending;
+    pending.handler = std::move(on_response);
+    if (timeout_s > 0.0) {
+      const std::uint64_t tag = msg.matchtag;
+      const std::string saved_topic = topic;
+      pending.timeout_event =
+          sim().schedule_after(timeout_s, [this, tag, dest, saved_topic] {
+            auto it = pending_rpcs_.find(tag);
+            if (it == pending_rpcs_.end()) return;  // answered in time
+            ResponseHandler handler = std::move(it->second.handler);
+            pending_rpcs_.erase(it);
+            Message timeout;
+            timeout.type = Message::Type::Response;
+            timeout.topic = saved_topic;
+            timeout.sender = dest;
+            timeout.dest = rank_;
+            timeout.matchtag = tag;
+            timeout.errnum = kETimedout;
+            timeout.error_text = "RPC timed out";
+            handler(timeout);
+          });
+    }
+    pending_rpcs_[msg.matchtag] = std::move(pending);
+  }
+  ++sent_;
+  instance_.route(std::move(msg));
+  return msg.matchtag;
+}
+
+void Broker::send_request(Rank dest, const std::string& topic,
+                          util::Json payload) {
+  rpc(dest, topic, std::move(payload), nullptr);
+}
+
+void Broker::respond(const Message& request, util::Json payload) {
+  Message msg;
+  msg.type = Message::Type::Response;
+  msg.topic = request.topic;
+  msg.sender = rank_;
+  msg.dest = request.sender;
+  msg.matchtag = request.matchtag;
+  msg.payload = std::move(payload);
+  ++sent_;
+  instance_.route(std::move(msg));
+}
+
+void Broker::respond_error(const Message& request, int errnum,
+                           std::string text) {
+  Message msg;
+  msg.type = Message::Type::Response;
+  msg.topic = request.topic;
+  msg.sender = rank_;
+  msg.dest = request.sender;
+  msg.matchtag = request.matchtag;
+  msg.errnum = errnum;
+  msg.error_text = std::move(text);
+  ++sent_;
+  instance_.route(std::move(msg));
+}
+
+void Broker::publish_event(const std::string& topic, util::Json payload) {
+  Message msg;
+  msg.type = Message::Type::Event;
+  msg.topic = topic;
+  msg.sender = rank_;
+  msg.dest = -1;
+  msg.payload = std::move(payload);
+  ++sent_;
+  instance_.route(std::move(msg));
+}
+
+std::uint64_t Broker::subscribe_event(const std::string& topic,
+                                      EventHandler handler) {
+  if (!handler) {
+    throw std::invalid_argument("Broker::subscribe_event: null handler");
+  }
+  const std::uint64_t id = next_subscription_++;
+  subscriptions_[id] = Subscription{topic, std::move(handler)};
+  return id;
+}
+
+void Broker::unsubscribe_event(std::uint64_t id) { subscriptions_.erase(id); }
+
+void Broker::load_module(std::shared_ptr<Module> module) {
+  if (!module) throw std::invalid_argument("Broker::load_module: null module");
+  for (const auto& m : modules_) {
+    if (std::string_view(m->name()) == module->name()) {
+      throw std::invalid_argument(std::string("Broker::load_module: '") +
+                                  module->name() + "' already loaded");
+    }
+  }
+  modules_.push_back(module);
+  module->load(*this);
+}
+
+void Broker::unload_module(const std::string& name) {
+  for (auto it = modules_.begin(); it != modules_.end(); ++it) {
+    if (name == (*it)->name()) {
+      (*it)->unload();
+      modules_.erase(it);
+      return;
+    }
+  }
+}
+
+Module* Broker::find_module(const std::string& name) {
+  for (const auto& m : modules_) {
+    if (name == m->name()) return m.get();
+  }
+  return nullptr;
+}
+
+void Broker::deliver(const Message& msg) {
+  ++received_;
+  switch (msg.type) {
+    case Message::Type::Request: {
+      auto it = services_.find(msg.topic);
+      if (it == services_.end()) {
+        respond_error(msg, kENosys, "no service registered for " + msg.topic);
+        return;
+      }
+      it->second(msg);
+      return;
+    }
+    case Message::Type::Response: {
+      auto it = pending_rpcs_.find(msg.matchtag);
+      if (it == pending_rpcs_.end()) {
+        // Fire-and-forget request, a caller without a handler, or a
+        // response arriving after its timeout already fired. Error
+        // responses still get logged so misrouted RPCs are visible.
+        if (msg.is_error()) {
+          util::log_warning("broker " + std::to_string(rank_) +
+                            ": unmatched error response on " + msg.topic +
+                            ": " + msg.error_text);
+        }
+        return;
+      }
+      PendingRpc pending = std::move(it->second);
+      pending_rpcs_.erase(it);
+      if (pending.timeout_event != sim::kInvalidEvent) {
+        sim().cancel(pending.timeout_event);
+      }
+      pending.handler(msg);
+      return;
+    }
+    case Message::Type::Event: {
+      // Iterate over a copy: handlers may (un)subscribe during delivery.
+      std::vector<EventHandler> matched;
+      for (const auto& [id, sub] : subscriptions_) {
+        const bool prefix_sub = !sub.topic.empty() && sub.topic.back() == '.';
+        const bool match =
+            prefix_sub ? msg.topic.compare(0, sub.topic.size(), sub.topic) == 0
+                       : msg.topic == sub.topic;
+        if (match) matched.push_back(sub.handler);
+      }
+      for (auto& handler : matched) handler(msg);
+      return;
+    }
+  }
+}
+
+}  // namespace fluxpower::flux

@@ -1,0 +1,136 @@
+// broker.hpp — the per-node flux-broker daemon.
+//
+// One broker runs on each node of an instance; brokers form the TBON and
+// exchange messages with per-hop latency. A broker offers:
+//   * a service registry: topic string -> request handler;
+//   * RPC with matchtag correlation and response callbacks;
+//   * event pub/sub broadcast across the instance;
+//   * module load/unload.
+// All communication goes through Instance::route(), never direct function
+// calls between brokers, preserving the paper's "modules interact with Flux
+// exclusively via messages" contract.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flux/message.hpp"
+#include "flux/module.hpp"
+#include "hwsim/node.hpp"
+#include "sim/simulation.hpp"
+
+namespace fluxpower::flux {
+
+class Instance;
+
+/// Handles an incoming request; must eventually respond via
+/// Broker::respond or respond_error (fire-and-forget requests may skip it).
+using ServiceHandler = std::function<void(const Message&)>;
+
+/// Receives the response to an RPC.
+using ResponseHandler = std::function<void(const Message&)>;
+
+/// Receives a broadcast event.
+using EventHandler = std::function<void(const Message&)>;
+
+class Broker {
+ public:
+  Broker(Instance& instance, Rank rank, hwsim::Node* node);
+  ~Broker();
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  Rank rank() const noexcept { return rank_; }
+  bool is_root() const noexcept { return rank_ == kRootRank; }
+  Instance& instance() noexcept { return instance_; }
+  sim::Simulation& sim();
+
+  /// The local node's hardware; null only in broker-level unit tests.
+  hwsim::Node* node() noexcept { return node_; }
+
+  // -- Services -------------------------------------------------------------
+
+  void register_service(const std::string& topic, ServiceHandler handler);
+  void unregister_service(const std::string& topic);
+  bool has_service(const std::string& topic) const;
+
+  // -- RPC ------------------------------------------------------------------
+
+  /// Send a request to `dest`; `on_response` fires when the (possibly error)
+  /// response arrives. Returns the matchtag. `timeout_s` > 0 arms a
+  /// deadline: if no response arrived by then, the handler fires once with
+  /// a synthesized ETIMEDOUT error response and any late real response is
+  /// dropped — so aggregations over many node-agents cannot hang on a dead
+  /// broker.
+  std::uint64_t rpc(Rank dest, const std::string& topic, util::Json payload,
+                    ResponseHandler on_response, double timeout_s = 0.0);
+
+  /// Credential attached to requests sent from this broker (default:
+  /// instance owner). User-level clients set their own id; owner-only
+  /// services check it via Broker::request_is_owner.
+  void set_userid(UserId userid) noexcept { userid_ = userid; }
+  UserId userid() const noexcept { return userid_; }
+  static bool request_is_owner(const Message& req) {
+    return req.userid == kOwnerUserid;
+  }
+
+  /// Fire-and-forget request (no response expected).
+  void send_request(Rank dest, const std::string& topic, util::Json payload);
+
+  void respond(const Message& request, util::Json payload);
+  void respond_error(const Message& request, int errnum, std::string text);
+
+  // -- Events ---------------------------------------------------------------
+
+  /// Broadcast an event to every broker in the instance (including self).
+  void publish_event(const std::string& topic, util::Json payload);
+
+  /// Subscribe to events matching `topic` exactly, or by prefix when the
+  /// topic ends in '.' (Flux's subscription-glob convention). Returns an id
+  /// for unsubscribe.
+  std::uint64_t subscribe_event(const std::string& topic, EventHandler handler);
+  void unsubscribe_event(std::uint64_t id);
+
+  // -- Modules --------------------------------------------------------------
+
+  void load_module(std::shared_ptr<Module> module);
+  void unload_module(const std::string& name);
+  Module* find_module(const std::string& name);
+
+  /// Messages delivered by the instance router.
+  void deliver(const Message& msg);
+
+  /// Counters for overhead/traffic accounting (micro benches, tests).
+  std::uint64_t messages_sent() const noexcept { return sent_; }
+  std::uint64_t messages_received() const noexcept { return received_; }
+
+ private:
+  friend class Instance;
+
+  Instance& instance_;
+  Rank rank_;
+  hwsim::Node* node_;
+  std::map<std::string, ServiceHandler> services_;
+  struct PendingRpc {
+    ResponseHandler handler;
+    sim::EventId timeout_event = sim::kInvalidEvent;
+  };
+  std::map<std::uint64_t, PendingRpc> pending_rpcs_;
+  UserId userid_ = kOwnerUserid;
+  struct Subscription {
+    std::string topic;
+    EventHandler handler;
+  };
+  std::map<std::uint64_t, Subscription> subscriptions_;
+  std::vector<std::shared_ptr<Module>> modules_;
+  std::uint64_t next_matchtag_ = 1;
+  std::uint64_t next_subscription_ = 1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace fluxpower::flux

@@ -1,0 +1,114 @@
+#include "flux/codec.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace fluxpower::flux {
+
+namespace {
+
+const char* type_name(Message::Type type) {
+  switch (type) {
+    case Message::Type::Request: return "request";
+    case Message::Type::Response: return "response";
+    case Message::Type::Event: return "event";
+  }
+  return "unknown";
+}
+
+Message::Type type_from_name(const std::string& name) {
+  if (name == "request") return Message::Type::Request;
+  if (name == "response") return Message::Type::Response;
+  if (name == "event") return Message::Type::Event;
+  throw std::invalid_argument("codec: unknown message type '" + name + "'");
+}
+
+}  // namespace
+
+std::string encode_message(const Message& msg) {
+  util::Json envelope = util::Json::object();
+  envelope["type"] = type_name(msg.type);
+  envelope["topic"] = msg.topic;
+  envelope["sender"] = msg.sender;
+  envelope["dest"] = msg.dest;
+  envelope["matchtag"] = static_cast<std::int64_t>(msg.matchtag);
+  envelope["userid"] = msg.userid;
+  if (msg.errnum != 0) {
+    envelope["errnum"] = msg.errnum;
+    envelope["error_text"] = msg.error_text;
+  }
+  envelope["payload"] = msg.payload;
+  return envelope.dump();
+}
+
+Message decode_message(std::string_view encoded) {
+  util::Json envelope;
+  try {
+    envelope = util::Json::parse(encoded);
+  } catch (const util::JsonError& e) {
+    throw std::invalid_argument(std::string("codec: bad envelope: ") + e.what());
+  }
+  if (!envelope.is_object()) {
+    throw std::invalid_argument("codec: envelope must be an object");
+  }
+  Message msg;
+  msg.type = type_from_name(envelope.string_or("type", ""));
+  msg.topic = envelope.string_or("topic", "");
+  msg.sender = static_cast<Rank>(envelope.int_or("sender", -1));
+  msg.dest = static_cast<Rank>(envelope.int_or("dest", -1));
+  msg.matchtag = static_cast<std::uint64_t>(envelope.int_or("matchtag", 0));
+  msg.userid = static_cast<UserId>(envelope.int_or("userid", kOwnerUserid));
+  msg.errnum = static_cast<int>(envelope.int_or("errnum", 0));
+  msg.error_text = envelope.string_or("error_text", "");
+  if (envelope.contains("payload")) msg.payload = envelope.at("payload");
+  if (msg.type != Message::Type::Event && msg.dest < 0) {
+    throw std::invalid_argument("codec: request/response needs a dest rank");
+  }
+  return msg;
+}
+
+std::string frame(std::string_view encoded) {
+  std::string out = std::to_string(encoded.size());
+  out.push_back(':');
+  out.append(encoded);
+  out.push_back(',');
+  return out;
+}
+
+std::vector<std::string> FrameReader::feed(std::string_view chunk) {
+  buffer_.append(chunk);
+  std::vector<std::string> frames;
+  std::size_t pos = 0;
+  while (true) {
+    // Parse "<len>:".
+    std::size_t cursor = pos;
+    std::size_t len = 0;
+    bool have_digit = false;
+    while (cursor < buffer_.size() &&
+           std::isdigit(static_cast<unsigned char>(buffer_[cursor]))) {
+      len = len * 10 + static_cast<std::size_t>(buffer_[cursor] - '0');
+      if (len > 64 * 1024 * 1024) {
+        throw std::invalid_argument("codec: frame too large");
+      }
+      have_digit = true;
+      ++cursor;
+    }
+    if (cursor >= buffer_.size()) break;  // length still incomplete
+    if (!have_digit || buffer_[cursor] != ':') {
+      throw std::invalid_argument("codec: malformed frame header");
+    }
+    ++cursor;  // consume ':'
+    if (cursor + len + 1 > buffer_.size()) break;  // body incomplete
+    if (buffer_[cursor + len] != ',') {
+      throw std::invalid_argument("codec: missing frame terminator");
+    }
+    frames.push_back(buffer_.substr(cursor, len));
+    pos = cursor + len + 1;
+  }
+  buffer_.erase(0, pos);
+  return frames;
+}
+
+}  // namespace fluxpower::flux

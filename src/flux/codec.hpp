@@ -1,0 +1,47 @@
+// codec.hpp — wire encoding for the Flux message protocol (RFC 3 flavor).
+//
+// Inside one simulation, messages travel as in-memory structs. Anything
+// that leaves the process — a remote site coordinator, a dashboard, a
+// recorded message log — needs a byte encoding. Messages serialize to a
+// JSON envelope; streams use length-prefixed frames so a TCP-style byte
+// sequence can be cut back into messages regardless of how it was
+// fragmented or coalesced in transit.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flux/message.hpp"
+
+namespace fluxpower::flux {
+
+/// Serialize a message to its JSON envelope (compact, single line).
+std::string encode_message(const Message& msg);
+
+/// Parse a JSON envelope back into a message. Throws std::invalid_argument
+/// on malformed envelopes (bad JSON, missing/unknown type, bad ranks).
+Message decode_message(std::string_view encoded);
+
+/// Wrap an encoded message in a length-prefixed frame: "<n>:<payload>,"
+/// (netstring framing: human-readable, self-delimiting, binary-safe).
+std::string frame(std::string_view encoded);
+
+/// Incremental frame extractor for a byte stream. Feed arbitrary chunks;
+/// complete frames come out in order. Throws std::invalid_argument on
+/// malformed framing (non-digit length, missing terminator), after which
+/// the reader must be discarded.
+class FrameReader {
+ public:
+  /// Append a chunk and return every frame completed by it.
+  std::vector<std::string> feed(std::string_view chunk);
+
+  /// Bytes buffered waiting for more input.
+  std::size_t pending_bytes() const noexcept { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace fluxpower::flux

@@ -1,0 +1,168 @@
+#include "flux/hostlist.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <stdexcept>
+
+namespace fluxpower::flux {
+
+namespace {
+
+struct Suffix {
+  long long value;
+  int width;  ///< digits including leading zeros
+  bool operator<(const Suffix& other) const {
+    if (value != other.value) return value < other.value;
+    return width < other.width;
+  }
+  bool operator==(const Suffix& other) const = default;
+};
+
+/// Split "node007" -> {"node", {7, 3}}. Returns false when there is no
+/// numeric suffix.
+bool split_host(const std::string& host, std::string& prefix, Suffix& suffix) {
+  std::size_t digits = 0;
+  while (digits < host.size() &&
+         std::isdigit(static_cast<unsigned char>(host[host.size() - 1 - digits]))) {
+    ++digits;
+  }
+  if (digits == 0 || digits > 18) return false;
+  prefix = host.substr(0, host.size() - digits);
+  const std::string num = host.substr(host.size() - digits);
+  suffix.value = std::stoll(num);
+  suffix.width = static_cast<int>(digits);
+  return true;
+}
+
+std::string format_number(long long value, int width) {
+  std::string s = std::to_string(value);
+  while (static_cast<int>(s.size()) < width) s.insert(s.begin(), '0');
+  return s;
+}
+
+}  // namespace
+
+std::string hostlist_encode(const std::vector<std::string>& hostnames) {
+  // Group by prefix in first-appearance order.
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<Suffix>> groups;
+  std::vector<std::pair<std::size_t, std::string>> literals;  // position, name
+
+  for (std::size_t i = 0; i < hostnames.size(); ++i) {
+    std::string prefix;
+    Suffix suffix{};
+    if (split_host(hostnames[i], prefix, suffix)) {
+      if (!groups.contains(prefix)) order.push_back(prefix);
+      groups[prefix].push_back(suffix);
+    } else {
+      literals.emplace_back(i, hostnames[i]);
+    }
+  }
+
+  std::string out;
+  auto append = [&out](const std::string& piece) {
+    if (!out.empty()) out += ',';
+    out += piece;
+  };
+
+  for (const std::string& prefix : order) {
+    auto& suffixes = groups[prefix];
+    std::sort(suffixes.begin(), suffixes.end());
+    suffixes.erase(std::unique(suffixes.begin(), suffixes.end()),
+                   suffixes.end());
+    // Build maximal consecutive runs (same width so padding round-trips).
+    std::string body;
+    std::size_t i = 0;
+    while (i < suffixes.size()) {
+      std::size_t j = i;
+      while (j + 1 < suffixes.size() &&
+             suffixes[j + 1].value == suffixes[j].value + 1 &&
+             suffixes[j + 1].width == suffixes[i].width) {
+        ++j;
+      }
+      if (!body.empty()) body += ',';
+      if (j == i) {
+        body += format_number(suffixes[i].value, suffixes[i].width);
+      } else {
+        body += format_number(suffixes[i].value, suffixes[i].width) + "-" +
+                format_number(suffixes[j].value, suffixes[i].width);
+      }
+      i = j + 1;
+    }
+    if (suffixes.size() == 1 && body.find('-') == std::string::npos) {
+      append(prefix + body);  // single host: no brackets
+    } else {
+      append(prefix + "[" + body + "]");
+    }
+  }
+  for (const auto& [pos, name] : literals) append(name);
+  return out;
+}
+
+std::vector<std::string> hostlist_decode(const std::string& encoded) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  const std::size_t n = encoded.size();
+
+  while (i < n) {
+    // One component: prefix [bracket-expr]? up to a top-level comma.
+    std::string prefix;
+    while (i < n && encoded[i] != ',' && encoded[i] != '[') {
+      prefix.push_back(encoded[i++]);
+    }
+    if (i < n && encoded[i] == '[') {
+      ++i;  // consume '['
+      std::string body;
+      while (i < n && encoded[i] != ']') body.push_back(encoded[i++]);
+      if (i >= n) throw std::invalid_argument("hostlist: unbalanced '['");
+      ++i;  // consume ']'
+      if (body.empty()) throw std::invalid_argument("hostlist: empty range");
+      // Parse comma-separated numbers / ranges.
+      std::size_t p = 0;
+      while (p <= body.size()) {
+        const std::size_t comma = std::min(body.find(',', p), body.size());
+        const std::string item = body.substr(p, comma - p);
+        if (item.empty()) throw std::invalid_argument("hostlist: empty item");
+        const std::size_t dash = item.find('-');
+        auto parse_num = [](const std::string& s) -> std::pair<long long, int> {
+          if (s.empty() ||
+              !std::all_of(s.begin(), s.end(), [](unsigned char c) {
+                return std::isdigit(c);
+              })) {
+            throw std::invalid_argument("hostlist: bad number '" + s + "'");
+          }
+          return {std::stoll(s), static_cast<int>(s.size())};
+        };
+        if (dash == std::string::npos) {
+          const auto [v, w] = parse_num(item);
+          out.push_back(prefix + format_number(v, w));
+        } else {
+          const auto [lo, wlo] = parse_num(item.substr(0, dash));
+          const auto [hi, whi] = parse_num(item.substr(dash + 1));
+          if (hi < lo) throw std::invalid_argument("hostlist: reversed range");
+          (void)whi;
+          for (long long v = lo; v <= hi; ++v) {
+            out.push_back(prefix + format_number(v, wlo));
+          }
+        }
+        if (comma >= body.size()) break;
+        p = comma + 1;
+      }
+    } else if (!prefix.empty()) {
+      out.push_back(prefix);
+    } else if (i < n && encoded[i] == ',') {
+      throw std::invalid_argument("hostlist: empty component");
+    }
+    if (i < n) {
+      if (encoded[i] != ',') {
+        throw std::invalid_argument("hostlist: expected ',' after component");
+      }
+      ++i;
+      if (i == n) throw std::invalid_argument("hostlist: trailing comma");
+    }
+  }
+  return out;
+}
+
+}  // namespace fluxpower::flux

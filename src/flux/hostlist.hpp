@@ -1,0 +1,27 @@
+// hostlist.hpp — compact hostname-range encoding (RFC 29 subset).
+//
+// Flux tooling renders node sets as bracketed ranges ("lassen[0-7,12]")
+// instead of exhaustive lists; the monitor client and the CLI use this for
+// job node lists. Supports encoding a list of hostnames that share a
+// common alphabetic prefix + numeric suffix, and decoding the bracketed
+// form back into hostnames. Numeric suffixes preserve zero-padding when
+// uniform ("node[001-003]" -> node001..node003).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fluxpower::flux {
+
+/// Encode hostnames into the compact range form. Hostnames that do not fit
+/// the prefix+number pattern are emitted verbatim, comma-separated.
+/// Encoding preserves first-appearance order of prefixes; numeric ranges
+/// within a prefix are sorted ascending and deduplicated.
+std::string hostlist_encode(const std::vector<std::string>& hostnames);
+
+/// Expand a compact hostlist ("a[0-2,5],b3,c[07-09]") into hostnames.
+/// Throws std::invalid_argument on malformed input (unbalanced brackets,
+/// reversed ranges, empty components).
+std::vector<std::string> hostlist_decode(const std::string& encoded);
+
+}  // namespace fluxpower::flux

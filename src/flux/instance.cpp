@@ -1,0 +1,76 @@
+#include "flux/instance.hpp"
+
+#include <stdexcept>
+
+namespace fluxpower::flux {
+
+Instance::Instance(sim::Simulation& sim, std::vector<hwsim::Node*> nodes,
+                   InstanceConfig config)
+    : sim_(sim),
+      config_(config),
+      nodes_(std::move(nodes)),
+      tbon_(static_cast<int>(nodes_.size()), config.tbon_fanout) {
+  if (nodes_.empty()) {
+    throw std::invalid_argument("Instance: at least one node required");
+  }
+  brokers_.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    brokers_.push_back(
+        std::make_unique<Broker>(*this, static_cast<Rank>(i), nodes_[i]));
+  }
+  kvs_ = std::make_unique<Kvs>(sim_);
+  scheduler_ = std::make_unique<Scheduler>(*this);
+  job_manager_ = std::make_unique<JobManager>(*this);
+  job_manager_->register_services(root());
+}
+
+Instance::~Instance() = default;
+
+Broker& Instance::broker(Rank rank) {
+  if (rank < 0 || rank >= size()) {
+    throw std::out_of_range("Instance::broker: bad rank");
+  }
+  return *brokers_[static_cast<std::size_t>(rank)];
+}
+
+hwsim::Node* Instance::node(Rank rank) { return broker(rank).node(); }
+
+void Instance::route(Message msg) {
+  ++routed_;
+  if (journal_ != nullptr) journal_->record(sim_.now(), msg);
+  if (msg.type == Message::Type::Event) {
+    // Events are broadcast over the tree from the publisher. Delivery
+    // latency to a given broker is proportional to its hop distance.
+    for (auto& b : brokers_) {
+      const int hops = tbon_.hops(msg.sender, b->rank());
+      const double delay = config_.hop_latency_s * hops;
+      Broker* dest = b.get();
+      sim_.schedule_after(delay, [dest, msg] { dest->deliver(msg); });
+    }
+    return;
+  }
+  if (msg.dest < 0 || msg.dest >= size()) {
+    throw std::invalid_argument("Instance::route: bad destination rank");
+  }
+  const int hops = tbon_.hops(msg.sender, msg.dest);
+  const double delay = config_.hop_latency_s * std::max(1, hops);
+  Broker* dest = brokers_[static_cast<std::size_t>(msg.dest)].get();
+  sim_.schedule_after(delay, [dest, msg = std::move(msg)] { dest->deliver(msg); });
+}
+
+Instance& Instance::spawn_child(const std::vector<Rank>& ranks,
+                                InstanceConfig config) {
+  std::vector<hwsim::Node*> child_nodes;
+  child_nodes.reserve(ranks.size());
+  for (Rank r : ranks) {
+    if (r < 0 || r >= size()) {
+      throw std::out_of_range("Instance::spawn_child: bad rank");
+    }
+    child_nodes.push_back(nodes_[static_cast<std::size_t>(r)]);
+  }
+  children_.push_back(
+      std::make_unique<Instance>(sim_, std::move(child_nodes), config));
+  return *children_.back();
+}
+
+}  // namespace fluxpower::flux

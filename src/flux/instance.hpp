@@ -1,0 +1,100 @@
+// instance.hpp — a Flux instance: brokers + TBON + job management.
+//
+// A system-level instance manages all nodes of a cluster; user-level
+// instances can be spawned on a subset of a parent's nodes, letting users
+// run their own scheduling and power policies inside their allocation
+// (§II-B). The instance owns the message router: all broker-to-broker
+// traffic passes through route(), which charges per-hop TBON latency.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "flux/broker.hpp"
+#include "flux/job_manager.hpp"
+#include "flux/journal.hpp"
+#include "flux/kvs.hpp"
+#include "flux/message.hpp"
+#include "flux/scheduler.hpp"
+#include "flux/tbon.hpp"
+#include "hwsim/node.hpp"
+#include "sim/simulation.hpp"
+
+namespace fluxpower::flux {
+
+struct InstanceConfig {
+  int tbon_fanout = 2;
+  /// One-way latency per TBON hop, seconds. Default 100 µs, typical for an
+  /// EDR InfiniBand hop plus broker processing.
+  double hop_latency_s = 100e-6;
+};
+
+class Instance {
+ public:
+  /// Bootstrap an instance over the given nodes (element i becomes broker
+  /// rank i). Nodes must outlive the instance.
+  Instance(sim::Simulation& sim, std::vector<hwsim::Node*> nodes,
+           InstanceConfig config = {});
+  ~Instance();
+
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+
+  sim::Simulation& sim() noexcept { return sim_; }
+  int size() const noexcept { return static_cast<int>(brokers_.size()); }
+  const Tbon& tbon() const noexcept { return tbon_; }
+  const InstanceConfig& config() const noexcept { return config_; }
+
+  Broker& broker(Rank rank);
+  Broker& root() { return broker(kRootRank); }
+  hwsim::Node* node(Rank rank);
+
+  JobManager& jobs() noexcept { return *job_manager_; }
+  Scheduler& scheduler() noexcept { return *scheduler_; }
+  Kvs& kvs() noexcept { return *kvs_; }
+
+  /// Route a message to msg.dest (or broadcast an event to subscribers)
+  /// with TBON hop latency. Called by brokers, not user code.
+  void route(Message msg);
+
+  /// Total messages routed (traffic accounting for overhead analysis).
+  std::uint64_t messages_routed() const noexcept { return routed_; }
+
+  /// Attach a traffic journal; every routed message is recorded with its
+  /// send timestamp. Pass nullptr to detach. The journal must outlive the
+  /// attachment.
+  void attach_journal(MessageJournal* journal) noexcept { journal_ = journal; }
+
+  /// Spawn a user-level child instance on a subset of this instance's
+  /// ranks. The child gets its own brokers/scheduler/job-manager over the
+  /// same physical nodes — the mechanism behind per-user policy
+  /// customization. The parent keeps ownership.
+  Instance& spawn_child(const std::vector<Rank>& ranks,
+                        InstanceConfig config = {});
+  const std::vector<std::unique_ptr<Instance>>& children() const {
+    return children_;
+  }
+
+  /// Load a module on every broker (e.g. the power monitor's node agents).
+  template <typename ModuleT, typename... Args>
+  void load_module_on_all(Args&&... args) {
+    for (auto& b : brokers_) {
+      b->load_module(std::make_shared<ModuleT>(args...));
+    }
+  }
+
+ private:
+  sim::Simulation& sim_;
+  InstanceConfig config_;
+  std::vector<hwsim::Node*> nodes_;
+  Tbon tbon_;
+  std::vector<std::unique_ptr<Broker>> brokers_;
+  std::unique_ptr<Kvs> kvs_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<JobManager> job_manager_;
+  std::vector<std::unique_ptr<Instance>> children_;
+  MessageJournal* journal_ = nullptr;
+  std::uint64_t routed_ = 0;
+};
+
+}  // namespace fluxpower::flux

@@ -1,0 +1,266 @@
+#include "flux/job_manager.hpp"
+
+#include <stdexcept>
+
+#include "flux/broker.hpp"
+#include "flux/instance.hpp"
+#include "util/log.hpp"
+
+namespace fluxpower::flux {
+
+const char* job_state_name(JobState state) noexcept {
+  switch (state) {
+    case JobState::Depend: return "DEPEND";
+    case JobState::Sched: return "SCHED";
+    case JobState::Run: return "RUN";
+    case JobState::Cleanup: return "CLEANUP";
+    case JobState::Inactive: return "INACTIVE";
+  }
+  return "UNKNOWN";
+}
+
+JobManager::JobManager(Instance& instance) : instance_(instance) {}
+
+JobManager::~JobManager() = default;
+
+JobId JobManager::submit(JobSpec spec) {
+  if (spec.nnodes <= 0) {
+    throw std::invalid_argument("JobManager::submit: nnodes must be positive");
+  }
+  if (spec.nnodes > instance_.size()) {
+    throw std::invalid_argument(
+        "JobManager::submit: job requests more nodes than the instance has");
+  }
+  const JobId id = next_id_++;
+  Job job;
+  job.id = id;
+  job.spec = std::move(spec);
+  job.state = JobState::Depend;
+  job.t_submit = instance_.sim().now();
+  jobs_[id] = job;
+
+  instance_.kvs().eventlog_append("jobs." + std::to_string(id) + ".eventlog",
+                                  "submit");
+  publish_state_event(jobs_[id], "job.state-depend");
+
+  // No dependency support in this subset: jobs move to SCHED immediately.
+  jobs_[id].state = JobState::Sched;
+  publish_state_event(jobs_[id], "job.state-sched");
+  instance_.scheduler().enqueue(id);
+  return id;
+}
+
+void JobManager::cancel(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw std::out_of_range("JobManager::cancel: unknown job");
+  }
+  Job& job = it->second;
+  switch (job.state) {
+    case JobState::Depend:
+    case JobState::Sched:
+      instance_.scheduler().dequeue(id);
+      job.state = JobState::Inactive;
+      job.t_end = instance_.sim().now();
+      publish_state_event(job, "job.state-inactive");
+      return;
+    case JobState::Run: {
+      auto exec = executions_.find(id);
+      if (exec != executions_.end()) {
+        exec->second->cancel();
+        executions_.erase(exec);
+      }
+      finish_job(id);
+      return;
+    }
+    case JobState::Cleanup:
+    case JobState::Inactive:
+      return;  // nothing to do
+  }
+}
+
+const Job& JobManager::job(JobId id) const {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw std::out_of_range("JobManager::job: unknown job");
+  }
+  return it->second;
+}
+
+std::vector<JobId> JobManager::jobs_in_state(JobState state) const {
+  std::vector<JobId> out;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == state) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<JobId> JobManager::all_jobs() const {
+  std::vector<JobId> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(id);
+  return out;
+}
+
+int JobManager::running_count() const {
+  int n = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::Run) ++n;
+  }
+  return n;
+}
+
+void JobManager::start_job(JobId id, std::vector<Rank> ranks) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw std::out_of_range("JobManager::start_job: unknown job");
+  }
+  Job& job = it->second;
+  if (job.state != JobState::Sched) {
+    throw std::logic_error("JobManager::start_job: job not in SCHED");
+  }
+  job.ranks = std::move(ranks);
+  job.state = JobState::Run;
+  job.t_start = instance_.sim().now();
+  instance_.kvs().eventlog_append("jobs." + std::to_string(id) + ".eventlog",
+                                  "start");
+  publish_state_event(job, "job.state-run");
+
+  if (!launcher_) {
+    // Scheduler-only tests: complete immediately (zero-length job).
+    finish_job(id);
+    return;
+  }
+  auto execution = launcher_(job, instance_);
+  if (!execution) {
+    util::log_error("launcher returned no execution for job " +
+                    std::to_string(id));
+    finish_job(id);
+    return;
+  }
+  JobExecution* raw = execution.get();
+  executions_[id] = std::move(execution);
+  raw->start([this, id] {
+    executions_.erase(id);
+    finish_job(id);
+  });
+}
+
+void JobManager::finish_job(JobId id) {
+  Job& job = jobs_.at(id);
+  job.state = JobState::Cleanup;
+  publish_state_event(job, "job.state-cleanup");
+  job.t_end = instance_.sim().now();
+  job.state = JobState::Inactive;
+  instance_.kvs().eventlog_append("jobs." + std::to_string(id) + ".eventlog",
+                                  "finish");
+  publish_state_event(job, "job.state-inactive");
+  instance_.scheduler().release(job.id, job.ranks);
+}
+
+void JobManager::publish_state_event(const Job& job, const char* event) {
+  util::Json payload = util::Json::object();
+  payload["id"] = job.id;
+  payload["name"] = job.spec.name;
+  payload["app"] = job.spec.app;
+  payload["nnodes"] = job.spec.nnodes;
+  payload["userid"] = job.spec.userid;
+  payload["state"] = job_state_name(job.state);
+  util::Json ranks = util::Json::array();
+  for (Rank r : job.ranks) ranks.push_back(r);
+  payload["ranks"] = std::move(ranks);
+  payload["t_submit"] = job.t_submit;
+  if (job.t_start >= 0.0) payload["t_start"] = job.t_start;
+  if (job.t_end >= 0.0) payload["t_end"] = job.t_end;
+  // Surface the job's self-imposed power cap (if any) so state-aware
+  // consumers (the power manager) can honor it without a KVS lookup.
+  const double requested =
+      job.spec.attributes.number_or("power_limit_w_per_node", 0.0);
+  if (requested > 0.0) payload["power_limit_w_per_node"] = requested;
+  instance_.root().publish_event(event, std::move(payload));
+}
+
+void JobManager::register_services(Broker& root) {
+  root.register_service("job-info.lookup", [this, &root](const Message& req) {
+    const JobId id =
+        static_cast<JobId>(req.payload.int_or("id", static_cast<std::int64_t>(kInvalidJob)));
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      root.respond_error(req, kENoent, "unknown job id");
+      return;
+    }
+    const Job& job = it->second;
+    util::Json payload = util::Json::object();
+    payload["id"] = job.id;
+    payload["name"] = job.spec.name;
+    payload["app"] = job.spec.app;
+    payload["state"] = job_state_name(job.state);
+    payload["nnodes"] = job.spec.nnodes;
+    util::Json ranks = util::Json::array();
+    for (Rank r : job.ranks) ranks.push_back(r);
+    payload["ranks"] = std::move(ranks);
+    payload["t_submit"] = job.t_submit;
+    payload["t_start"] = job.t_start;
+    payload["t_end"] = job.t_end;
+    root.respond(req, std::move(payload));
+  });
+
+  // Resource administration: drain/undrain nodes from scheduling (owner
+  // only) and a status readout. Drains let operators fence nodes whose
+  // power capping misbehaves (§V) without killing running jobs.
+  root.register_service("resource.drain", [this, &root](const Message& req) {
+    if (!Broker::request_is_owner(req)) {
+      root.respond_error(req, kEPerm, "drain requires owner credentials");
+      return;
+    }
+    const auto rank = static_cast<Rank>(req.payload.int_or("rank", -1));
+    if (rank < 0 || rank >= instance_.size()) {
+      root.respond_error(req, kEInval, "bad rank");
+      return;
+    }
+    instance_.scheduler().drain(rank);
+    root.respond(req, util::Json::object());
+  });
+  root.register_service("resource.undrain", [this, &root](const Message& req) {
+    if (!Broker::request_is_owner(req)) {
+      root.respond_error(req, kEPerm, "undrain requires owner credentials");
+      return;
+    }
+    const auto rank = static_cast<Rank>(req.payload.int_or("rank", -1));
+    if (rank < 0 || rank >= instance_.size()) {
+      root.respond_error(req, kEInval, "bad rank");
+      return;
+    }
+    instance_.scheduler().undrain(rank);
+    root.respond(req, util::Json::object());
+  });
+  root.register_service("resource.status", [this, &root](const Message& req) {
+    util::Json payload = util::Json::object();
+    payload["size"] = instance_.size();
+    payload["free"] = instance_.scheduler().free_node_count();
+    util::Json drained = util::Json::array();
+    for (Rank r = 0; r < instance_.size(); ++r) {
+      if (instance_.scheduler().drained(r)) drained.push_back(r);
+    }
+    payload["drained"] = std::move(drained);
+    root.respond(req, std::move(payload));
+  });
+
+  root.register_service("job-manager.submit", [this, &root](const Message& req) {
+    JobSpec spec;
+    spec.name = req.payload.string_or("name", "job");
+    spec.app = req.payload.string_or("app", "");
+    spec.nnodes = static_cast<int>(req.payload.int_or("nnodes", 1));
+    spec.tasks_per_node = static_cast<int>(req.payload.int_or("tasks_per_node", 1));
+    try {
+      const JobId id = submit(std::move(spec));
+      util::Json payload = util::Json::object();
+      payload["id"] = id;
+      root.respond(req, std::move(payload));
+    } catch (const std::exception& e) {
+      root.respond_error(req, kEInval, e.what());
+    }
+  });
+}
+
+}  // namespace fluxpower::flux

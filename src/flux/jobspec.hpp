@@ -1,0 +1,52 @@
+// jobspec.hpp — job specification and job record.
+//
+// A jobspec names what to run and the resources wanted; the job record adds
+// the lifecycle state the job-manager tracks (RFC 21 state machine subset:
+// DEPEND → SCHED → RUN → CLEANUP → INACTIVE). The `app` field is an opaque
+// string to this layer: anything launchable under a Flux job — MPI codes,
+// Charm++ programs, Python workflows — is a valid payload (the paper's
+// non-MPI support falls out of this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flux/message.hpp"
+#include "sim/simulation.hpp"
+#include "util/json.hpp"
+
+namespace fluxpower::flux {
+
+using JobId = std::uint64_t;
+inline constexpr JobId kInvalidJob = 0;
+
+struct JobSpec {
+  std::string name;        ///< human-readable job name
+  std::string app;         ///< application identifier (opaque to flux)
+  int nnodes = 1;          ///< nodes requested
+  int tasks_per_node = 1;  ///< MPI ranks / PEs per node
+  UserId userid = kOwnerUserid;  ///< submitting user (energy accounting)
+  util::Json attributes;   ///< free-form attributes (problem size, etc.)
+};
+
+enum class JobState { Depend, Sched, Run, Cleanup, Inactive };
+
+const char* job_state_name(JobState state) noexcept;
+
+struct Job {
+  JobId id = kInvalidJob;
+  JobSpec spec;
+  JobState state = JobState::Depend;
+  std::vector<Rank> ranks;  ///< allocated broker ranks (empty until RUN)
+  sim::Time t_submit = 0.0;
+  sim::Time t_start = -1.0;  ///< -1 until the job starts
+  sim::Time t_end = -1.0;    ///< -1 until the job completes
+
+  bool active() const noexcept { return state == JobState::Run; }
+  bool done() const noexcept { return state == JobState::Inactive; }
+  /// Wall-clock runtime; only valid once done().
+  sim::Time runtime() const noexcept { return t_end - t_start; }
+};
+
+}  // namespace fluxpower::flux

@@ -1,0 +1,29 @@
+#include "flux/journal.hpp"
+
+#include "flux/codec.hpp"
+#include "util/json.hpp"
+
+namespace fluxpower::flux {
+
+void MessageJournal::record(double t_s, const Message& msg) {
+  entries_.push(Entry{t_s, msg});
+}
+
+std::map<std::string, std::uint64_t> MessageJournal::topic_counts() const {
+  std::map<std::string, std::uint64_t> counts;
+  entries_.for_each([&](const Entry& e) { ++counts[e.msg.topic]; });
+  return counts;
+}
+
+std::string MessageJournal::dump_wire() const {
+  std::string out;
+  entries_.for_each([&](const Entry& e) {
+    // Augment the standard envelope with the capture timestamp.
+    util::Json envelope = util::Json::parse(encode_message(e.msg));
+    envelope["t"] = e.t_s;
+    out += frame(envelope.dump());
+  });
+  return out;
+}
+
+}  // namespace fluxpower::flux

@@ -1,0 +1,52 @@
+// journal.hpp — message traffic capture.
+//
+// Debugging a distributed power-management framework means reading its
+// message flow. A journal attached to an instance records every routed
+// message with its timestamp into a bounded ring, offers per-topic traffic
+// statistics (what the §IV-B overhead analysis needs to argue telemetry
+// traffic is negligible), and dumps the capture as a codec-framed byte
+// stream that tooling can parse offline.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "flux/message.hpp"
+#include "sim/simulation.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace fluxpower::flux {
+
+class MessageJournal {
+ public:
+  struct Entry {
+    double t_s = 0.0;
+    Message msg;
+  };
+
+  explicit MessageJournal(std::size_t capacity = 100000)
+      : entries_(capacity) {}
+
+  void record(double t_s, const Message& msg);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::uint64_t total_recorded() const noexcept {
+    return entries_.total_pushed();
+  }
+  const Entry& entry(std::size_t i) const { return entries_[i]; }
+
+  /// Messages per topic over the retained window.
+  std::map<std::string, std::uint64_t> topic_counts() const;
+
+  /// Retained entries as a framed wire stream: each frame is the message
+  /// envelope with an added "t" field. Parse with FrameReader +
+  /// decode_message.
+  std::string dump_wire() const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  util::RingBuffer<Entry> entries_;
+};
+
+}  // namespace fluxpower::flux

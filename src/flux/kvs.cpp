@@ -1,0 +1,52 @@
+#include "flux/kvs.hpp"
+
+namespace fluxpower::flux {
+
+void Kvs::put(const std::string& key, util::Json value) {
+  store_[key] = std::move(value);
+}
+
+std::optional<util::Json> Kvs::get(const std::string& key) const {
+  auto it = store_.find(key);
+  if (it == store_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Kvs::contains(const std::string& key) const {
+  return store_.contains(key);
+}
+
+void Kvs::erase(const std::string& key) { store_.erase(key); }
+
+void Kvs::eventlog_append(const std::string& key, const std::string& name,
+                          util::Json context) {
+  util::Json entry = util::Json::object();
+  entry["timestamp"] = sim_.now();
+  entry["name"] = name;
+  entry["context"] = std::move(context);
+  auto it = store_.find(key);
+  if (it == store_.end()) {
+    util::Json log = util::Json::array();
+    log.push_back(std::move(entry));
+    store_[key] = std::move(log);
+  } else {
+    it->second.push_back(std::move(entry));
+  }
+}
+
+std::vector<util::Json> Kvs::eventlog(const std::string& key) const {
+  auto it = store_.find(key);
+  if (it == store_.end() || !it->second.is_array()) return {};
+  return it->second.as_array();
+}
+
+std::vector<std::string> Kvs::keys_with_prefix(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = store_.lower_bound(prefix); it != store_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+}  // namespace fluxpower::flux

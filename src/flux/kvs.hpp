@@ -1,0 +1,46 @@
+// kvs.hpp — key-value store with append-only eventlogs.
+//
+// Flux records job provenance in a KVS with per-job eventlogs; the monitor
+// client and tests read job history from here. We model the root-held
+// namespace with hierarchical dot-separated keys and RFC 18-style eventlog
+// entries `{timestamp, name, context}`.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "util/json.hpp"
+
+namespace fluxpower::flux {
+
+class Kvs {
+ public:
+  explicit Kvs(sim::Simulation& sim) : sim_(sim) {}
+
+  void put(const std::string& key, util::Json value);
+  std::optional<util::Json> get(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  void erase(const std::string& key);
+
+  /// Append an entry to the eventlog at `key`. The entry is stamped with
+  /// the current simulation time.
+  void eventlog_append(const std::string& key, const std::string& name,
+                       util::Json context = util::Json::object());
+
+  /// All entries of an eventlog (empty if absent).
+  std::vector<util::Json> eventlog(const std::string& key) const;
+
+  /// Keys under a dot-separated prefix (e.g. "jobs.").
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+  std::size_t size() const noexcept { return store_.size(); }
+
+ private:
+  sim::Simulation& sim_;
+  std::map<std::string, util::Json> store_;
+};
+
+}  // namespace fluxpower::flux

@@ -1,0 +1,32 @@
+// module.hpp — broker module interface (RFC 5 subset).
+//
+// A module is a dynamically loaded broker plugin with its own thread of
+// control that interacts with Flux exclusively via messages (§III). In the
+// simulator a module's "thread" is the set of timers and message handlers
+// it registers against its broker; load() installs them, unload() must tear
+// them down. flux-power-monitor and flux-power-manager are both implemented
+// as modules against this interface.
+#pragma once
+
+#include <string>
+
+namespace fluxpower::flux {
+
+class Broker;
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Stable module name used for lookup/unload (e.g. "power-monitor").
+  virtual const char* name() const = 0;
+
+  /// Called once when the broker loads the module. The broker reference
+  /// stays valid until unload() returns.
+  virtual void load(Broker& broker) = 0;
+
+  /// Called when the module is removed; must cancel timers and services.
+  virtual void unload() = 0;
+};
+
+}  // namespace fluxpower::flux

@@ -1,0 +1,146 @@
+#include "flux/scheduler.hpp"
+
+#include <algorithm>
+
+#include "flux/instance.hpp"
+
+namespace fluxpower::flux {
+
+Scheduler::Scheduler(Instance& instance, Policy policy)
+    : instance_(instance), policy_(policy) {
+  busy_.assign(static_cast<std::size_t>(instance_.size()), false);
+  drained_.assign(static_cast<std::size_t>(instance_.size()), false);
+}
+
+void Scheduler::drain(Rank rank) {
+  if (rank >= 0 && static_cast<std::size_t>(rank) < drained_.size()) {
+    drained_[static_cast<std::size_t>(rank)] = true;
+  }
+}
+
+void Scheduler::undrain(Rank rank) {
+  if (rank >= 0 && static_cast<std::size_t>(rank) < drained_.size()) {
+    drained_[static_cast<std::size_t>(rank)] = false;
+    kick();
+  }
+}
+
+bool Scheduler::drained(Rank rank) const {
+  return rank >= 0 && static_cast<std::size_t>(rank) < drained_.size() &&
+         drained_[static_cast<std::size_t>(rank)];
+}
+
+int Scheduler::drained_count() const {
+  return static_cast<int>(std::count(drained_.begin(), drained_.end(), true));
+}
+
+void Scheduler::enqueue(JobId id) {
+  queue_.push_back(id);
+  kick();
+}
+
+void Scheduler::dequeue(JobId id) {
+  auto it = std::find(queue_.begin(), queue_.end(), id);
+  if (it != queue_.end()) queue_.erase(it);
+}
+
+void Scheduler::release(JobId id, const std::vector<Rank>& ranks) {
+  for (Rank r : ranks) {
+    if (r >= 0 && static_cast<std::size_t>(r) < busy_.size()) {
+      busy_[static_cast<std::size_t>(r)] = false;
+    }
+  }
+  auto it = admitted_.find(id);
+  if (it != admitted_.end()) {
+    admitted_power_w_ -= it->second;
+    admitted_.erase(it);
+  }
+  kick();
+}
+
+void Scheduler::set_power_budget(double cluster_bound_w, double node_peak_w) {
+  cluster_bound_w_ = cluster_bound_w;
+  node_peak_w_ = node_peak_w;
+}
+
+double Scheduler::job_power_estimate_w(const Job& job) const {
+  const double per_node =
+      job.spec.attributes.number_or("power_estimate_w_per_node", node_peak_w_);
+  return per_node * job.spec.nnodes;
+}
+
+bool Scheduler::fits_power_budget(const Job& job) const {
+  if (policy_ != Policy::PowerAware || cluster_bound_w_ <= 0.0) return true;
+  const double estimate = job_power_estimate_w(job);
+  // A job whose estimate alone exceeds the bound would wait forever;
+  // admit it alone (it will be throttled by the power manager instead).
+  if (estimate >= cluster_bound_w_) return admitted_.empty();
+  return admitted_power_w_ + estimate <= cluster_bound_w_;
+}
+
+int Scheduler::free_node_count() const {
+  int n = 0;
+  for (std::size_t r = 0; r < busy_.size(); ++r) {
+    if (!busy_[r] && !drained_[r]) ++n;
+  }
+  return n;
+}
+
+std::vector<Rank> Scheduler::try_allocate(int nnodes) {
+  std::vector<Rank> ranks;
+  for (std::size_t r = 0;
+       r < busy_.size() && static_cast<int>(ranks.size()) < nnodes; ++r) {
+    if (!busy_[r] && !drained_[r]) ranks.push_back(static_cast<Rank>(r));
+  }
+  if (static_cast<int>(ranks.size()) < nnodes) return {};
+  for (Rank r : ranks) busy_[static_cast<std::size_t>(r)] = true;
+  return ranks;
+}
+
+bool Scheduler::start_one() {
+  // FCFS / PowerAware: only the head job may start; a blocked head blocks
+  // the queue (PowerAware adds the power-budget admission check).
+  // EasyBackfill: jobs behind a blocked head may start when they fit in the
+  // leftover nodes (conservative node-count backfill: without runtime
+  // estimates a reservation-accurate EASY cannot be modelled).
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    const JobId id = *it;
+    const Job& job = instance_.jobs().job(id);
+    if (!fits_power_budget(job)) {
+      return false;  // head-of-line blocking on power, like on nodes
+    }
+    std::vector<Rank> ranks = try_allocate(job.spec.nnodes);
+    if (ranks.empty()) {
+      if (policy_ != Policy::EasyBackfill) return false;
+      continue;  // backfill: consider later jobs
+    }
+    if (policy_ == Policy::PowerAware) {
+      const double estimate = job_power_estimate_w(job);
+      admitted_[id] = estimate;
+      admitted_power_w_ += estimate;
+    }
+    queue_.erase(it);
+    // start_job may re-enter enqueue()/release()/kick(); the guard in
+    // kick() flattens that recursion and we return to restart the scan
+    // with fresh iterators.
+    instance_.jobs().start_job(id, std::move(ranks));
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::kick() {
+  if (kicking_) {
+    kick_requested_ = true;
+    return;
+  }
+  kicking_ = true;
+  do {
+    kick_requested_ = false;
+    while (start_one()) {
+    }
+  } while (kick_requested_);
+  kicking_ = false;
+}
+
+}  // namespace fluxpower::flux

@@ -1,0 +1,92 @@
+// scheduler.hpp — node scheduler (FCFS, backfill, power-aware admission).
+//
+// First-come-first-served over whole nodes (the granularity every
+// experiment in the paper uses). Jobs that cannot be placed wait in
+// submission order; strict FCFS (no backfill) keeps makespan results easy
+// to reason about, and matches "Flux schedules these jobs as any regular
+// resource manager would" (§IV-E). Two extensions are provided:
+//   * EasyBackfill — conservative node-count backfill (scheduling
+//     ablation);
+//   * PowerAware — hardware-overprovisioning admission control (the
+//     paper's future-work direction, citing Patki et al. / Sakamoto et
+//     al.): a job is only started when the cluster power bound can
+//     accommodate its estimated peak draw on top of the already-admitted
+//     jobs. Estimates come from the jobspec attribute
+//     `power_estimate_w_per_node` (the node peak is assumed when absent).
+//     Trades queueing delay for running every admitted job at full power
+//     instead of throttling everyone proportionally.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "flux/jobspec.hpp"
+
+namespace fluxpower::flux {
+
+class Instance;
+
+class Scheduler {
+ public:
+  enum class Policy { Fcfs, EasyBackfill, PowerAware };
+
+  explicit Scheduler(Instance& instance, Policy policy = Policy::Fcfs);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  void set_policy(Policy policy) { policy_ = policy; }
+  Policy policy() const noexcept { return policy_; }
+
+  /// Add a job to the wait queue and try to place it.
+  void enqueue(JobId id);
+
+  /// Remove a job from the wait queue (cancellation before start).
+  void dequeue(JobId id);
+
+  /// Release a finished job's nodes (and its power admission) and try to
+  /// place waiting jobs.
+  void release(JobId id, const std::vector<Rank>& ranks);
+
+  /// Attempt to start queued jobs; called on submit and on release.
+  void kick();
+
+  int free_node_count() const;
+  std::size_t queue_length() const noexcept { return queue_.size(); }
+
+  /// Administratively remove a node from scheduling (e.g. §V: a node whose
+  /// GPU power capping is unreliable). Running jobs are unaffected; the
+  /// rank is skipped for new allocations until undrained.
+  void drain(Rank rank);
+  void undrain(Rank rank);
+  bool drained(Rank rank) const;
+  int drained_count() const;
+
+  /// Power-aware admission parameters: the cluster power bound and the
+  /// per-node peak assumed for jobs without an estimate. Only consulted
+  /// under Policy::PowerAware.
+  void set_power_budget(double cluster_bound_w, double node_peak_w);
+  /// Peak power currently admitted (sum of running-job estimates).
+  double admitted_power_w() const noexcept { return admitted_power_w_; }
+
+ private:
+  std::vector<Rank> try_allocate(int nnodes);
+  bool start_one();
+  double job_power_estimate_w(const Job& job) const;
+  bool fits_power_budget(const Job& job) const;
+
+  Instance& instance_;
+  Policy policy_;
+  std::deque<JobId> queue_;
+  std::vector<bool> busy_;     ///< per-rank allocation bit
+  std::vector<bool> drained_;  ///< per-rank admin drain bit
+  bool kicking_ = false;
+  bool kick_requested_ = false;
+  double cluster_bound_w_ = 0.0;  ///< 0 = no power admission control
+  double node_peak_w_ = 3050.0;
+  double admitted_power_w_ = 0.0;
+  std::map<JobId, double> admitted_;  ///< running job -> power estimate
+};
+
+}  // namespace fluxpower::flux

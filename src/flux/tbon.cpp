@@ -1,0 +1,105 @@
+#include "flux/tbon.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fluxpower::flux {
+
+Tbon::Tbon(int size, int fanout) : size_(size), fanout_(fanout) {
+  if (size <= 0) throw std::invalid_argument("Tbon: size must be positive");
+  if (fanout <= 0) throw std::invalid_argument("Tbon: fanout must be positive");
+}
+
+void Tbon::check(Rank rank) const {
+  if (rank < 0 || rank >= size_) {
+    throw std::out_of_range("Tbon: rank out of range");
+  }
+}
+
+Rank Tbon::parent(Rank rank) const {
+  check(rank);
+  if (rank == kRootRank) return -1;
+  return (rank - 1) / fanout_;
+}
+
+std::vector<Rank> Tbon::children(Rank rank) const {
+  check(rank);
+  std::vector<Rank> out;
+  for (int i = 1; i <= fanout_; ++i) {
+    const Rank child = rank * fanout_ + i;
+    if (child < size_) out.push_back(child);
+  }
+  return out;
+}
+
+int Tbon::level(Rank rank) const {
+  check(rank);
+  int depth = 0;
+  while (rank != kRootRank) {
+    rank = (rank - 1) / fanout_;
+    ++depth;
+  }
+  return depth;
+}
+
+int Tbon::height() const {
+  // Deepest rank is the last one in BFS order.
+  return level(size_ - 1);
+}
+
+int Tbon::hops(Rank from, Rank to) const {
+  check(from);
+  check(to);
+  // Walk both ranks up to their lowest common ancestor.
+  int hops = 0;
+  Rank a = from, b = to;
+  int la = level(a), lb = level(b);
+  while (la > lb) {
+    a = parent(a);
+    --la;
+    ++hops;
+  }
+  while (lb > la) {
+    b = parent(b);
+    --lb;
+    ++hops;
+  }
+  while (a != b) {
+    a = parent(a);
+    b = parent(b);
+    hops += 2;
+  }
+  return hops;
+}
+
+Rank Tbon::next_hop(Rank from, Rank to) const {
+  check(from);
+  check(to);
+  if (from == to) return from;
+  // If `to` lies in a child subtree of `from`, descend towards it,
+  // otherwise go up.
+  Rank cursor = to;
+  while (cursor != kRootRank) {
+    const Rank p = parent(cursor);
+    if (p == from) return cursor;
+    cursor = p;
+  }
+  // `to` is not below `from`; route upward.
+  return parent(from);
+}
+
+std::vector<Rank> Tbon::subtree(Rank rank) const {
+  check(rank);
+  std::vector<Rank> out;
+  std::vector<Rank> frontier{rank};
+  while (!frontier.empty()) {
+    const Rank r = frontier.back();
+    frontier.pop_back();
+    out.push_back(r);
+    for (Rank c : children(r)) frontier.push_back(c);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fluxpower::flux

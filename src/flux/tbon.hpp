@@ -1,0 +1,52 @@
+// tbon.hpp — tree-based overlay network topology.
+//
+// A Flux instance is a set of brokers forming a TBON with configurable
+// fanout k. Messages between ranks are routed along tree edges; the
+// simulator charges a fixed latency per hop, which makes telemetry
+// aggregation latency scale with tree depth (O(log_k N)) exactly as the
+// paper's scalability argument requires. Fanout is ablated in
+// bench/micro_tbon.
+#pragma once
+
+#include <vector>
+
+#include "flux/message.hpp"
+
+namespace fluxpower::flux {
+
+class Tbon {
+ public:
+  /// k-ary tree over ranks 0..size-1 in breadth-first order.
+  Tbon(int size, int fanout = 2);
+
+  int size() const noexcept { return size_; }
+  int fanout() const noexcept { return fanout_; }
+
+  /// Parent of `rank`; -1 for the root.
+  Rank parent(Rank rank) const;
+
+  std::vector<Rank> children(Rank rank) const;
+
+  /// Depth of `rank` (root = 0).
+  int level(Rank rank) const;
+
+  /// Tree height: max level over all ranks.
+  int height() const;
+
+  /// Number of tree edges on the routing path between two ranks
+  /// (up to the lowest common ancestor, then down).
+  int hops(Rank from, Rank to) const;
+
+  /// Next rank on the path from `from` towards `to`.
+  Rank next_hop(Rank from, Rank to) const;
+
+  /// All ranks in the subtree rooted at `rank` (including itself).
+  std::vector<Rank> subtree(Rank rank) const;
+
+ private:
+  void check(Rank rank) const;
+  int size_;
+  int fanout_;
+};
+
+}  // namespace fluxpower::flux

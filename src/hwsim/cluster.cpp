@@ -1,0 +1,65 @@
+#include "hwsim/cluster.hpp"
+
+namespace fluxpower::hwsim {
+
+const char* platform_name(Platform platform) noexcept {
+  switch (platform) {
+    case Platform::LassenIbmAc922: return "lassen";
+    case Platform::TiogaCrayEx235a: return "tioga";
+    case Platform::GenericIntelXeon: return "intel";
+    case Platform::GenericArmGrace: return "arm";
+  }
+  return "unknown";
+}
+
+Node& Cluster::node_by_hostname(const std::string& hostname) {
+  for (auto& n : nodes_) {
+    if (n->hostname() == hostname) return *n;
+  }
+  throw std::out_of_range("Cluster: no node named " + hostname);
+}
+
+double Cluster::total_draw_w() const {
+  double total = 0.0;
+  for (const auto& n : nodes_) total += n->node_draw_w();
+  return total;
+}
+
+double Cluster::total_energy_joules() const {
+  double total = 0.0;
+  for (const auto& n : nodes_) total += n->energy_joules();
+  return total;
+}
+
+void Cluster::set_sensor_noise(double sigma) {
+  for (auto& n : nodes_) n->set_sensor_noise(sigma);
+}
+
+std::unique_ptr<Node> make_node(sim::Simulation& sim, Platform platform,
+                                std::string hostname) {
+  switch (platform) {
+    case Platform::LassenIbmAc922:
+      return std::make_unique<IbmAc922Node>(sim, std::move(hostname));
+    case Platform::TiogaCrayEx235a:
+      return std::make_unique<CrayEx235aNode>(sim, std::move(hostname));
+    case Platform::GenericIntelXeon:
+      return std::make_unique<IntelXeonNode>(sim, std::move(hostname));
+    case Platform::GenericArmGrace:
+      return std::make_unique<ArmGraceNode>(sim, std::move(hostname));
+  }
+  throw std::invalid_argument("make_node: unknown platform");
+}
+
+Cluster make_cluster(sim::Simulation& sim, Platform platform, int n,
+                     const std::string& prefix) {
+  if (n <= 0) throw std::invalid_argument("make_cluster: n must be positive");
+  const std::string name_prefix =
+      prefix.empty() ? std::string(platform_name(platform)) : prefix;
+  Cluster cluster;
+  for (int i = 0; i < n; ++i) {
+    cluster.add_node(make_node(sim, platform, name_prefix + std::to_string(i)));
+  }
+  return cluster;
+}
+
+}  // namespace fluxpower::hwsim

@@ -1,0 +1,79 @@
+// cluster.hpp — a collection of simulated nodes.
+//
+// Factory helpers build Lassen-like, Tioga-like and generic-Intel clusters
+// with paper-faithful per-node shapes. The cluster owns the nodes; brokers
+// and workload runtimes hold non-owning references.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hwsim/arm_grace.hpp"
+#include "hwsim/cray_ex235a.hpp"
+#include "hwsim/ibm_ac922.hpp"
+#include "hwsim/intel_xeon.hpp"
+#include "hwsim/node.hpp"
+
+namespace fluxpower::hwsim {
+
+enum class Platform {
+  LassenIbmAc922,
+  TiogaCrayEx235a,
+  GenericIntelXeon,
+  GenericArmGrace,
+};
+
+const char* platform_name(Platform platform) noexcept;
+
+class Cluster {
+ public:
+  Cluster() = default;
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+  Cluster(Cluster&&) = default;
+  Cluster& operator=(Cluster&&) = default;
+
+  void add_node(std::unique_ptr<Node> node) {
+    nodes_.push_back(std::move(node));
+  }
+
+  int size() const noexcept { return static_cast<int>(nodes_.size()); }
+
+  Node& node(int rank) {
+    if (rank < 0 || rank >= size()) {
+      throw std::out_of_range("Cluster::node: bad rank");
+    }
+    return *nodes_[static_cast<std::size_t>(rank)];
+  }
+  const Node& node(int rank) const {
+    return const_cast<Cluster*>(this)->node(rank);
+  }
+
+  /// Locate a node by hostname; throws if absent.
+  Node& node_by_hostname(const std::string& hostname);
+
+  /// Sum of instantaneous draw over all nodes (exact, not sensor-based).
+  double total_draw_w() const;
+
+  /// Sum of exact energy over all nodes.
+  double total_energy_joules() const;
+
+  /// Enable multiplicative sensor noise on every node.
+  void set_sensor_noise(double sigma);
+
+ private:
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+/// Build a homogeneous cluster of `n` nodes of the given platform, named
+/// `<prefix><index>` (e.g. lassen0..lassenN-1).
+Cluster make_cluster(sim::Simulation& sim, Platform platform, int n,
+                     const std::string& prefix = "");
+
+/// Per-platform node factories for heterogeneous setups / tests.
+std::unique_ptr<Node> make_node(sim::Simulation& sim, Platform platform,
+                                std::string hostname);
+
+}  // namespace fluxpower::hwsim

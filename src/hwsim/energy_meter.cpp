@@ -1,0 +1,28 @@
+#include "hwsim/energy_meter.hpp"
+
+#include <stdexcept>
+
+namespace fluxpower::hwsim {
+
+void EnergyMeter::update(sim::Time now, double watts) {
+  if (now < last_) {
+    throw std::logic_error("EnergyMeter::update: time went backwards");
+  }
+  joules_ += watts_ * (now - last_);
+  watts_ = watts;
+  last_ = now;
+}
+
+double EnergyMeter::joules(sim::Time now) const {
+  if (now < last_) {
+    throw std::logic_error("EnergyMeter::joules: time went backwards");
+  }
+  return joules_ + watts_ * (now - last_);
+}
+
+void EnergyMeter::reset(sim::Time now) {
+  joules_ = 0.0;
+  last_ = now;
+}
+
+}  // namespace fluxpower::hwsim

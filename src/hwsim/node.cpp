@@ -1,0 +1,118 @@
+#include "hwsim/node.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace fluxpower::hwsim {
+
+const char* domain_type_name(DomainType type) noexcept {
+  switch (type) {
+    case DomainType::Node: return "node";
+    case DomainType::CpuSocket: return "cpu";
+    case DomainType::Memory: return "mem";
+    case DomainType::Gpu: return "gpu";
+    case DomainType::Oam: return "oam";
+  }
+  return "unknown";
+}
+
+const char* cap_status_name(CapStatus status) noexcept {
+  switch (status) {
+    case CapStatus::Ok: return "ok";
+    case CapStatus::Clamped: return "clamped";
+    case CapStatus::OutOfRange: return "out-of-range";
+    case CapStatus::Unsupported: return "unsupported";
+    case CapStatus::PermissionDenied: return "permission-denied";
+  }
+  return "unknown";
+}
+
+double Grants::gpu_total() const {
+  return std::accumulate(gpu_w.begin(), gpu_w.end(), 0.0);
+}
+
+double Grants::cpu_total() const {
+  return std::accumulate(cpu_w.begin(), cpu_w.end(), 0.0);
+}
+
+double Grants::total() const {
+  return cpu_total() + gpu_total() + mem_w + base_w;
+}
+
+Node::Node(sim::Simulation& sim, std::string hostname)
+    : sim_(sim), hostname_(std::move(hostname)),
+      rng_(std::hash<std::string>{}(hostname_)) {}
+
+namespace {
+LoadDemand scaled(LoadDemand d, double factor) {
+  for (double& w : d.cpu_w) w *= factor;
+  for (double& w : d.gpu_w) w *= factor;
+  d.mem_w *= factor;
+  return d;
+}
+}  // namespace
+
+void Node::set_demand(const LoadDemand& demand) {
+  requested_ = demand;
+  refresh();
+}
+
+void Node::idle() { set_demand(LoadDemand{}); }
+
+void Node::refresh() {
+  // Re-floor the raw request against the current idle floor (which depends
+  // on the low-power state), then recompute grants under the active caps.
+  LoadDemand d = requested_;
+  const LoadDemand floor =
+      low_power_ ? scaled(idle_demand(), low_power_factor()) : idle_demand();
+  d.cpu_w.resize(floor.cpu_w.size(), 0.0);
+  d.gpu_w.resize(floor.gpu_w.size(), 0.0);
+  for (std::size_t i = 0; i < d.cpu_w.size(); ++i) {
+    d.cpu_w[i] = std::max(d.cpu_w[i], floor.cpu_w[i]);
+  }
+  for (std::size_t i = 0; i < d.gpu_w.size(); ++i) {
+    d.gpu_w[i] = std::max(d.gpu_w[i], floor.gpu_w[i]);
+  }
+  d.mem_w = std::max(d.mem_w, floor.mem_w);
+  demand_ = std::move(d);
+  grants_ = compute_grants(demand_);
+  meter_.update(sim_.now(), grants_.total());
+}
+
+double Node::noisy(double w) {
+  if (sensor_noise_ <= 0.0) return w;
+  return std::max(0.0, w * (1.0 + rng_.normal(0.0, sensor_noise_)));
+}
+
+CapResult Node::set_node_power_cap(double /*watts*/) {
+  return {CapStatus::Unsupported, std::nullopt};
+}
+
+CapResult Node::clear_node_power_cap() {
+  return {CapStatus::Unsupported, std::nullopt};
+}
+
+CapResult Node::set_gpu_power_cap(int /*gpu*/, double /*watts*/) {
+  return {CapStatus::Unsupported, std::nullopt};
+}
+
+std::optional<double> Node::gpu_power_cap(int gpu) const {
+  if (gpu < 0 || static_cast<std::size_t>(gpu) >= gpu_caps_.size()) {
+    return std::nullopt;
+  }
+  return gpu_caps_[static_cast<std::size_t>(gpu)];
+}
+
+CapResult Node::set_socket_power_cap(int /*socket*/, double /*watts*/) {
+  return {CapStatus::Unsupported, std::nullopt};
+}
+
+std::optional<double> Node::socket_power_cap(int socket) const {
+  if (socket < 0 || static_cast<std::size_t>(socket) >= socket_caps_.size()) {
+    return std::nullopt;
+  }
+  return socket_caps_[static_cast<std::size_t>(socket)];
+}
+
+}  // namespace fluxpower::hwsim

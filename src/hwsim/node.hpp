@@ -1,0 +1,140 @@
+// node.hpp — abstract compute-node model.
+//
+// A Node owns the vendor-neutral state every platform shares (hostname,
+// workload demand, energy meter, sensor noise) and defers two things to the
+// vendor subclass: how demand + caps become *granted* power
+// (compute_grants) and which sensors exist (sample). All power-management
+// software in this repository — Variorum, the monitor, the manager — touches
+// hardware exclusively through this interface.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hwsim/energy_meter.hpp"
+#include "hwsim/types.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace fluxpower::hwsim {
+
+class Node {
+ public:
+  Node(sim::Simulation& sim, std::string hostname);
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& hostname() const noexcept { return hostname_; }
+  sim::Simulation& simulation() noexcept { return sim_; }
+
+  virtual int socket_count() const = 0;
+  virtual int gpu_count() const = 0;
+  virtual const char* vendor_name() const = 0;
+
+  /// Idle power floors (absolute watts at zero load).
+  virtual LoadDemand idle_demand() const = 0;
+
+  // -- Workload interface ---------------------------------------------------
+
+  /// Set the instantaneous demand. Recomputes grants and advances the energy
+  /// integral. Demands below the idle floor are raised to it.
+  void set_demand(const LoadDemand& demand);
+
+  /// Return the node to idle draw.
+  void idle();
+
+  const LoadDemand& demand() const noexcept { return demand_; }
+
+  /// Power granted per domain under the active caps — the workload model
+  /// reads this to derive its progress rate.
+  const Grants& grants() const noexcept { return grants_; }
+
+  /// Instantaneous total node draw (watts), including base power.
+  double node_draw_w() const noexcept { return grants_.total(); }
+
+  /// Exact energy consumed since construction (or last reset_energy).
+  double energy_joules() const { return meter_.joules(sim_.now()); }
+  void reset_energy() { meter_.reset(sim_.now()); }
+
+  // -- Low-power (idle) state -------------------------------------------------
+  // Real clusters park unallocated nodes in deeper C-states with fans
+  // spun down; the power manager's idle-node policy drives this. In the
+  // low-power state the node's idle floors are scaled by
+  // `low_power_factor()`; load demands still raise draw normally (waking
+  // the node is instantaneous in the model).
+  void set_low_power_state(bool enabled) {
+    if (low_power_ == enabled) return;
+    low_power_ = enabled;
+    refresh();
+  }
+  bool low_power_state() const noexcept { return low_power_; }
+  static constexpr double low_power_factor() { return 0.62; }
+
+  // -- Host-side interference accounting -------------------------------------
+  // Telemetry agents and OS daemons steal CPU time from the application on
+  // this node. Producers (e.g. the monitor's node-agent) deposit stolen
+  // seconds here; the workload runtime drains them and loses that much
+  // progress. This is how the monitor's measurable overhead (§IV-B) arises.
+  void add_stolen_time(double seconds) { stolen_s_ += seconds; }
+  double drain_stolen_time() {
+    const double s = stolen_s_;
+    stolen_s_ = 0.0;
+    return s;
+  }
+
+  // -- Telemetry ------------------------------------------------------------
+
+  /// Read the node's power sensors. Which fields are populated is
+  /// vendor-specific. Sensor readings include multiplicative noise of
+  /// `sensor_noise` (relative sigma) when enabled.
+  virtual PowerSample sample() = 0;
+
+  /// Relative sensor noise sigma (0 disables). Sensors on real machines
+  /// jitter at the ~0.5% level; tables integrate the exact meter instead.
+  void set_sensor_noise(double sigma) { sensor_noise_ = sigma; }
+  void reseed_sensor_noise(std::uint64_t seed) { rng_.reseed(seed); }
+
+  // -- Capping --------------------------------------------------------------
+
+  /// Node-level power cap (direct hardware support on IBM AC922 only).
+  virtual CapResult set_node_power_cap(double watts);
+  virtual CapResult clear_node_power_cap();
+  virtual std::optional<double> node_power_cap() const { return node_cap_; }
+
+  /// Per-GPU power cap (NVML on Lassen; ROCm-SMI on Tioga, fused off).
+  virtual CapResult set_gpu_power_cap(int gpu, double watts);
+  virtual std::optional<double> gpu_power_cap(int gpu) const;
+
+  /// Per-socket cap (RAPL-style; used by best-effort node capping on
+  /// platforms without a node dial).
+  virtual CapResult set_socket_power_cap(int socket, double watts);
+  virtual std::optional<double> socket_power_cap(int socket) const;
+
+ protected:
+  /// Vendor rule: demand + caps -> granted watts per domain.
+  virtual Grants compute_grants(const LoadDemand& demand) const = 0;
+
+  /// Recompute grants from the current demand and update the energy meter.
+  /// Must be called by subclasses after any cap change.
+  void refresh();
+
+  double noisy(double w);
+
+  sim::Simulation& sim_;
+  std::string hostname_;
+  LoadDemand requested_;  ///< raw workload request (pre-flooring)
+  LoadDemand demand_;     ///< request floored at the active idle floor
+  Grants grants_;
+  EnergyMeter meter_;
+  util::Rng rng_;
+  double sensor_noise_ = 0.0;
+  std::optional<double> node_cap_;
+  std::vector<std::optional<double>> gpu_caps_;
+  std::vector<std::optional<double>> socket_caps_;
+  double stolen_s_ = 0.0;
+  bool low_power_ = false;
+};
+
+}  // namespace fluxpower::hwsim

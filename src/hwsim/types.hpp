@@ -1,0 +1,84 @@
+// types.hpp — shared hardware-simulation value types.
+//
+// The simulator reproduces the *interfaces* the paper's framework sees:
+// per-domain instantaneous power sensors and per-domain cap controls, with
+// each vendor exposing a different subset (see DESIGN.md). Applications
+// express load as absolute per-device power demand; vendor node models turn
+// demand + active caps into granted power.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fluxpower::hwsim {
+
+/// Power domains a vendor may expose. `Oam` is AMD's accelerator module
+/// (two GPU dies behind one sensor) — Tioga reports OAM power, not per-GPU.
+enum class DomainType { Node, CpuSocket, Memory, Gpu, Oam };
+
+const char* domain_type_name(DomainType type) noexcept;
+
+/// Result of a cap-setting operation. `Unsupported` models hardware without
+/// the control (e.g. node-level capping on Intel/AMD); `PermissionDenied`
+/// models controls fused off for users (Tioga's early-access firmware);
+/// `Clamped` means the request was applied after clamping into the valid
+/// range, mirroring OPAL's behaviour for out-of-range soft caps.
+enum class CapStatus { Ok, Clamped, OutOfRange, Unsupported, PermissionDenied };
+
+struct CapResult {
+  CapStatus status = CapStatus::Ok;
+  /// Cap actually in effect after the call (absent when unsupported/denied).
+  std::optional<double> applied_watts;
+
+  bool ok() const noexcept {
+    return status == CapStatus::Ok || status == CapStatus::Clamped;
+  }
+};
+
+const char* cap_status_name(CapStatus status) noexcept;
+
+/// Absolute instantaneous power demand of the workload on one node.
+/// Values are watts *including* each device's idle floor; an idle node is
+/// represented by demands equal to the idle floors (see Node::idle()).
+struct LoadDemand {
+  std::vector<double> cpu_w;  ///< per socket
+  std::vector<double> gpu_w;  ///< per GPU (per GCD on AMD)
+  double mem_w = 0.0;
+  bool operator==(const LoadDemand&) const = default;
+};
+
+/// Power actually granted to each domain after applying the active caps.
+struct Grants {
+  std::vector<double> cpu_w;
+  std::vector<double> gpu_w;
+  double mem_w = 0.0;
+  double base_w = 0.0;  ///< uncore/fans/board: constant, never capped
+
+  double gpu_total() const;
+  double cpu_total() const;
+  double total() const;
+};
+
+/// One telemetry sample, the vendor-neutral superset. Vendors that lack a
+/// sensor leave the corresponding optional empty — exactly how Variorum
+/// surfaces missing domains (§II-A: Tioga has no node or memory sensor).
+struct PowerSample {
+  double timestamp_s = 0.0;
+  std::string hostname;
+  std::optional<double> node_w;           ///< direct node sensor (IBM only)
+  std::optional<double> node_estimate_w;  ///< conservative CPU+GPU sum
+  std::vector<double> cpu_w;              ///< per socket
+  std::optional<double> mem_w;
+  std::vector<double> gpu_w;  ///< per GPU, or per OAM when gpu_is_oam
+  bool gpu_is_oam = false;
+
+  /// Best available node power: the direct sensor when present, else the
+  /// conservative estimate.
+  double best_node_w() const {
+    if (node_w) return *node_w;
+    return node_estimate_w.value_or(0.0);
+  }
+};
+
+}  // namespace fluxpower::hwsim

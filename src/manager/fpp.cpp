@@ -1,0 +1,85 @@
+#include "manager/fpp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fluxpower::manager {
+
+FppController::FppController(FppConfig config, double initial_cap_w)
+    : config_(config), cap_cur_(initial_cap_w) {}
+
+void FppController::add_power_sample(double watts) {
+  buffer_.push_back(watts);
+}
+
+void FppController::update_period() {
+  const auto est =
+      dsp::find_period(buffer_, config_.sample_period_s, config_.period_method);
+  if (est) period_ = est->period_s;
+}
+
+double FppController::get_gpu_cap(double t_cur,
+                                  std::optional<double> p_cap_prev,
+                                  double p_cap_cur, double t_prev) {
+  const double delta = t_cur - t_prev;
+  const double delta_abs = std::abs(delta);
+
+  // Lines 19–21: first invocation (no previous cap) or already converged.
+  if (!p_cap_prev.has_value() || converged_) return p_cap_cur;
+
+  if (delta_abs <= config_.converge_th_s) {
+    // Reproduction note (see FppConfig): probe downward once before
+    // latching convergence, mirroring the paper's observed behaviour.
+    if (config_.exploratory_first_reduce && !probed_) {
+      probed_ = true;
+      pre_probe_cap_ = p_cap_cur;
+      ++reductions_;
+      return p_cap_cur - config_.p_reduce_w;
+    }
+    converged_ = true;
+    return p_cap_cur;
+  }
+  if (delta < 0.0 && delta_abs > config_.converge_th_s &&
+      delta_abs < config_.change_th_s && !probed_) {
+    // Period shrank mildly: the application is not limited by the current
+    // cap — reclaim power. At most one downward probe per convergence
+    // cycle: without this gate the reduce branch re-fires on the period
+    // shrink that follows every give-back step, and the controller spirals
+    // downward on compute-bound applications (reproduction note; the
+    // paper's runs converge quickly for both applications, Fig 6).
+    probed_ = true;
+    pre_probe_cap_ = p_cap_cur;
+    ++reductions_;
+    return p_cap_cur - config_.p_reduce_w;
+  }
+  // Period moved substantially (stretched or jumped): give power back.
+  // When a probe caused the stretch, restore the pre-probe cap in one move
+  // — the paper's "FPP first tries to reduce power but sees that the
+  // period doubles and instantly gives back the power" (§IV-D). Otherwise
+  // step up by the level matching the magnitude of the move.
+  ++increases_;
+  if (pre_probe_cap_ && p_cap_cur < *pre_probe_cap_) {
+    const double restored = *pre_probe_cap_;
+    pre_probe_cap_.reset();
+    return restored;
+  }
+  const auto idx = static_cast<std::size_t>(std::min(delta_abs / 5.0, 2.0));
+  return p_cap_cur + config_.powercap_levels_w[idx];
+}
+
+double FppController::control(double gpu_power_lim_w) {
+  update_period();  // final estimate over the full window
+  const double ceiling = std::min(config_.max_gpu_cap_w, gpu_power_lim_w);
+  const double t_cur = period_.value_or(t_prev_);
+
+  double next = get_gpu_cap(t_cur, cap_prev_, cap_cur_, t_prev_);
+  next = std::clamp(next, config_.min_gpu_cap_w, ceiling);
+
+  t_prev_ = t_cur;
+  cap_prev_ = cap_cur_;
+  cap_cur_ = next;
+  buffer_.clear();  // Algorithm 1 line 42: reset FFT buffer
+  return next;
+}
+
+}  // namespace fluxpower::manager

@@ -1,0 +1,65 @@
+// fpp.hpp — the FFT-based dynamic power policy (Algorithm 1), per GPU.
+//
+// One controller instance runs per GPU, allowing non-uniform power
+// distribution among the GPUs of a node. The controller is fed power
+// samples (every 2 s); FFT-GET-PERIOD refreshes the period estimate every
+// 30 s; the MAIN loop calls control() every 90 s, which runs GET-GPU-CAP,
+// returns the next cap, and resets the FFT buffer.
+//
+// While used on GPUs here, nothing in the controller is GPU-specific — it
+// consumes a power signal and emits a cap, so it applies unchanged to
+// socket- or memory-level capping (§III-B2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "manager/policy.hpp"
+
+namespace fluxpower::manager {
+
+class FppController {
+ public:
+  /// `initial_cap_w` is P_cap_cur at start: min(Max_GPU_Cap, GPU_Power_Lim).
+  FppController(FppConfig config, double initial_cap_w);
+
+  /// STOREPOWERDATA: append one sample of this GPU's power.
+  void add_power_sample(double watts);
+
+  /// FFT-GET-PERIOD body: re-estimate the period from the current buffer.
+  /// Call every fft_update_s. No-op when fewer than 4 samples accumulated.
+  void update_period();
+
+  /// MAIN loop body: run GET-GPU-CAP against the latest period estimate and
+  /// the ceiling `gpu_power_lim_w` (derived from the node-level limit),
+  /// reset the FFT buffer, and return the cap to apply.
+  double control(double gpu_power_lim_w);
+
+  // Introspection for tests and timeline benches.
+  double current_cap_w() const noexcept { return cap_cur_; }
+  bool converged() const noexcept { return converged_; }
+  std::optional<double> last_period_s() const noexcept { return period_; }
+  int reductions() const noexcept { return reductions_; }
+  int increases() const noexcept { return increases_; }
+  const FppConfig& config() const noexcept { return config_; }
+
+  /// GET-GPU-CAP as a pure function of the controller state (exposed for
+  /// property tests over the threshold lattice).
+  double get_gpu_cap(double t_cur, std::optional<double> p_cap_prev,
+                     double p_cap_cur, double t_prev);
+
+ private:
+  FppConfig config_;
+  std::vector<double> buffer_;
+  std::optional<double> period_;  ///< latest T from FFT-GET-PERIOD
+  double t_prev_ = 0.0;           ///< T_prev (initialized to 0, Algorithm 1)
+  std::optional<double> cap_prev_;
+  double cap_cur_;
+  bool converged_ = false;  ///< F_converge latch
+  bool probed_ = false;     ///< exploratory reduction performed
+  std::optional<double> pre_probe_cap_;  ///< cap to restore if probe hurt
+  int reductions_ = 0;
+  int increases_ = 0;
+};
+
+}  // namespace fluxpower::manager

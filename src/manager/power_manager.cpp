@@ -1,0 +1,687 @@
+#include "manager/power_manager.hpp"
+
+#include <algorithm>
+
+#include "flux/instance.hpp"
+#include "util/log.hpp"
+#include "variorum/variorum.hpp"
+
+namespace fluxpower::manager {
+
+using flux::Message;
+using util::Json;
+
+const char* node_policy_name(NodePolicy policy) noexcept {
+  switch (policy) {
+    case NodePolicy::None: return "none";
+    case NodePolicy::IbmDefaultNodeCap: return "ibm-default";
+    case NodePolicy::DirectGpuBudget: return "gpu-budget";
+    case NodePolicy::Fpp: return "fpp";
+    case NodePolicy::ProgressBased: return "progress";
+  }
+  return "unknown";
+}
+
+PowerManagerModule::PowerManagerModule(PowerManagerConfig config)
+    : config_(config) {}
+
+PowerManagerModule::~PowerManagerModule() = default;
+
+void PowerManagerModule::load(flux::Broker& broker) {
+  broker_ = &broker;
+
+  // ---- node-level-manager: every rank ----
+  broker.register_service(kSetNodeLimitTopic, [this](const Message& m) {
+    handle_set_node_limit(m);
+  });
+  broker.register_service(kSetLowPowerTopic, [this](const Message& req) {
+    if (!flux::Broker::request_is_owner(req)) {
+      broker_->respond_error(req, flux::kEPerm,
+                             "set-low-power requires owner credentials");
+      return;
+    }
+    hwsim::Node* n = broker_->node();
+    if (n != nullptr) {
+      n->set_low_power_state(req.payload.bool_or("low_power", false));
+    }
+    broker_->respond(req, Json::object());
+  });
+  broker.register_service(kNodeStatusTopic, [this](const Message& req) {
+    Json payload = Json::object();
+    payload["rank"] = broker_->rank();
+    payload["node_limit_w"] = node_limit_w_;
+    payload["gpu_budget_w"] = last_gpu_budget_w_;
+    payload["policy"] = node_policy_name(config_.node_policy);
+    if (hwsim::Node* n = broker_->node()) {
+      payload["node_draw_w"] = n->node_draw_w();
+    }
+    broker_->respond(req, std::move(payload));
+  });
+
+  hwsim::Node* node = broker.node();
+  if (node != nullptr && config_.static_node_cap_w > 0.0) {
+    variorum::cap_best_effort_node_power_limit(*node, config_.static_node_cap_w);
+  }
+
+  if (node != nullptr && config_.node_policy == NodePolicy::ProgressBased &&
+      managed_domain_count() > 0) {
+    progress_subscription_ = broker.subscribe_event(
+        "job.progress", [this](const Message& m) { on_progress_event(m); });
+    progress_task_ = std::make_unique<sim::PeriodicTask>(
+        broker.sim(), config_.progress.control_period_s, [this] {
+          progress_control_tick();
+          return true;
+        });
+  }
+  if (node != nullptr && (config_.node_policy == NodePolicy::DirectGpuBudget ||
+                          config_.node_policy == NodePolicy::Fpp ||
+                          config_.node_policy == NodePolicy::ProgressBased)) {
+    control_task_ = std::make_unique<sim::PeriodicTask>(
+        broker.sim(), config_.control_period_s, [this] {
+          control_tick();
+          return true;
+        });
+  }
+  if (node != nullptr && config_.node_policy == NodePolicy::Fpp &&
+      managed_domain_count() > 0) {
+    // One controller per managed domain — GPUs when the node has them,
+    // CPU sockets otherwise (the policy is device-agnostic, §III-B2).
+    // Ceilings are refined once a limit arrives.
+    const FppConfig dcfg = domain_fpp_config();
+    fpp_.clear();
+    for (int i = 0; i < managed_domain_count(); ++i) {
+      fpp_.push_back(
+          std::make_unique<FppController>(dcfg, dcfg.max_gpu_cap_w));
+    }
+    sample_task_ = std::make_unique<sim::PeriodicTask>(
+        broker.sim(), config_.fpp.sample_period_s, [this] {
+          hwsim::Node* n = broker_->node();
+          if (n == nullptr) return true;
+          const hwsim::PowerSample s = n->sample();
+          const std::vector<double>& per_domain =
+              manages_gpus() ? s.gpu_w : s.cpu_w;
+          for (std::size_t i = 0; i < fpp_.size() && i < per_domain.size();
+               ++i) {
+            fpp_[i]->add_power_sample(per_domain[i]);
+          }
+          if (config_.sample_cost_s > 0.0) {
+            n->add_stolen_time(config_.sample_cost_s);
+          }
+          return true;
+        });
+    fft_task_ = std::make_unique<sim::PeriodicTask>(
+        broker.sim(), config_.fpp.fft_update_s, [this] {
+          time_since_fpp_control_s_ += config_.fpp.fft_update_s;
+          for (auto& c : fpp_) c->update_period();
+          if (time_since_fpp_control_s_ + 1e-9 >= config_.fpp.powercap_time_s) {
+            time_since_fpp_control_s_ = 0.0;
+            hwsim::Node* n = broker_->node();
+            if (n != nullptr) {
+              const double budget = derive_gpu_budget_w();
+              const std::size_t active =
+                  fpp_.empty() ? 0
+                               : fpp_control_round_++ % fpp_.size();
+              for (std::size_t i = 0; i < fpp_.size(); ++i) {
+                if (config_.fpp.stagger_probes && i != active) continue;
+                const double cap = fpp_[i]->control(budget);
+                if (manages_gpus()) {
+                  variorum::cap_gpu_power_limit(*n, static_cast<int>(i), cap);
+                } else {
+                  n->set_socket_power_cap(static_cast<int>(i), cap);
+                }
+              }
+            }
+          }
+          return true;
+        });
+  }
+
+  // ---- cluster-level-manager + job-level-manager: root rank ----
+  if (broker.is_root()) {
+    if (config_.idle_low_power) update_idle_states();  // park everything
+    subscriptions_.push_back(broker.subscribe_event(
+        "job.state-run", [this](const Message& m) { on_job_event(m); }));
+    subscriptions_.push_back(broker.subscribe_event(
+        "job.state-inactive", [this](const Message& m) { on_job_event(m); }));
+    broker.register_service(kSetClusterBoundTopic, [this](const Message& req) {
+      // Site-level coordination: an external coordinator (or operator)
+      // re-apportions the global budget at runtime. Owner-only.
+      if (!flux::Broker::request_is_owner(req)) {
+        broker_->respond_error(req, flux::kEPerm,
+                               "set-cluster-bound requires owner credentials");
+        return;
+      }
+      const double bound = req.payload.number_or("bound_w", -1.0);
+      if (bound < 0.0) {
+        broker_->respond_error(req, flux::kEInval, "bound_w must be >= 0");
+        return;
+      }
+      config_.cluster_power_bound_w = bound;
+      // Force a fresh push of per-node limits under the new bound.
+      for (auto& [id, alloc] : allocations_) alloc.node_power_w = -1.0;
+      reallocate();
+      Json ack = Json::object();
+      ack["bound_w"] = bound;
+      broker_->respond(req, std::move(ack));
+    });
+    if (config_.emergency_response && config_.cluster_power_bound_w > 0.0) {
+      emergency_task_ = std::make_unique<sim::PeriodicTask>(
+          broker.sim(), config_.emergency_check_period_s, [this] {
+            emergency_check();
+            return true;
+          });
+    }
+    if (config_.history_period_s > 0.0 && config_.history_capacity > 0) {
+      history_ =
+          std::make_unique<util::RingBuffer<HistoryPoint>>(config_.history_capacity);
+      history_task_ = std::make_unique<sim::PeriodicTask>(
+          broker.sim(), config_.history_period_s, [this] {
+            HistoryPoint p;
+            p.t_s = broker_->sim().now();
+            p.bound_w = config_.cluster_power_bound_w;
+            p.allocated_w = allocated_power_w();
+            for (const auto& [id, alloc] : allocations_) {
+              p.allocated_nodes += static_cast<int>(alloc.ranks.size());
+            }
+            p.jobs = static_cast<int>(allocations_.size());
+            history_->push(p);
+            return true;
+          });
+      broker.register_service(kHistoryTopic, [this](const Message& req) {
+        const auto max_points = static_cast<std::size_t>(
+            req.payload.int_or("max_points", 512));
+        Json points = Json::array();
+        const std::size_t n = history_->size();
+        const std::size_t start = n > max_points ? n - max_points : 0;
+        for (std::size_t i = start; i < n; ++i) {
+          const HistoryPoint& p = (*history_)[i];
+          Json point = Json::object();
+          point["t_s"] = p.t_s;
+          point["bound_w"] = p.bound_w;
+          point["allocated_w"] = p.allocated_w;
+          point["allocated_nodes"] = p.allocated_nodes;
+          point["jobs"] = p.jobs;
+          points.push_back(std::move(point));
+        }
+        Json payload = Json::object();
+        payload["points"] = std::move(points);
+        payload["dropped"] =
+            static_cast<std::int64_t>(history_->evicted() + start);
+        broker_->respond(req, std::move(payload));
+      });
+    }
+    broker.register_service(kClusterStatusTopic, [this](const Message& req) {
+      Json payload = Json::object();
+      payload["cluster_power_bound_w"] = config_.cluster_power_bound_w;
+      payload["allocated_power_w"] = allocated_power_w();
+      payload["total_allocated_nodes"] = [this] {
+        int n = 0;
+        for (const auto& [id, alloc] : allocations_) {
+          n += static_cast<int>(alloc.ranks.size());
+        }
+        return n;
+      }();
+      payload["cluster_size"] = broker_->instance().size();
+      Json jobs = Json::array();
+      for (const auto& [id, alloc] : allocations_) {
+        Json j = Json::object();
+        j["id"] = id;
+        j["nnodes"] = static_cast<std::int64_t>(alloc.ranks.size());
+        j["job_power_w"] = alloc.job_power_w;
+        j["node_power_w"] = alloc.node_power_w;
+        jobs.push_back(std::move(j));
+      }
+      payload["jobs"] = std::move(jobs);
+      broker_->respond(req, std::move(payload));
+    });
+  }
+}
+
+void PowerManagerModule::unload() {
+  control_task_.reset();
+  sample_task_.reset();
+  fft_task_.reset();
+  progress_task_.reset();
+  emergency_task_.reset();
+  fpp_.clear();
+  if (broker_ != nullptr) {
+    if (progress_subscription_ != 0) {
+      broker_->unsubscribe_event(progress_subscription_);
+      progress_subscription_ = 0;
+    }
+    broker_->unregister_service(kSetNodeLimitTopic);
+    broker_->unregister_service(kSetLowPowerTopic);
+    broker_->unregister_service(kNodeStatusTopic);
+    if (broker_->is_root()) {
+      broker_->unregister_service(kClusterStatusTopic);
+      broker_->unregister_service(kSetClusterBoundTopic);
+      if (history_task_) {
+        history_task_.reset();
+        broker_->unregister_service(kHistoryTopic);
+      }
+      for (std::uint64_t id : subscriptions_) broker_->unsubscribe_event(id);
+      subscriptions_.clear();
+    }
+    broker_ = nullptr;
+  }
+}
+
+double PowerManagerModule::allocated_power_w() const {
+  double total = 0.0;
+  for (const auto& [id, alloc] : allocations_) total += alloc.job_power_w;
+  return total;
+}
+
+void PowerManagerModule::on_job_event(const Message& event) {
+  const auto id =
+      static_cast<flux::JobId>(event.payload.int_or("id", 0));
+  const std::string state = event.payload.string_or("state", "");
+  if (state == "RUN") {
+    JobAllocation alloc;
+    for (const Json& r : event.payload.at("ranks").as_array()) {
+      alloc.ranks.push_back(static_cast<flux::Rank>(r.as_int()));
+    }
+    // A job may voluntarily cap its own per-node power ("green" jobs, EAR
+    // style); the surplus is redistributed to the other jobs.
+    alloc.requested_node_power_w =
+        event.payload.number_or("power_limit_w_per_node", 0.0);
+    allocations_[id] = std::move(alloc);
+    reallocate();
+  } else if (state == "INACTIVE") {
+    if (allocations_.erase(id) > 0) reallocate();
+  }
+}
+
+void PowerManagerModule::reallocate() {
+  // Proportional sharing (§III-B1). In the unconstrained case, or when the
+  // bound covers peak power on every allocated node, each node gets peak.
+  // Otherwise all jobs share P_G proportionally to their node counts,
+  // which is uniform power per allocated node: P_n = P_G / N_total.
+  //
+  // Jobs with a self-imposed per-node cap are water-filled: each such job
+  // takes min(request, fair share) and the freed power raises the share of
+  // the remaining jobs, iterating until stable.
+  int total_nodes = 0;
+  for (const auto& [id, alloc] : allocations_) {
+    total_nodes += static_cast<int>(alloc.ranks.size());
+  }
+
+  std::map<flux::JobId, double> shares;
+  const bool constrained =
+      config_.cluster_power_bound_w > 0.0 && total_nodes > 0 &&
+      config_.node_peak_w * total_nodes > config_.cluster_power_bound_w;
+  if (!constrained) {
+    for (const auto& [id, alloc] : allocations_) {
+      shares[id] = alloc.requested_node_power_w > 0.0
+                       ? std::min(config_.node_peak_w,
+                                  alloc.requested_node_power_w)
+                       : config_.node_peak_w;
+    }
+  } else {
+    double pool = config_.cluster_power_bound_w;
+    int pool_nodes = total_nodes;
+    std::map<flux::JobId, bool> pinned;
+    // Water-filling: pin jobs whose request is below the current uniform
+    // share, remove them from the pool, repeat until no new pins.
+    bool changed = true;
+    while (changed && pool_nodes > 0) {
+      changed = false;
+      const double share = pool / pool_nodes;
+      for (const auto& [id, alloc] : allocations_) {
+        if (pinned[id] || alloc.requested_node_power_w <= 0.0) continue;
+        if (alloc.requested_node_power_w < share) {
+          pinned[id] = true;
+          changed = true;
+          shares[id] = alloc.requested_node_power_w;
+          pool -= alloc.requested_node_power_w *
+                  static_cast<double>(alloc.ranks.size());
+          pool_nodes -= static_cast<int>(alloc.ranks.size());
+        }
+      }
+    }
+    const double share =
+        pool_nodes > 0 ? std::min(pool / pool_nodes, config_.node_peak_w)
+                       : config_.node_peak_w;
+    for (const auto& [id, alloc] : allocations_) {
+      if (!pinned[id]) shares[id] = share;
+    }
+  }
+
+  for (auto& [id, alloc] : allocations_) {
+    const double node_power = shares.at(id);
+    if (alloc.node_power_w == node_power) continue;  // unchanged
+    alloc.node_power_w = node_power;
+    alloc.job_power_w = node_power * static_cast<double>(alloc.ranks.size());
+    // job-level-manager: equal split over the job's nodes, pushed via RPC.
+    for (flux::Rank r : alloc.ranks) push_node_limit(r, node_power);
+  }
+
+  if (config_.idle_low_power) update_idle_states();
+}
+
+void PowerManagerModule::update_idle_states() {
+  // Park unallocated nodes, wake allocated ones. State changes ride the
+  // same message path as limits (a request handled by each rank's
+  // node-level-manager).
+  std::vector<bool> allocated(
+      static_cast<std::size_t>(broker_->instance().size()), false);
+  for (const auto& [id, alloc] : allocations_) {
+    for (flux::Rank r : alloc.ranks) {
+      if (r >= 0 && static_cast<std::size_t>(r) < allocated.size()) {
+        allocated[static_cast<std::size_t>(r)] = true;
+      }
+    }
+  }
+  for (flux::Rank r = 0; r < broker_->instance().size(); ++r) {
+    Json payload = Json::object();
+    payload["low_power"] = !allocated[static_cast<std::size_t>(r)];
+    broker_->send_request(r, kSetLowPowerTopic, std::move(payload));
+  }
+}
+
+void PowerManagerModule::push_node_limit(flux::Rank rank, double limit_w) {
+  Json payload = Json::object();
+  payload["limit_w"] = limit_w;
+  broker_->send_request(rank, kSetNodeLimitTopic, std::move(payload));
+}
+
+void PowerManagerModule::handle_set_node_limit(const Message& req) {
+  // Power limits mutate shared cluster state: owner-only (guests manage
+  // power inside their own user-level instances instead).
+  if (!flux::Broker::request_is_owner(req)) {
+    broker_->respond_error(req, flux::kEPerm,
+                           "set-node-limit requires instance-owner credentials");
+    return;
+  }
+  const double limit = req.payload.number_or("limit_w", 0.0);
+  if (limit < 0.0) {
+    broker_->respond_error(req, flux::kEInval, "negative node limit");
+    return;
+  }
+  const bool raised = limit > node_limit_w_ && node_limit_w_ > 0.0;
+  const bool fresh = node_limit_w_ == 0.0;
+  node_limit_w_ = limit;
+  if ((raised || fresh) && config_.node_policy == NodePolicy::ProgressBased) {
+    // New headroom: re-baseline and probe again from the fresh budget.
+    reset_progress_state();
+  }
+  if ((raised || fresh) && config_.node_policy == NodePolicy::Fpp) {
+    // A raised limit starts a new FPP epoch: Algorithm 1's MAIN re-derives
+    // P_cap_cur = min(Max_GPU_Cap, GPU_Power_Lim) and the convergence
+    // latch resets, so a job inheriting freed power (proportional-sharing
+    // reclaim) rides the higher ceiling. A lowered limit does NOT reset:
+    // the tighter budget simply clamps the active caps, and the existing
+    // convergence state remains valid.
+    const FppConfig dcfg = domain_fpp_config();
+    for (auto& c : fpp_) {
+      c = std::make_unique<FppController>(dcfg, dcfg.max_gpu_cap_w);
+    }
+    time_since_fpp_control_s_ = 0.0;
+  }
+  enforce_node_limit();
+  Json ack = Json::object();
+  ack["limit_w"] = node_limit_w_;
+  broker_->respond(req, std::move(ack));
+}
+
+bool PowerManagerModule::manages_gpus() const {
+  hwsim::Node* node = broker_->node();
+  return node != nullptr && node->gpu_count() > 0;
+}
+
+int PowerManagerModule::managed_domain_count() const {
+  hwsim::Node* node = broker_->node();
+  if (node == nullptr) return 0;
+  return manages_gpus() ? node->gpu_count() : node->socket_count();
+}
+
+FppConfig PowerManagerModule::domain_fpp_config() const {
+  FppConfig cfg = config_.fpp;
+  if (!manages_gpus()) {
+    cfg.max_gpu_cap_w = config_.fpp.max_socket_cap_w;
+    cfg.min_gpu_cap_w = config_.fpp.min_socket_cap_w;
+  }
+  return cfg;
+}
+
+double PowerManagerModule::derive_gpu_budget_w() {
+  hwsim::Node* node = broker_->node();
+  const int domains = managed_domain_count();
+  if (node == nullptr || domains == 0) return 0.0;
+  const FppConfig dcfg = domain_fpp_config();
+  const double ceiling = dcfg.max_gpu_cap_w;
+  if (node_limit_w_ <= 0.0 || node_limit_w_ >= config_.node_peak_w) {
+    last_gpu_budget_w_ = ceiling;
+    return ceiling;
+  }
+  // Measure the node's draw outside the managed domains and hand the
+  // remainder to them — the "derived max cap from node-level limit" of
+  // Algorithm 1 line 36.
+  const hwsim::PowerSample s = node->sample();
+  double managed_total = 0.0;
+  for (double w : manages_gpus() ? s.gpu_w : s.cpu_w) managed_total += w;
+  const double unmanaged = std::max(0.0, s.best_node_w() - managed_total);
+  double budget = (node_limit_w_ - unmanaged) / static_cast<double>(domains);
+  budget = std::clamp(budget, dcfg.min_gpu_cap_w, ceiling);
+  last_gpu_budget_w_ = budget;
+  return budget;
+}
+
+void PowerManagerModule::enforce_node_limit() {
+  hwsim::Node* node = broker_->node();
+  if (node == nullptr) return;
+  switch (config_.node_policy) {
+    case NodePolicy::None:
+      return;
+    case NodePolicy::IbmDefaultNodeCap: {
+      const double cap = node_limit_w_ > 0.0 ? node_limit_w_ : config_.node_peak_w;
+      const auto result = variorum::cap_best_effort_node_power_limit(*node, cap);
+      if (!result.ok()) {
+        util::log_warning(std::string("power-manager: node cap failed: ") +
+                          hwsim::cap_status_name(result.status));
+      }
+      return;
+    }
+    case NodePolicy::ProgressBased: {
+      // Budget refresh must respect the probing loop's active cap.
+      const double budget = derive_gpu_budget_w();
+      if (budget <= 0.0) return;
+      const double cap =
+          prog_cap_w_ > 0.0 ? std::min(prog_cap_w_, budget) : budget;
+      apply_uniform_cap(cap);
+      return;
+    }
+    case NodePolicy::DirectGpuBudget: {
+      const double budget = derive_gpu_budget_w();
+      if (budget <= 0.0) return;
+      apply_uniform_cap(budget);
+      return;
+    }
+    case NodePolicy::Fpp: {
+      // Clamp each controller's cap to the fresh budget; the 90 s control
+      // loop does the dynamic adjustment.
+      const double budget = derive_gpu_budget_w();
+      for (std::size_t i = 0; i < fpp_.size(); ++i) {
+        const double cap = std::min(fpp_[i]->current_cap_w(), budget);
+        if (manages_gpus()) {
+          variorum::cap_gpu_power_limit(*node, static_cast<int>(i), cap);
+        } else {
+          node->set_socket_power_cap(static_cast<int>(i), cap);
+        }
+      }
+      return;
+    }
+  }
+}
+
+void PowerManagerModule::control_tick() {
+  // Periodic budget refresh: non-GPU draw moves with application phases,
+  // so the derived GPU budget is re-measured continuously.
+  enforce_node_limit();
+}
+
+// ---------------------------------------------------------------------------
+// Emergency power response (root)
+// ---------------------------------------------------------------------------
+
+void PowerManagerModule::emergency_check() {
+  // Measure the actual cluster draw through the node-status service — not
+  // the allocation ledger, which is exactly what silent capping failures
+  // invalidate (§V).
+  struct Pending {
+    double total_w = 0.0;
+    std::size_t outstanding = 0;
+  };
+  auto pending = std::make_shared<Pending>();
+  pending->outstanding = static_cast<std::size_t>(broker_->instance().size());
+  for (flux::Rank r = 0; r < broker_->instance().size(); ++r) {
+    broker_->rpc(
+        r, kNodeStatusTopic, Json::object(),
+        [this, pending](const Message& resp) {
+          if (!resp.is_error()) {
+            pending->total_w += resp.payload.number_or("node_draw_w", 0.0);
+          }
+          if (--pending->outstanding > 0) return;
+
+          const double bound = config_.cluster_power_bound_w;
+          if (pending->total_w > bound * config_.emergency_threshold) {
+            if (++emergency_strikes_ >= config_.emergency_consecutive &&
+                !emergency_active_) {
+              engage_emergency();
+            }
+          } else {
+            emergency_strikes_ = 0;
+            if (emergency_active_ && pending->total_w < bound * 0.95) {
+              release_emergency();
+            }
+          }
+        },
+        /*timeout_s=*/5.0);
+  }
+}
+
+void PowerManagerModule::engage_emergency() {
+  emergency_active_ = true;
+  util::log_warning("power-manager: EMERGENCY — measured draw exceeds the "
+                    "cluster bound; pushing deep uniform limits");
+  const double deep = config_.cluster_power_bound_w /
+                      static_cast<double>(broker_->instance().size()) *
+                      config_.emergency_margin;
+  for (flux::Rank r = 0; r < broker_->instance().size(); ++r) {
+    push_node_limit(r, deep);
+  }
+  Json payload = Json::object();
+  payload["engaged"] = true;
+  payload["deep_limit_w"] = deep;
+  broker_->publish_event("power-manager.emergency", std::move(payload));
+}
+
+void PowerManagerModule::release_emergency() {
+  emergency_active_ = false;
+  emergency_strikes_ = 0;
+  util::log_info("power-manager: emergency cleared; restoring shares");
+  // Force a fresh proportional push.
+  for (auto& [id, alloc] : allocations_) alloc.node_power_w = -1.0;
+  reallocate();
+  Json payload = Json::object();
+  payload["engaged"] = false;
+  broker_->publish_event("power-manager.emergency", std::move(payload));
+}
+
+// ---------------------------------------------------------------------------
+// ProgressBased policy
+// ---------------------------------------------------------------------------
+
+void PowerManagerModule::on_progress_event(const Message& event) {
+  // Only progress of the job running on *this* node matters.
+  bool local = false;
+  if (event.payload.contains("ranks")) {
+    for (const Json& r : event.payload.at("ranks").as_array()) {
+      if (static_cast<flux::Rank>(r.as_int()) == broker_->rank()) {
+        local = true;
+        break;
+      }
+    }
+  }
+  if (!local) return;
+  const double work = event.payload.number_or("work_done", -1.0);
+  const double now = broker_->sim().now();
+  if (work < 0.0) return;
+  if (prog_last_work_ >= 0.0 && work >= prog_last_work_ &&
+      now > prog_last_t_) {
+    prog_rate_ = (work - prog_last_work_) / (now - prog_last_t_);
+  } else if (work < prog_last_work_) {
+    // A new job started on this node: forget the previous one's state.
+    reset_progress_state();
+  }
+  prog_last_work_ = work;
+  prog_last_t_ = now;
+}
+
+void PowerManagerModule::reset_progress_state() {
+  prog_state_ = ProgressState::Baseline;
+  prog_last_work_ = -1.0;
+  prog_rate_ = -1.0;
+  prog_baseline_ = -1.0;
+  prog_cap_w_ = 0.0;
+  prog_last_good_w_ = 0.0;
+}
+
+void PowerManagerModule::progress_control_tick() {
+  hwsim::Node* node = broker_->node();
+  if (node == nullptr) return;
+  const FppConfig dcfg = domain_fpp_config();  // reuses the cap ranges
+  const double budget = derive_gpu_budget_w();
+  if (prog_rate_ < 0.0) {
+    // No progress signal (idle node, or a job without reporting): behave
+    // like plain budget enforcement.
+    prog_state_ = ProgressState::Baseline;
+    prog_cap_w_ = 0.0;
+  } else {
+    switch (prog_state_) {
+      case ProgressState::Baseline:
+        // One full control window at the budget establishes the baseline.
+        prog_baseline_ = prog_rate_;
+        prog_last_good_w_ = budget;
+        prog_cap_w_ = std::max(dcfg.min_gpu_cap_w,
+                               budget - config_.progress.step_w);
+        prog_state_ = ProgressState::Probing;
+        break;
+      case ProgressState::Probing:
+        if (prog_rate_ >= (1.0 - config_.progress.tolerance) * prog_baseline_) {
+          // Progress unharmed: keep the saving and probe further down.
+          prog_last_good_w_ = prog_cap_w_;
+          const double next =
+              std::max(dcfg.min_gpu_cap_w, prog_cap_w_ - config_.progress.step_w);
+          if (next == prog_cap_w_) {
+            prog_state_ = ProgressState::Hold;  // at the floor
+          }
+          prog_cap_w_ = next;
+        } else {
+          // Progress degraded: restore the last good cap and hold.
+          prog_cap_w_ = prog_last_good_w_;
+          prog_state_ = ProgressState::Hold;
+        }
+        break;
+      case ProgressState::Hold:
+        break;
+    }
+  }
+
+  const double cap = prog_cap_w_ > 0.0 ? std::min(prog_cap_w_, budget) : budget;
+  apply_uniform_cap(cap);
+}
+
+void PowerManagerModule::apply_uniform_cap(double cap_w) {
+  hwsim::Node* node = broker_->node();
+  if (node == nullptr) return;
+  if (manages_gpus()) {
+    variorum::cap_each_gpu_power_limit(*node, cap_w);
+  } else {
+    for (int i = 0; i < node->socket_count(); ++i) {
+      node->set_socket_power_cap(i, cap_w);
+    }
+  }
+}
+
+}  // namespace fluxpower::manager

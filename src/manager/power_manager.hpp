@@ -1,0 +1,155 @@
+// power_manager.hpp — the flux-power-manager broker module (§III-B).
+//
+// Hierarchical and state-aware:
+//   * cluster-level-manager (root rank): knows every running job; ensures
+//     total cluster draw never exceeds the global bound P_G. Implements the
+//     proportional-sharing policy of §III-B1: a new job gets peak power per
+//     node when P_avail suffices, otherwise power is redistributed across
+//     *all* jobs at P_n = P_G / total allocated nodes.
+//   * job-level-manager (root rank): splits a job's power limit equally
+//     over its nodes and pushes per-node limits over the TBON.
+//   * node-level-manager (every rank): enforces the node limit through
+//     Variorum according to the configured NodePolicy, tracks local power
+//     in its own control loop, and runs the per-GPU FPP controllers.
+// All three communicate exclusively via RPC messages.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "flux/broker.hpp"
+#include "flux/jobspec.hpp"
+#include "flux/module.hpp"
+#include "manager/fpp.hpp"
+#include "manager/policy.hpp"
+#include "sim/simulation.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace fluxpower::manager {
+
+inline constexpr const char* kSetNodeLimitTopic = "power-manager.set-node-limit";
+inline constexpr const char* kClusterStatusTopic = "power-manager.cluster-status";
+inline constexpr const char* kNodeStatusTopic = "power-manager.node-status";
+inline constexpr const char* kSetClusterBoundTopic =
+    "power-manager.set-cluster-bound";
+inline constexpr const char* kSetLowPowerTopic = "power-manager.set-low-power";
+inline constexpr const char* kHistoryTopic = "power-manager.history";
+
+class PowerManagerModule final : public flux::Module {
+ public:
+  explicit PowerManagerModule(PowerManagerConfig config = {});
+  ~PowerManagerModule() override;
+
+  const char* name() const override { return "power-manager"; }
+  void load(flux::Broker& broker) override;
+  void unload() override;
+
+  const PowerManagerConfig& config() const noexcept { return config_; }
+
+  // -- Node-level introspection (tests / timeline benches) -------------------
+  double node_limit_w() const noexcept { return node_limit_w_; }
+  double last_gpu_budget_w() const noexcept { return last_gpu_budget_w_; }
+  const std::vector<std::unique_ptr<FppController>>& fpp_controllers() const {
+    return fpp_;
+  }
+
+  // -- Cluster-level introspection (root only) --------------------------------
+  struct JobAllocation {
+    std::vector<flux::Rank> ranks;
+    double job_power_w = 0.0;   ///< job-level power limit P_i
+    double node_power_w = 0.0;  ///< per-node limit
+    /// Self-imposed per-node cap from the jobspec (0 = none). The job never
+    /// receives more than this; its unused share flows to other jobs.
+    double requested_node_power_w = 0.0;
+  };
+  const std::map<flux::JobId, JobAllocation>& allocations() const {
+    return allocations_;
+  }
+  /// Sum of job power limits P_k (root only).
+  double allocated_power_w() const;
+
+ private:
+  // Cluster-level-manager (root).
+  void on_job_event(const flux::Message& event);
+  void reallocate();
+  void update_idle_states();
+  void push_node_limit(flux::Rank rank, double limit_w);
+
+  // Node-level-manager (all ranks).
+  void handle_set_node_limit(const flux::Message& req);
+  void enforce_node_limit();
+  void control_tick();
+  double derive_gpu_budget_w();
+  void apply_uniform_cap(double cap_w);
+
+  /// Which device class FPP / budget enforcement manages on this node:
+  /// GPUs when present, CPU sockets otherwise (device-agnostic FPP).
+  bool manages_gpus() const;
+  FppConfig domain_fpp_config() const;
+  int managed_domain_count() const;
+
+  PowerManagerConfig config_;
+  flux::Broker* broker_ = nullptr;
+
+  // Node-level state.
+  double node_limit_w_ = 0.0;  ///< 0 = unconstrained
+  double last_gpu_budget_w_ = 0.0;
+  std::vector<std::unique_ptr<FppController>> fpp_;
+  std::unique_ptr<sim::PeriodicTask> control_task_;
+  std::unique_ptr<sim::PeriodicTask> sample_task_;
+  std::unique_ptr<sim::PeriodicTask> fft_task_;
+  double time_since_fpp_control_s_ = 0.0;
+  std::size_t fpp_control_round_ = 0;
+
+  // ProgressBased policy state (per node).
+  void on_progress_event(const flux::Message& event);
+  void progress_control_tick();
+  void reset_progress_state();
+  enum class ProgressState { Baseline, Probing, Hold };
+  ProgressState prog_state_ = ProgressState::Baseline;
+  std::uint64_t progress_subscription_ = 0;
+  std::unique_ptr<sim::PeriodicTask> progress_task_;
+  double prog_last_work_ = -1.0;
+  double prog_last_t_ = 0.0;
+  double prog_rate_ = -1.0;      ///< latest measured work/s
+  double prog_baseline_ = -1.0;  ///< rate at the uncapped budget
+  double prog_cap_w_ = 0.0;      ///< active probe cap (0 = follow budget)
+  double prog_last_good_w_ = 0.0;
+
+ public:
+  // ProgressBased introspection for tests/benches.
+  double progress_rate() const noexcept { return prog_rate_; }
+  double progress_cap_w() const noexcept { return prog_cap_w_; }
+  bool progress_holding() const noexcept {
+    return prog_state_ == ProgressState::Hold;
+  }
+
+  // Cluster-level state (root only).
+  std::map<flux::JobId, JobAllocation> allocations_;
+  std::vector<std::uint64_t> subscriptions_;
+  /// Allocation history ring: {t, bound, allocated_w, nodes, jobs} sampled
+  /// every history_period_s, served via kHistoryTopic for dashboards.
+  struct HistoryPoint {
+    double t_s = 0.0;
+    double bound_w = 0.0;
+    double allocated_w = 0.0;
+    int allocated_nodes = 0;
+    int jobs = 0;
+  };
+  std::unique_ptr<util::RingBuffer<HistoryPoint>> history_;
+  std::unique_ptr<sim::PeriodicTask> history_task_;
+
+  // Emergency power response (root only).
+  void emergency_check();
+  void engage_emergency();
+  void release_emergency();
+  std::unique_ptr<sim::PeriodicTask> emergency_task_;
+  int emergency_strikes_ = 0;
+  bool emergency_active_ = false;
+
+ public:
+  bool emergency_active() const noexcept { return emergency_active_; }
+};
+
+}  // namespace fluxpower::manager

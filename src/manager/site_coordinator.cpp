@@ -1,0 +1,97 @@
+#include "manager/site_coordinator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "manager/power_manager.hpp"
+#include "util/json.hpp"
+
+namespace fluxpower::manager {
+
+SiteCoordinator::SiteCoordinator(sim::Simulation& sim, double site_bound_w,
+                                 double period_s)
+    : sim_(sim), site_bound_w_(site_bound_w) {
+  if (site_bound_w <= 0.0) {
+    throw std::invalid_argument("SiteCoordinator: bound must be positive");
+  }
+  if (period_s <= 0.0) {
+    throw std::invalid_argument("SiteCoordinator: period must be positive");
+  }
+  ticker_ = std::make_unique<sim::PeriodicTask>(sim_, period_s, [this] {
+    rebalance();
+    return true;
+  });
+}
+
+SiteCoordinator::~SiteCoordinator() = default;
+
+void SiteCoordinator::add_member(MemberConfig member) {
+  if (member.instance == nullptr) {
+    throw std::invalid_argument("SiteCoordinator: null instance");
+  }
+  Member m;
+  m.config = std::move(member);
+  // Until the first rebalance, the member keeps at least its floor.
+  m.share_w = m.config.floor_w;
+  members_.push_back(std::move(m));
+}
+
+void SiteCoordinator::rebalance() {
+  if (members_.empty()) return;
+  ++rebalances_;
+  // Phase 1: read each member's demand via its cluster-status service.
+  for (Member& m : members_) {
+    m.demand_fresh = false;
+    flux::Broker& root = m.config.instance->root();
+    Member* target = &m;
+    root.rpc(
+        flux::kRootRank, kClusterStatusTopic, util::Json::object(),
+        [this, target](const flux::Message& resp) {
+          if (resp.is_error()) return;  // keep stale demand
+          const double nodes =
+              static_cast<double>(resp.payload.int_or("total_allocated_nodes", 0));
+          target->demand_w = nodes * target->config.node_peak_w;
+          target->demand_fresh = true;
+          // Apportion once every member answered (or timed out).
+          if (std::all_of(members_.begin(), members_.end(),
+                          [](const Member& mm) { return mm.demand_fresh; })) {
+            apportion_and_push();
+          }
+        },
+        /*timeout_s=*/5.0);
+  }
+}
+
+void SiteCoordinator::apportion_and_push() {
+  // Floors first, then split the remainder proportionally to unmet demand.
+  double floors = 0.0;
+  for (const Member& m : members_) floors += m.config.floor_w;
+  double spare = std::max(0.0, site_bound_w_ - floors);
+
+  double unmet_total = 0.0;
+  for (const Member& m : members_) {
+    unmet_total += std::max(0.0, m.demand_w - m.config.floor_w);
+  }
+  for (Member& m : members_) {
+    const double unmet = std::max(0.0, m.demand_w - m.config.floor_w);
+    double share = m.config.floor_w;
+    if (unmet_total > 0.0) {
+      share += spare * (unmet / unmet_total);
+    } else {
+      // Nobody demands anything: split spare evenly so arrivals are fast.
+      share += spare / static_cast<double>(members_.size());
+    }
+    m.share_w = share;
+    util::Json payload = util::Json::object();
+    payload["bound_w"] = share;
+    m.config.instance->root().rpc(flux::kRootRank, kSetClusterBoundTopic,
+                                  std::move(payload), nullptr);
+  }
+
+  state_.clear();
+  for (const Member& m : members_) {
+    state_.push_back({m.config.name, m.demand_w, m.share_w});
+  }
+}
+
+}  // namespace fluxpower::manager

@@ -1,0 +1,79 @@
+// site_coordinator.hpp — multi-instance (converged computing) power
+// coordination.
+//
+// The paper's future work targets "diverse job queues in converged
+// computing setups" (§VI): sites increasingly run an HPC cluster and a
+// cloud/Kubernetes pool behind one facility power budget. The coordinator
+// sits above multiple Flux instances (each running its own
+// flux-power-manager) and periodically re-apportions the site budget:
+//
+//   share_i  ∝  demand_i = min(nodes_allocated_i x node_peak_i, bound need)
+//
+// with a guaranteed floor per member so an idle instance can still accept
+// work instantly. Communication is exclusively through each instance's
+// power-manager RPC surface (`cluster-status` to read demand,
+// `set-cluster-bound` to write shares) — the coordinator needs no private
+// hooks, so it would work equally against remote instances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flux/instance.hpp"
+#include "sim/simulation.hpp"
+
+namespace fluxpower::manager {
+
+class SiteCoordinator {
+ public:
+  struct MemberConfig {
+    std::string name;
+    flux::Instance* instance = nullptr;
+    double node_peak_w = 3050.0;
+    /// Minimum budget this member always keeps (headroom for arrivals).
+    double floor_w = 0.0;
+  };
+
+  /// `site_bound_w` is the facility-level budget split across members;
+  /// shares are recomputed every `period_s` seconds.
+  SiteCoordinator(sim::Simulation& sim, double site_bound_w,
+                  double period_s = 30.0);
+  ~SiteCoordinator();
+
+  SiteCoordinator(const SiteCoordinator&) = delete;
+  SiteCoordinator& operator=(const SiteCoordinator&) = delete;
+
+  void add_member(MemberConfig member);
+
+  /// Trigger one rebalance immediately (also runs periodically).
+  void rebalance();
+
+  double site_bound_w() const noexcept { return site_bound_w_; }
+
+  struct MemberState {
+    std::string name;
+    double demand_w = 0.0;  ///< last observed demand
+    double share_w = 0.0;   ///< last pushed bound
+  };
+  const std::vector<MemberState>& members() const noexcept { return state_; }
+  int rebalances() const noexcept { return rebalances_; }
+
+ private:
+  struct Member {
+    MemberConfig config;
+    double demand_w = 0.0;
+    double share_w = 0.0;
+    bool demand_fresh = false;
+  };
+
+  void apportion_and_push();
+
+  sim::Simulation& sim_;
+  double site_bound_w_;
+  std::vector<Member> members_;
+  std::vector<MemberState> state_;
+  std::unique_ptr<sim::PeriodicTask> ticker_;
+  int rebalances_ = 0;
+};
+
+}  // namespace fluxpower::manager

@@ -1,0 +1,480 @@
+#include "monitor/power_monitor.hpp"
+
+#include "flux/hostlist.hpp"
+#include "flux/instance.hpp"
+#include "monitor/client.hpp"
+#include "variorum/variorum.hpp"
+
+namespace fluxpower::monitor {
+
+using flux::Message;
+using util::Json;
+
+PowerMonitorModule::PowerMonitorModule(PowerMonitorConfig config)
+    : config_(config) {}
+
+PowerMonitorModule::~PowerMonitorModule() = default;
+
+void PowerMonitorModule::load(flux::Broker& broker) {
+  broker_ = &broker;
+  buffer_ = std::make_unique<util::RingBuffer<Sample>>(config_.buffer_capacity);
+
+  // Node-agent: stateless periodic sampling on every broker.
+  broker.register_service(kGetDataTopic,
+                          [this](const Message& m) { handle_get_data(m); });
+  broker.register_service(kGetSubtreeTopic,
+                          [this](const Message& m) { handle_get_subtree(m); });
+  broker.register_service(kStatusTopic,
+                          [this](const Message& m) { handle_status(m); });
+  broker.register_service(kSetConfigTopic,
+                          [this](const Message& m) { handle_set_config(m); });
+  sampler_ = std::make_unique<sim::PeriodicTask>(
+      broker.sim(), config_.sample_period_s, [this] {
+        take_sample();
+        return true;
+      });
+
+  // Root-agent: external-client entry point, root rank only.
+  if (broker.is_root()) {
+    broker.register_service(kQueryJobTopic,
+                            [this](const Message& m) { handle_query_job(m); });
+    if (config_.archive_jobs) {
+      archive_subscription_ = broker.subscribe_event(
+          "job.state-inactive", [this](const Message& event) {
+            archive_job(
+                static_cast<flux::JobId>(event.payload.int_or("id", 0)),
+                static_cast<flux::UserId>(
+                    event.payload.int_or("userid", flux::kOwnerUserid)));
+          });
+    }
+  }
+}
+
+void PowerMonitorModule::unload() {
+  sampler_.reset();
+  if (broker_ != nullptr) {
+    broker_->unregister_service(kGetDataTopic);
+    broker_->unregister_service(kGetSubtreeTopic);
+    broker_->unregister_service(kStatusTopic);
+    broker_->unregister_service(kSetConfigTopic);
+    if (broker_->is_root()) {
+      broker_->unregister_service(kQueryJobTopic);
+      if (archive_subscription_ != 0) {
+        broker_->unsubscribe_event(archive_subscription_);
+        archive_subscription_ = 0;
+      }
+    }
+    broker_ = nullptr;
+  }
+  buffer_.reset();
+}
+
+void PowerMonitorModule::take_sample() {
+  hwsim::Node* node = broker_->node();
+  if (node == nullptr) return;  // broker-only test instance
+  Sample s;
+  s.timestamp_s = broker_->sim().now();
+  s.payload = variorum::get_node_power_json(*node);
+  if (config_.stream_samples) {
+    Json event = Json::object();
+    event["rank"] = broker_->rank();
+    event["sample"] = s.payload;
+    broker_->publish_event("power-monitor.sample", std::move(event));
+  }
+  buffer_->push(std::move(s));
+  ++samples_taken_;
+  // The sensor sweep runs on this node's cores and stalls the application
+  // for its duration.
+  node->add_stolen_time(config_.sample_cost_s);
+}
+
+util::Json PowerMonitorModule::local_entry(const Json& window) {
+  const double start = window.number_or("start", 0.0);
+  const double end = window.number_or("end", broker_->sim().now());
+  // Optional decimation: long-running jobs accumulate days of samples;
+  // clients can bound the transfer and the node-agent thins uniformly
+  // (first and last retained samples always survive).
+  const auto max_samples =
+      static_cast<std::size_t>(window.int_or("max_samples", 0));
+
+  std::vector<const Sample*> in_window;
+  buffer_->for_each([&](const Sample& s) {
+    if (s.timestamp_s >= start && s.timestamp_s <= end) {
+      in_window.push_back(&s);
+    }
+  });
+  bool decimated = false;
+  Json samples = Json::array();
+  if (max_samples > 1 && in_window.size() > max_samples) {
+    decimated = true;
+    const double stride = static_cast<double>(in_window.size() - 1) /
+                          static_cast<double>(max_samples - 1);
+    std::size_t previous = static_cast<std::size_t>(-1);
+    for (std::size_t k = 0; k < max_samples; ++k) {
+      const auto idx = static_cast<std::size_t>(k * stride + 0.5);
+      if (idx == previous) continue;
+      previous = idx;
+      samples.push_back(in_window[std::min(idx, in_window.size() - 1)]->payload);
+    }
+  } else {
+    for (const Sample* s : in_window) samples.push_back(s->payload);
+  }
+
+  // The dataset is partial if the buffer has already flushed samples that
+  // fell inside the requested window: detectable when the oldest retained
+  // sample is newer than the window start and evictions have occurred.
+  bool complete = true;
+  if (buffer_->empty()) {
+    complete = false;
+  } else if (buffer_->evicted() > 0 && buffer_->front().timestamp_s > start) {
+    complete = false;
+  }
+
+  Json payload = Json::object();
+  payload["hostname"] =
+      broker_->node() != nullptr ? broker_->node()->hostname() : "";
+  payload["rank"] = broker_->rank();
+  payload["complete"] = complete;
+  payload["decimated"] = decimated;
+  payload["samples"] = std::move(samples);
+  return payload;
+}
+
+void PowerMonitorModule::handle_get_data(const Message& req) {
+  broker_->respond(req, local_entry(req.payload));
+}
+
+std::string PowerMonitorModule::metrics_text() const {
+  const std::string host =
+      broker_ != nullptr && broker_->node() != nullptr
+          ? broker_->node()->hostname()
+          : "unknown";
+  char line[256];
+  std::string out;
+  auto gauge = [&](const char* name, const std::string& labels, double value) {
+    std::snprintf(line, sizeof line, "%s{host=\"%s\"%s%s} %.3f\n", name,
+                  host.c_str(), labels.empty() ? "" : ",", labels.c_str(),
+                  value);
+    out += line;
+  };
+  gauge("fluxpower_monitor_samples_total", "",
+        static_cast<double>(samples_taken_));
+  if (buffer_) {
+    gauge("fluxpower_monitor_buffer_fill_ratio", "",
+          static_cast<double>(buffer_->size()) /
+              static_cast<double>(buffer_->capacity()));
+    gauge("fluxpower_monitor_buffer_evicted_total", "",
+          static_cast<double>(buffer_->evicted()));
+    if (!buffer_->empty()) {
+      const Json& sample = buffer_->back().payload;
+      if (sample.contains("power_node_watts")) {
+        gauge("fluxpower_node_power_watts", "domain=\"node\"",
+              sample.number_or("power_node_watts", 0.0));
+      } else if (sample.contains("power_node_estimate_watts")) {
+        gauge("fluxpower_node_power_watts", "domain=\"node_estimate\"",
+              sample.number_or("power_node_estimate_watts", 0.0));
+      }
+      if (sample.is_object()) {
+        for (const auto& [key, value] : sample.as_object()) {
+          if (key.rfind("power_cpu_watts_socket_", 0) == 0 ||
+              key.rfind("power_gpu_watts_", 0) == 0 ||
+              key == "power_mem_watts") {
+            gauge("fluxpower_domain_power_watts",
+                  "domain=\"" + key.substr(6) + "\"",
+                  value.is_number() ? value.as_double() : 0.0);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void PowerMonitorModule::handle_get_subtree(const Message& req) {
+  // TBON tree reduction: contribute the local window, recurse into the
+  // children whose subtrees hold requested ranks, and answer upward with
+  // the merged per-node entries. Every broker's fan-in is bounded by the
+  // tree fanout regardless of job size.
+  const flux::Tbon& tbon = broker_->instance().tbon();
+  std::vector<flux::Rank> wanted;
+  if (req.payload.contains("ranks")) {
+    for (const Json& r : req.payload.at("ranks").as_array()) {
+      wanted.push_back(static_cast<flux::Rank>(r.as_int()));
+    }
+  }
+  auto wants = [&wanted](flux::Rank r) {
+    return std::find(wanted.begin(), wanted.end(), r) != wanted.end();
+  };
+
+  struct Pending {
+    Json nodes = Json::array();
+    std::size_t outstanding = 0;
+    Message original;
+  };
+  auto pending = std::make_shared<Pending>();
+  pending->original = req;
+  if (wants(broker_->rank())) {
+    pending->nodes.push_back(local_entry(req.payload));
+  }
+
+  // Partition the remaining wanted ranks among child subtrees.
+  struct ChildRequest {
+    flux::Rank child;
+    std::vector<flux::Rank> subset;
+  };
+  std::vector<ChildRequest> child_requests;
+  for (flux::Rank child : tbon.children(broker_->rank())) {
+    ChildRequest cr;
+    cr.child = child;
+    for (flux::Rank r : tbon.subtree(child)) {
+      if (wants(r)) cr.subset.push_back(r);
+    }
+    if (!cr.subset.empty()) child_requests.push_back(std::move(cr));
+  }
+
+  if (child_requests.empty()) {
+    Json payload = Json::object();
+    payload["nodes"] = std::move(pending->nodes);
+    broker_->respond(req, std::move(payload));
+    return;
+  }
+
+  pending->outstanding = child_requests.size();
+  flux::Broker* broker = broker_;
+  for (ChildRequest& cr : child_requests) {
+    Json sub = Json::object();
+    sub["start"] = req.payload.number_or("start", 0.0);
+    sub["end"] = req.payload.number_or("end", broker->sim().now());
+    if (req.payload.contains("max_samples")) {
+      sub["max_samples"] = req.payload.int_or("max_samples", 0);
+    }
+    Json ranks = Json::array();
+    for (flux::Rank r : cr.subset) ranks.push_back(r);
+    sub["ranks"] = std::move(ranks);
+
+    const std::vector<flux::Rank> subset = cr.subset;
+    broker->rpc(
+        cr.child, kGetSubtreeTopic, std::move(sub),
+        [broker, pending, subset](const Message& resp) {
+          if (resp.is_error()) {
+            // A whole subtree went dark: emit partial entries for each of
+            // its requested ranks so aggregation degrades, not fails.
+            for (flux::Rank r : subset) {
+              Json entry = Json::object();
+              entry["hostname"] = "";
+              entry["rank"] = r;
+              entry["complete"] = false;
+              entry["samples"] = Json::array();
+              entry["error"] = resp.error_text;
+              pending->nodes.push_back(std::move(entry));
+            }
+          } else {
+            for (const Json& n : resp.payload.at("nodes").as_array()) {
+              pending->nodes.push_back(n);
+            }
+          }
+          if (--pending->outstanding == 0) {
+            Json payload = Json::object();
+            payload["nodes"] = std::move(pending->nodes);
+            broker->respond(pending->original, std::move(payload));
+          }
+        },
+        /*timeout_s=*/10.0);
+  }
+}
+
+void PowerMonitorModule::handle_status(const Message& req) {
+  Json payload = Json::object();
+  payload["rank"] = broker_->rank();
+  payload["samples_taken"] = samples_taken_;
+  payload["buffer_size"] = buffer_->size();
+  payload["buffer_capacity"] = buffer_->capacity();
+  payload["evicted"] = buffer_->evicted();
+  payload["sample_period_s"] = config_.sample_period_s;
+  broker_->respond(req, std::move(payload));
+}
+
+void PowerMonitorModule::handle_set_config(const Message& req) {
+  // Runtime reconfiguration of the node-agent — the sampling rate and
+  // buffer size "are configurable by the user" (§III-A). Changing the
+  // buffer capacity discards retained samples (allocation is fixed-size);
+  // changing the period re-arms the control loop.
+  const double period =
+      req.payload.number_or("sample_period_s", config_.sample_period_s);
+  const auto capacity = static_cast<std::size_t>(req.payload.int_or(
+      "buffer_capacity", static_cast<std::int64_t>(config_.buffer_capacity)));
+  if (period <= 0.0 || capacity == 0) {
+    broker_->respond_error(req, flux::kEInval,
+                           "period and capacity must be positive");
+    return;
+  }
+  config_.stream_samples =
+      req.payload.bool_or("stream_samples", config_.stream_samples);
+  if (capacity != config_.buffer_capacity) {
+    config_.buffer_capacity = capacity;
+    buffer_ = std::make_unique<util::RingBuffer<Sample>>(capacity);
+  }
+  if (period != config_.sample_period_s) {
+    config_.sample_period_s = period;
+    sampler_ = std::make_unique<sim::PeriodicTask>(
+        broker_->sim(), period, [this] {
+          take_sample();
+          return true;
+        });
+  }
+  Json ack = Json::object();
+  ack["sample_period_s"] = config_.sample_period_s;
+  ack["buffer_capacity"] = static_cast<std::int64_t>(config_.buffer_capacity);
+  broker_->respond(req, std::move(ack));
+}
+
+void PowerMonitorModule::archive_job(flux::JobId id, flux::UserId userid) {
+  // Fire the normal query path against ourselves and persist the summary.
+  // The archive must not race the job's final samples: schedule one sample
+  // period out so node-agents have sampled past t_end.
+  flux::Broker* broker = broker_;
+  broker->sim().schedule_after(config_.sample_period_s, [broker, id, userid] {
+    util::Json payload = util::Json::object();
+    payload["id"] = id;
+    broker->rpc(
+        flux::kRootRank, kQueryJobTopic, std::move(payload),
+        [broker, id, userid](const Message& resp) {
+          if (resp.is_error()) return;  // nothing to archive
+          const JobPowerData data = parse_job_power_payload(resp.payload);
+          util::Json summary = util::Json::object();
+          summary["app"] = data.app;
+          summary["t_start"] = data.t_start;
+          summary["t_end"] = data.t_end;
+          std::vector<std::string> hostnames;
+          bool complete = true;
+          for (const NodePowerData& n : data.nodes) {
+            if (!n.hostname.empty()) hostnames.push_back(n.hostname);
+            complete = complete && n.complete;
+          }
+          summary["nodes"] = flux::hostlist_encode(hostnames);
+          summary["nnodes"] = static_cast<std::int64_t>(data.nodes.size());
+          summary["avg_node_power_w"] = data.average_node_power_w();
+          summary["max_node_power_w"] = data.max_node_power_w();
+          summary["max_job_power_w"] = data.max_aggregate_power_w();
+          summary["avg_node_energy_j"] = data.average_node_energy_j();
+          summary["complete"] = complete;
+          const double job_energy_j =
+              data.average_node_energy_j() * static_cast<double>(data.nodes.size());
+          broker->instance().kvs().put("jobs." + std::to_string(id) + ".power",
+                                       std::move(summary));
+
+          // Per-user energy accounting: accumulate under
+          // accounting.users.<uid> so chargeback survives job records.
+          flux::Kvs& kvs = broker->instance().kvs();
+          const std::string key =
+              "accounting.users." + std::to_string(userid);
+          util::Json account =
+              kvs.get(key).value_or(util::Json::object());
+          account["jobs"] = account.int_or("jobs", 0) + 1;
+          account["energy_j"] =
+              account.number_or("energy_j", 0.0) + job_energy_j;
+          account["node_seconds"] =
+              account.number_or("node_seconds", 0.0) +
+              (data.t_end - data.t_start) * static_cast<double>(data.nodes.size());
+          kvs.put(key, std::move(account));
+        });
+  });
+}
+
+void PowerMonitorModule::handle_query_job(const Message& req) {
+  // Resolve the job, then gather from the node-agents of its ranks —
+  // through the TBON tree reduction by default, or by direct root fan-out
+  // when tree aggregation is disabled. All communication is message-based,
+  // even root-local lookups.
+  flux::Broker* broker = broker_;
+  const bool tree_aggregation = config_.tree_aggregation;
+  const Message original = req;
+  broker->rpc(
+      flux::kRootRank, "job-info.lookup", req.payload,
+      [broker, original, tree_aggregation](const Message& info) {
+        if (info.is_error()) {
+          broker->respond_error(original, info.errnum, info.error_text);
+          return;
+        }
+        const double t_start = info.payload.number_or("t_start", -1.0);
+        double t_end = info.payload.number_or("t_end", -1.0);
+        if (t_end < 0.0) t_end = broker->sim().now();  // job still running
+        if (t_start < 0.0) {
+          broker->respond_error(original, flux::kEInval,
+                                "job has not started; no telemetry window");
+          return;
+        }
+        const auto& ranks = info.payload.at("ranks").as_array();
+        if (ranks.empty()) {
+          broker->respond_error(original, flux::kEInval,
+                                "job has no allocated ranks");
+          return;
+        }
+
+        // Aggregation state shared by the per-rank response handlers.
+        struct Pending {
+          Json result = Json::object();
+          std::size_t outstanding = 0;
+          bool failed = false;
+        };
+        auto pending = std::make_shared<Pending>();
+        pending->result["id"] = info.payload.int_or("id", 0);
+        pending->result["app"] = info.payload.string_or("app", "");
+        pending->result["t_start"] = t_start;
+        pending->result["t_end"] = t_end;
+        pending->result["nodes"] = Json::array();
+        pending->outstanding = ranks.size();
+
+        Json window = Json::object();
+        window["start"] = t_start;
+        window["end"] = t_end;
+
+        if (tree_aggregation) {
+          // One request into the tree; brokers merge their subtrees.
+          window["ranks"] = ranks;
+          broker->rpc(
+              flux::kRootRank, kGetSubtreeTopic, std::move(window),
+              [broker, original, pending](const Message& resp) {
+                if (resp.is_error()) {
+                  broker->respond_error(original, resp.errnum,
+                                        resp.error_text);
+                  return;
+                }
+                pending->result["nodes"] = resp.payload.at("nodes");
+                broker->respond(original, std::move(pending->result));
+              },
+              /*timeout_s=*/15.0);
+          return;
+        }
+
+        for (const Json& r : ranks) {
+          const auto rank = static_cast<flux::Rank>(r.as_int());
+          broker->rpc(
+              rank, kGetDataTopic, window,
+              [broker, original, pending, rank](const Message& resp) {
+                if (pending->failed) return;
+                if (resp.is_error()) {
+                  // Fault-tolerant aggregation: a dead or unloaded
+                  // node-agent yields an empty *partial* per-node entry
+                  // rather than failing the whole query — the client's
+                  // completeness column carries the bad news.
+                  Json entry = Json::object();
+                  entry["hostname"] = "";
+                  entry["rank"] = rank;
+                  entry["complete"] = false;
+                  entry["samples"] = Json::array();
+                  entry["error"] = resp.error_text;
+                  pending->result["nodes"].push_back(std::move(entry));
+                } else {
+                  pending->result["nodes"].push_back(resp.payload);
+                }
+                if (--pending->outstanding == 0) {
+                  broker->respond(original, std::move(pending->result));
+                }
+              },
+              /*timeout_s=*/5.0);
+        }
+      });
+}
+
+}  // namespace fluxpower::monitor

@@ -1,0 +1,89 @@
+#include "sim/simulation.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fluxpower::sim {
+
+EventId Simulation::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulation::schedule_at: time in the past");
+  }
+  if (!fn) {
+    throw std::invalid_argument("Simulation::schedule_at: empty callback");
+  }
+  const EventId id = next_id_++;
+  queue_.push(QueueEntry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulation::cancel(EventId id) {
+  return callbacks_.erase(id) > 0;
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(entry.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = entry.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+void Simulation::run_until(Time t) {
+  while (!queue_.empty()) {
+    // Skip over cancelled entries without advancing time.
+    const QueueEntry& top = queue_.top();
+    if (!callbacks_.contains(top.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+PeriodicTask::PeriodicTask(Simulation& sim, Time period,
+                           std::function<bool()> fn, Time initial_delay)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  if (period <= 0.0) {
+    throw std::invalid_argument("PeriodicTask: period must be positive");
+  }
+  arm(initial_delay >= 0.0 ? initial_delay : period_);
+}
+
+void PeriodicTask::arm(Time delay) {
+  pending_ = sim_.schedule_after(delay, [this] {
+    pending_ = kInvalidEvent;
+    if (!running_) return;
+    if (fn_()) {
+      arm(period_);
+    } else {
+      running_ = false;
+    }
+  });
+}
+
+void PeriodicTask::stop() {
+  running_ = false;
+  if (pending_ != kInvalidEvent) {
+    sim_.cancel(pending_);
+    pending_ = kInvalidEvent;
+  }
+}
+
+}  // namespace fluxpower::sim

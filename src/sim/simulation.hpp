@@ -1,0 +1,110 @@
+// simulation.hpp — deterministic discrete-event simulation engine.
+//
+// Everything above the hardware models (brokers, modules, applications,
+// power policies) executes against this virtual clock instead of wall time.
+// The engine is single-threaded and strictly ordered: events fire in
+// (time, insertion-sequence) order, so a given scenario + seed always
+// produces identical tables. "Threads of control" in the real Flux (module
+// threads, the node-level-manager's tracking thread) map to periodic tasks
+// here; the substitution is behaviour-preserving because those threads are
+// themselves timer-driven loops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace fluxpower::sim {
+
+/// Simulated time in seconds since simulation start.
+using Time = double;
+
+/// Handle for a scheduled event; valid until the event fires or is cancelled.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Time now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedule `fn` after a delay of `dt` seconds (dt >= 0).
+  EventId schedule_after(Time dt, std::function<void()> fn) {
+    return schedule_at(now_ + dt, std::move(fn));
+  }
+
+  /// Cancel a pending event. Returns false if it already fired or never
+  /// existed — cancelling twice is benign, as module unload paths race
+  /// naturally with their own timers.
+  bool cancel(EventId id);
+
+  /// Execute the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the event queue drains.
+  void run();
+
+  /// Run events with time <= t, then set now() to t even if idle.
+  void run_until(Time t);
+
+  std::size_t pending() const noexcept { return callbacks_.size(); }
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+ private:
+  struct QueueEntry {
+    Time time;
+    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    EventId id;
+    bool operator>(const QueueEntry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  // Lazy cancellation: cancelled ids are simply absent from this map.
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+/// A repeating task: fires every `period` seconds until stop() or until the
+/// callback returns false. Models module control loops (power sampling every
+/// 2 s, FPP's 90 s power-capping interval, 30 s FFT window updates).
+class PeriodicTask {
+ public:
+  /// `fn` returns true to keep running. First firing is at now()+period by
+  /// default, or now()+initial_delay when given.
+  PeriodicTask(Simulation& sim, Time period, std::function<bool()> fn,
+               Time initial_delay = -1.0);
+  ~PeriodicTask() { stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+  bool running() const noexcept { return running_; }
+  Time period() const noexcept { return period_; }
+
+ private:
+  void arm(Time delay);
+
+  Simulation& sim_;
+  Time period_;
+  std::function<bool()> fn_;
+  EventId pending_ = kInvalidEvent;
+  bool running_ = true;
+};
+
+}  // namespace fluxpower::sim

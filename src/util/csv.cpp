@@ -1,0 +1,66 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace fluxpower::util {
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(cell);
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_row_impl(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const std::string& cell : cells) {
+    if (!first) (*out_) << ',';
+    first = false;
+    (*out_) << escape(cell);
+  }
+  (*out_) << '\n';
+  ++rows_;
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF terminators
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (in_quotes) throw std::invalid_argument("csv: unterminated quote");
+  cells.push_back(std::move(cur));
+  return cells;
+}
+
+}  // namespace fluxpower::util

@@ -1,0 +1,78 @@
+// csv.hpp — CSV emission for monitor-client output and bench tables.
+//
+// The flux-power-monitor client presents job telemetry "in the form of a CSV
+// file, along with a column specifying whether the module had a complete data
+// set for the job or a partial one" (§III-A). This writer implements RFC-4180
+// quoting and is also used by benches to dump figure series.
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace fluxpower::util {
+
+class CsvWriter {
+ public:
+  /// Writes to an external stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Self-buffering variant; retrieve content with str().
+  CsvWriter() : owned_(std::make_unique<std::ostringstream>()), out_(owned_.get()) {}
+
+  void header(std::initializer_list<std::string_view> names) {
+    write_row_impl(std::vector<std::string>(names.begin(), names.end()));
+  }
+
+  void row(const std::vector<std::string>& cells) { write_row_impl(cells); }
+
+  /// Convenience variadic row: accepts strings and arithmetic values.
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    std::vector<std::string> out;
+    out.reserve(sizeof...(cells));
+    (out.push_back(to_cell(cells)), ...);
+    write_row_impl(out);
+  }
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+  /// Content of the internal buffer (only valid for the buffering ctor).
+  std::string str() const {
+    return owned_ ? owned_->str() : std::string{};
+  }
+
+  static std::string escape(std::string_view cell);
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string_view>) {
+      return std::string(std::string_view(v));
+    } else if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream os;
+      os.precision(10);
+      os << v;
+      return os.str();
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  void write_row_impl(const std::vector<std::string>& cells);
+
+  std::unique_ptr<std::ostringstream> owned_;
+  std::ostream* out_;
+  std::size_t rows_ = 0;
+};
+
+/// Parse one CSV line into cells (RFC-4180, no embedded newlines). Used by
+/// tests to round-trip monitor output.
+std::vector<std::string> parse_csv_line(std::string_view line);
+
+}  // namespace fluxpower::util

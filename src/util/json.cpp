@@ -1,0 +1,448 @@
+#include "util/json.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace fluxpower::util {
+
+// ---------------------------------------------------------------------------
+// JsonObject
+// ---------------------------------------------------------------------------
+
+Json& JsonObject::operator[](std::string_view key) {
+  for (auto& [k, v] : items_) {
+    if (k == key) return v;
+  }
+  items_.emplace_back(std::string(key), Json{});
+  return items_.back().second;
+}
+
+const Json& JsonObject::at(std::string_view key) const {
+  for (const auto& [k, v] : items_) {
+    if (k == key) return v;
+  }
+  throw JsonError("json: missing key '" + std::string(key) + "'");
+}
+
+Json& JsonObject::at(std::string_view key) {
+  for (auto& [k, v] : items_) {
+    if (k == key) return v;
+  }
+  throw JsonError("json: missing key '" + std::string(key) + "'");
+}
+
+bool JsonObject::contains(std::string_view key) const noexcept {
+  for (const auto& [k, v] : items_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+void JsonObject::erase(std::string_view key) {
+  for (auto it = items_.begin(); it != items_.end(); ++it) {
+    if (it->first == key) {
+      items_.erase(it);
+      return;
+    }
+  }
+}
+
+bool JsonObject::operator==(const JsonObject& other) const {
+  if (items_.size() != other.items_.size()) return false;
+  // Order-insensitive comparison: two telemetry objects with the same keys
+  // and values are equal regardless of emission order.
+  for (const auto& [k, v] : items_) {
+    if (!other.contains(k) || !(other.at(k) == v)) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Json accessors
+// ---------------------------------------------------------------------------
+
+std::int64_t Json::as_int() const {
+  if (const auto* p = std::get_if<std::int64_t>(&value_)) return *p;
+  if (const auto* p = std::get_if<double>(&value_)) {
+    return static_cast<std::int64_t>(*p);
+  }
+  throw JsonError("json: value is not a number");
+}
+
+double Json::as_double() const {
+  if (const auto* p = std::get_if<double>(&value_)) return *p;
+  if (const auto* p = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*p);
+  }
+  throw JsonError("json: value is not a number");
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (is_null()) value_ = JsonObject{};
+  return as_object()[key];
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) value_ = JsonArray{};
+  as_array().push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return as_array().size();
+  if (is_object()) return as_object().size();
+  throw JsonError("json: size() on non-container");
+}
+
+double Json::number_or(std::string_view key, double fallback) const {
+  if (!is_object() || !as_object().contains(key)) return fallback;
+  const Json& v = as_object().at(key);
+  return v.is_number() ? v.as_double() : fallback;
+}
+
+std::int64_t Json::int_or(std::string_view key, std::int64_t fallback) const {
+  if (!is_object() || !as_object().contains(key)) return fallback;
+  const Json& v = as_object().at(key);
+  return v.is_number() ? v.as_int() : fallback;
+}
+
+std::string Json::string_or(std::string_view key, std::string fallback) const {
+  if (!is_object() || !as_object().contains(key)) return fallback;
+  const Json& v = as_object().at(key);
+  return v.is_string() ? v.as_string() : fallback;
+}
+
+bool Json::bool_or(std::string_view key, bool fallback) const {
+  if (!is_object() || !as_object().contains(key)) return fallback;
+  const Json& v = as_object().at(key);
+  return v.is_bool() ? v.as_bool() : fallback;
+}
+
+// ---------------------------------------------------------------------------
+// Serializer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_double(std::string& out, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    // JSON has no NaN/Inf; emit null so downstream parsers stay strict.
+    out += "null";
+    return;
+  }
+  std::array<char, 32> buf{};
+  // %.17g round-trips doubles exactly; trim to shortest by retrying widths.
+  for (int prec = 15; prec <= 17; ++prec) {
+    int n = std::snprintf(buf.data(), buf.size(), "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(buf.data(), "%lf", &back);
+    if (back == v) {
+      out.append(buf.data(), static_cast<std::size_t>(n));
+      return;
+    }
+  }
+  int n = std::snprintf(buf.data(), buf.size(), "%.17g", v);
+  out.append(buf.data(), static_cast<std::size_t>(n));
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type()) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += (std::get<bool>(value_) ? "true" : "false"); break;
+    case Type::Int: out += std::to_string(std::get<std::int64_t>(value_)); break;
+    case Type::Double: append_double(out, std::get<double>(value_)); break;
+    case Type::String: append_escaped(out, std::get<std::string>(value_)); break;
+    case Type::Array: {
+      const auto& arr = std::get<JsonArray>(value_);
+      out.push_back('[');
+      bool first = true;
+      for (const Json& v : arr) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_newline_indent(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!arr.empty()) append_newline_indent(out, indent, depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::Object: {
+      const auto& obj = std::get<JsonObject>(value_);
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : obj) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_newline_indent(out, indent, depth + 1);
+        append_escaped(out, k);
+        out.push_back(':');
+        if (indent >= 0) out.push_back(' ');
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!obj.empty()) append_newline_indent(out, indent, depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser — recursive descent over a string_view cursor.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw JsonError("json parse error at offset " + std::to_string(pos_) +
+                    ": " + msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return Json(std::move(obj));
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return Json(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = next();
+      if (c == '"') break;
+      if (c == '\\') {
+        char esc = next();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("invalid \\u escape");
+            }
+            // Encode as UTF-8 (basic multilingual plane only; surrogate
+            // pairs are not produced by any component in this codebase).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: fail("invalid escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("invalid number");
+    if (!is_double) {
+      std::int64_t v = 0;
+      auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(), v);
+      if (ec == std::errc() && p == token.data() + token.size()) return Json(v);
+      // Integer overflow: fall through to double.
+    }
+    double d = 0.0;
+    std::string owned(token);  // strtod needs NUL termination
+    char* end = nullptr;
+    d = std::strtod(owned.c_str(), &end);
+    if (end != owned.c_str() + owned.size()) fail("invalid number");
+    return Json(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace fluxpower::util

@@ -1,0 +1,166 @@
+// json.hpp — minimal, dependency-free JSON value type, parser and serializer.
+//
+// Variorum's telemetry contract is a JSON object per sample
+// (variorum_get_node_power_json); the Flux message protocol encodes request
+// and response payloads as JSON objects. Both substrates therefore share this
+// value type. The implementation favours clarity and determinism over raw
+// throughput: object keys preserve insertion order so serialized samples are
+// byte-stable across runs (required for reproducible experiment output).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace fluxpower::util {
+
+class Json;
+
+/// Error thrown on malformed JSON input or invalid type access.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Insertion-ordered string->Json map. JSON objects in telemetry samples must
+/// round-trip with stable key order so CSV/JSON exports are reproducible.
+class JsonObject {
+ public:
+  using value_type = std::pair<std::string, Json>;
+  using storage = std::vector<value_type>;
+  using iterator = storage::iterator;
+  using const_iterator = storage::const_iterator;
+
+  JsonObject() = default;
+
+  Json& operator[](std::string_view key);
+  const Json& at(std::string_view key) const;
+  Json& at(std::string_view key);
+  bool contains(std::string_view key) const noexcept;
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+  void erase(std::string_view key);
+
+  iterator begin() noexcept { return items_.begin(); }
+  iterator end() noexcept { return items_.end(); }
+  const_iterator begin() const noexcept { return items_.begin(); }
+  const_iterator end() const noexcept { return items_.end(); }
+
+  bool operator==(const JsonObject& other) const;
+
+ private:
+  storage items_;
+};
+
+using JsonArray = std::vector<Json>;
+
+/// A JSON value: null, bool, integer, double, string, array or object.
+/// Integers are kept distinct from doubles so timestamps and counters
+/// serialize without precision loss.
+class Json {
+ public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(int v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(long long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned long long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : value_(v) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  /// Construct an empty object / array explicitly.
+  static Json object() { return Json(JsonObject{}); }
+  static Json array() { return Json(JsonArray{}); }
+
+  Type type() const noexcept {
+    return static_cast<Type>(value_.index());
+  }
+  bool is_null() const noexcept { return type() == Type::Null; }
+  bool is_bool() const noexcept { return type() == Type::Bool; }
+  bool is_int() const noexcept { return type() == Type::Int; }
+  bool is_double() const noexcept { return type() == Type::Double; }
+  bool is_number() const noexcept { return is_int() || is_double(); }
+  bool is_string() const noexcept { return type() == Type::String; }
+  bool is_array() const noexcept { return type() == Type::Array; }
+  bool is_object() const noexcept { return type() == Type::Object; }
+
+  bool as_bool() const { return get<bool>("bool"); }
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const { return get<std::string>("string"); }
+  const JsonArray& as_array() const { return get<JsonArray>("array"); }
+  JsonArray& as_array() { return get<JsonArray>("array"); }
+  const JsonObject& as_object() const { return get<JsonObject>("object"); }
+  JsonObject& as_object() { return get<JsonObject>("object"); }
+
+  /// Object access; creates the object/key on mutation like std::map.
+  Json& operator[](std::string_view key);
+  const Json& at(std::string_view key) const { return as_object().at(key); }
+  bool contains(std::string_view key) const {
+    return is_object() && as_object().contains(key);
+  }
+
+  /// Array access.
+  Json& operator[](std::size_t i) { return as_array().at(i); }
+  const Json& operator[](std::size_t i) const { return as_array().at(i); }
+  void push_back(Json v);
+  std::size_t size() const;
+
+  /// Typed lookup with default, for tolerant decoding of RPC payloads.
+  double number_or(std::string_view key, double fallback) const;
+  std::int64_t int_or(std::string_view key, std::int64_t fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+
+  /// Serialize. `indent` < 0 means compact single-line output.
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document; throws JsonError on any syntax error or
+  /// trailing garbage.
+  static Json parse(std::string_view text);
+
+  /// Structural equality. Numbers compare by value across the int/double
+  /// divide ("2" == "2.0"), matching how telemetry consumers treat them.
+  bool operator==(const Json& other) const {
+    if (is_number() && other.is_number()) {
+      return as_double() == other.as_double();
+    }
+    return value_ == other.value_;
+  }
+
+ private:
+  template <typename T>
+  const T& get(const char* name) const {
+    if (const T* p = std::get_if<T>(&value_)) return *p;
+    throw JsonError(std::string("json: value is not a ") + name);
+  }
+  template <typename T>
+  T& get(const char* name) {
+    if (T* p = std::get_if<T>(&value_)) return *p;
+    throw JsonError(std::string("json: value is not a ") + name);
+  }
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               JsonArray, JsonObject>
+      value_;
+};
+
+}  // namespace fluxpower::util

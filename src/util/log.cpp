@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+namespace fluxpower::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::log(LogLevel level, std::string_view msg) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  if (sink_) {
+    sink_(level, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %.*s\n", log_level_name(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warning: return "warning";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "unknown";
+}
+
+}  // namespace fluxpower::util

@@ -1,0 +1,57 @@
+// log.hpp — leveled logging for brokers and modules.
+//
+// Flux brokers log through a ring of severity-tagged messages; we keep the
+// same levels (RFC 5424 subset) and allow benches to silence everything so
+// table output stays clean. Logging is process-global and not thread-safe by
+// design: the simulator is single-threaded (see sim/simulation.hpp).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace fluxpower::util {
+
+enum class LogLevel : int {
+  Debug = 0,
+  Info = 1,
+  Warning = 2,
+  Error = 3,
+  Off = 4,
+};
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+
+  /// Replace the output sink (default: stderr). Pass nullptr to restore.
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view msg);
+
+  void debug(std::string_view msg) { log(LogLevel::Debug, msg); }
+  void info(std::string_view msg) { log(LogLevel::Info, msg); }
+  void warning(std::string_view msg) { log(LogLevel::Warning, msg); }
+  void error(std::string_view msg) { log(LogLevel::Error, msg); }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Warning;
+  Sink sink_;
+};
+
+/// Convenience free functions.
+inline void log_debug(std::string_view msg) { Logger::instance().debug(msg); }
+inline void log_info(std::string_view msg) { Logger::instance().info(msg); }
+inline void log_warning(std::string_view msg) { Logger::instance().warning(msg); }
+inline void log_error(std::string_view msg) { Logger::instance().error(msg); }
+
+const char* log_level_name(LogLevel level) noexcept;
+
+}  // namespace fluxpower::util

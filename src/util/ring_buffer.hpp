@@ -1,0 +1,89 @@
+// ring_buffer.hpp — fixed-capacity circular buffer.
+//
+// The flux-power-monitor node-agent stores power samples in a circular
+// buffer of configurable size (the paper's default stores 100,000 Variorum
+// JSON samples, ~43.4 MB). When the buffer wraps, the oldest samples are
+// overwritten; the monitor client then reports a *partial* dataset for jobs
+// whose window extends past the flush point.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace fluxpower::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// Capacity must be > 0; a monitor with no sample storage is a config error.
+  explicit RingBuffer(std::size_t capacity)
+      : capacity_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("RingBuffer capacity must be positive");
+    }
+    items_.reserve(capacity);
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+  bool full() const noexcept { return items_.size() == capacity_; }
+
+  /// Total number of push() calls over the buffer's lifetime. The number of
+  /// evicted (lost) items is total_pushed() - size().
+  std::uint64_t total_pushed() const noexcept { return total_pushed_; }
+  std::uint64_t evicted() const noexcept { return total_pushed_ - items_.size(); }
+
+  void push(T value) {
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(value));
+    } else {
+      items_[head_] = std::move(value);
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++total_pushed_;
+  }
+
+  /// Element i in insertion order: 0 = oldest retained, size()-1 = newest.
+  /// head_ is 0 until the buffer wraps, so (head_ + i) % capacity_ is
+  /// correct in both the filling and the wrapped regimes.
+  const T& operator[](std::size_t i) const {
+    if (i >= items_.size()) throw std::out_of_range("RingBuffer index");
+    return items_[(head_ + i) % capacity_];
+  }
+
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size() - 1]; }
+
+  void clear() noexcept {
+    items_.clear();
+    head_ = 0;
+    // total_pushed_ deliberately retained: eviction accounting survives a
+    // clear so completeness reporting covers the whole monitor lifetime.
+  }
+
+  /// Visit items oldest-to-newest.
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      fn((*this)[i]);
+    }
+  }
+
+  /// Copy out all retained items oldest-to-newest.
+  std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(items_.size());
+    for_each([&out](const T& v) { out.push_back(v); });
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<T> items_;
+  std::size_t head_ = 0;  // index of oldest element once full
+  std::uint64_t total_pushed_ = 0;
+};
+
+}  // namespace fluxpower::util

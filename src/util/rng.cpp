@@ -1,0 +1,27 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace fluxpower::util {
+
+double Rng::normal(double mean, double stddev) {
+  // Box–Muller; reject u1 == 0 to keep log() finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::exponential(double mean) {
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+}  // namespace fluxpower::util

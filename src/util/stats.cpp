@@ -1,0 +1,115 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fluxpower::util {
+
+double sum(std::span<const double> xs) {
+  // Kahan summation: energy integrals accumulate ~1e5 samples and plain
+  // summation drifts enough to perturb 0.1%-level comparisons.
+  double s = 0.0, c = 0.0;
+  for (double x : xs) {
+    const double y = x - c;
+    const double t = s + y;
+    c = (t - s) - y;
+    s = t;
+  }
+  return s;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return sum(xs) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_of: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_of: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty input");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q out of range");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+BoxStats box_stats(std::span<const double> xs) {
+  BoxStats b;
+  b.min = min_of(xs);
+  b.q1 = quantile(xs, 0.25);
+  b.median = median(xs);
+  b.q3 = quantile(xs, 0.75);
+  b.max = max_of(xs);
+  return b;
+}
+
+double percent_change(double a, double b) {
+  if (a == 0.0) throw std::invalid_argument("percent_change: zero baseline");
+  return (b - a) / a * 100.0;
+}
+
+double coefficient_of_variation_pct(std::span<const double> xs) {
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return stddev(xs) / m * 100.0;
+}
+
+double trapezoid(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("trapezoid: size mismatch");
+  }
+  if (xs.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    acc += 0.5 * (ys[i] + ys[i - 1]) * (xs[i] - xs[i - 1]);
+  }
+  return acc;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    max_ = x;
+    min_ = x;
+  } else {
+    max_ = std::max(max_, x);
+    min_ = std::min(min_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace fluxpower::util

@@ -1,0 +1,68 @@
+// stats.hpp — descriptive statistics for experiment reporting.
+//
+// The paper reports averages (power, energy, overhead %), maxima (peak
+// cluster power in Table III/IV) and box plots (run-to-run variability in
+// Fig 4). These helpers centralize those computations so every bench and
+// example reports them identically.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fluxpower::util {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);   // sample variance (n-1)
+double stddev(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+double sum(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0,1]; matches numpy's default.
+double quantile(std::span<const double> xs, double q);
+double median(std::span<const double> xs);
+
+/// Five-number summary used for Fig 4 style box plots.
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+BoxStats box_stats(std::span<const double> xs);
+
+/// Relative change (b - a) / a, in percent. Used for overhead and
+/// energy-improvement reporting.
+double percent_change(double a, double b);
+
+/// Coefficient of variation in percent (stddev / mean * 100); the paper uses
+/// >20% run-to-run variation as the threshold for flagging noisy configs.
+double coefficient_of_variation_pct(std::span<const double> xs);
+
+/// Trapezoidal integration of a sampled signal: y values at the given
+/// x coordinates (seconds). Returns the integral (e.g. W·s = J).
+double trapezoid(std::span<const double> xs, std::span<const double> ys);
+
+/// Online mean/max accumulator for streaming power samples.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double max() const noexcept { return max_; }
+  double min() const noexcept { return min_; }
+  /// Sample variance via Welford's algorithm.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double max_ = 0.0;
+  double min_ = 0.0;
+};
+
+}  // namespace fluxpower::util

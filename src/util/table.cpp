@@ -1,0 +1,47 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace fluxpower::util {
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto print_sep = [&] {
+    out << '+';
+    for (std::size_t w : widths) {
+      out << std::string(w + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      out << ' ' << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  print_sep();
+  print_cells(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_cells(row);
+  print_sep();
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace fluxpower::util

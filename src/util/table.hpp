@@ -1,0 +1,40 @@
+// table.hpp — fixed-width ASCII table rendering for bench output.
+//
+// Every bench binary prints the paper's table/figure as an aligned text
+// table with a paper-reported column next to the measured one, so the
+// reproduction can be eyeballed directly from `for b in build/bench/*; do $b; done`.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fluxpower::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Format a double with fixed precision for table cells.
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fluxpower::util

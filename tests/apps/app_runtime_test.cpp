@@ -1,0 +1,188 @@
+// Tests for apps/app_runtime: workload execution against node models.
+#include "apps/app_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hwsim/cluster.hpp"
+#include "variorum/variorum.hpp"
+
+namespace fluxpower::apps {
+namespace {
+
+using hwsim::Platform;
+
+class AppRuntimeTest : public ::testing::Test {
+ protected:
+  std::vector<hwsim::Node*> make_nodes(int n) {
+    cluster_ = hwsim::make_cluster(sim_, Platform::LassenIbmAc922, n);
+    std::vector<hwsim::Node*> nodes;
+    for (int i = 0; i < n; ++i) nodes.push_back(&cluster_.node(i));
+    return nodes;
+  }
+
+  double run_to_completion(AppRuntime& rt) {
+    double finished_at = -1.0;
+    rt.start([&] { finished_at = sim_.now(); });
+    while (finished_at < 0.0 && sim_.step()) {
+    }
+    return finished_at;
+  }
+
+  sim::Simulation sim_;
+  hwsim::Cluster cluster_;
+};
+
+TEST_F(AppRuntimeTest, ConstructionValidation) {
+  auto prof = make_profile(AppKind::Gemm, Platform::LassenIbmAc922, 1);
+  EXPECT_THROW(AppRuntime(sim_, {}, prof), std::invalid_argument);
+  auto nodes = make_nodes(1);
+  AppProfile empty = prof;
+  empty.phases.clear();
+  EXPECT_THROW(AppRuntime(sim_, nodes, empty), std::invalid_argument);
+  AppProfile badfrac = prof;
+  badfrac.phases[0].work_frac = 0.9;
+  EXPECT_THROW(AppRuntime(sim_, nodes, badfrac), std::invalid_argument);
+  AppRuntimeOptions opts;
+  opts.step_s = 0.0;
+  EXPECT_THROW(AppRuntime(sim_, nodes, prof, opts), std::invalid_argument);
+}
+
+TEST_F(AppRuntimeTest, UnconstrainedRunMatchesNominalRuntime) {
+  auto nodes = make_nodes(2);
+  auto prof = make_profile(AppKind::Laghos, Platform::LassenIbmAc922, 2);
+  AppRuntime rt(sim_, nodes, prof);
+  const double t = run_to_completion(rt);
+  EXPECT_NEAR(t, prof.runtime_s, 1.0);
+  EXPECT_DOUBLE_EQ(rt.work_done(), prof.total_work());
+  EXPECT_FALSE(rt.running());
+}
+
+TEST_F(AppRuntimeTest, NodesReturnToIdleAfterCompletion) {
+  auto nodes = make_nodes(1);
+  auto prof = make_profile(AppKind::Laghos, Platform::LassenIbmAc922, 1);
+  AppRuntime rt(sim_, nodes, prof);
+  run_to_completion(rt);
+  EXPECT_NEAR(nodes[0]->node_draw_w(), 400.0, 1.0);
+}
+
+TEST_F(AppRuntimeTest, DrawRisesWhileRunning) {
+  auto nodes = make_nodes(1);
+  auto prof = make_profile(AppKind::Gemm, Platform::LassenIbmAc922, 1);
+  AppRuntime rt(sim_, nodes, prof);
+  rt.start([] {});
+  sim_.run_until(30.0);
+  EXPECT_GT(nodes[0]->node_draw_w(), 800.0);
+  rt.cancel();
+}
+
+TEST_F(AppRuntimeTest, GpuCapSlowsGemm) {
+  auto nodes = make_nodes(1);
+  auto prof = make_profile(AppKind::Gemm, Platform::LassenIbmAc922, 1);
+  // IBM default at 1200 W: each GPU capped to 100 W.
+  variorum::cap_best_effort_node_power_limit(*nodes[0], 1200.0);
+  AppRuntime rt(sim_, nodes, prof);
+  const double t = run_to_completion(rt);
+  // Paper: 548 -> 1145 s (2.09x) for the 2x problem; same factor applies.
+  EXPECT_GT(t, 1.7 * prof.runtime_s);
+  EXPECT_LT(t, 2.6 * prof.runtime_s);
+}
+
+TEST_F(AppRuntimeTest, GpuCapBarelyAffectsQuicksilver) {
+  auto nodes = make_nodes(1);
+  auto prof = make_profile(AppKind::Quicksilver, Platform::LassenIbmAc922, 1,
+                           27.5);
+  variorum::cap_each_gpu_power_limit(*nodes[0], 100.0);
+  AppRuntime rt(sim_, nodes, prof);
+  const double t = run_to_completion(rt);
+  // Table IV: 348 -> 359 s (~3%).
+  EXPECT_LT(t, 1.12 * prof.runtime_s);
+}
+
+TEST_F(AppRuntimeTest, JobRunsAtSlowestNodeSpeed) {
+  auto nodes = make_nodes(2);
+  auto prof = make_profile(AppKind::Gemm, Platform::LassenIbmAc922, 2);
+  // Cap only the second node: bulk-synchronous MPI drags both.
+  variorum::cap_each_gpu_power_limit(*nodes[1], 100.0);
+  AppRuntime rt(sim_, nodes, prof);
+  const double t = run_to_completion(rt);
+  EXPECT_GT(t, 1.6 * prof.runtime_s);
+}
+
+TEST_F(AppRuntimeTest, SpeedFactorScalesRuntime) {
+  auto nodes = make_nodes(1);
+  auto prof = make_profile(AppKind::Laghos, Platform::LassenIbmAc922, 1);
+  AppRuntimeOptions opts;
+  opts.speed_factor = 0.5;
+  AppRuntime rt(sim_, nodes, prof, opts);
+  const double t = run_to_completion(rt);
+  EXPECT_NEAR(t, 2.0 * prof.runtime_s, 2.0);
+}
+
+TEST_F(AppRuntimeTest, StolenTimeSlowsProgress) {
+  auto nodes = make_nodes(1);
+  auto prof = make_profile(AppKind::Laghos, Platform::LassenIbmAc922, 1);
+  // Steal 10% of every step via a periodic thief (telemetry-like).
+  sim::PeriodicTask thief(sim_, 0.5, [&] {
+    nodes[0]->add_stolen_time(0.05);
+    return true;
+  });
+  AppRuntime rt(sim_, nodes, prof);
+  const double t = run_to_completion(rt);
+  EXPECT_NEAR(t, prof.runtime_s / 0.9, 2.5);
+}
+
+TEST_F(AppRuntimeTest, CancelStopsAndIdles) {
+  auto nodes = make_nodes(1);
+  auto prof = make_profile(AppKind::Gemm, Platform::LassenIbmAc922, 1);
+  bool completed = false;
+  AppRuntime rt(sim_, nodes, prof);
+  rt.start([&] { completed = true; });
+  sim_.run_until(20.0);
+  rt.cancel();
+  sim_.run_until(2000.0);
+  EXPECT_FALSE(completed);
+  EXPECT_FALSE(rt.running());
+  EXPECT_NEAR(nodes[0]->node_draw_w(), 400.0, 1.0);
+}
+
+TEST_F(AppRuntimeTest, DoubleStartThrows) {
+  auto nodes = make_nodes(1);
+  auto prof = make_profile(AppKind::Laghos, Platform::LassenIbmAc922, 1);
+  AppRuntime rt(sim_, nodes, prof);
+  rt.start([] {});
+  EXPECT_THROW(rt.start([] {}), std::logic_error);
+  rt.cancel();
+}
+
+TEST_F(AppRuntimeTest, PhaseAtWalksIterationStructure) {
+  auto nodes = make_nodes(1);
+  auto prof = make_profile(AppKind::Gemm, Platform::LassenIbmAc922, 1);
+  AppRuntime rt(sim_, nodes, prof);
+  // GEMM: staging is the first 15% of each iteration.
+  const double iter = prof.iteration_s;
+  EXPECT_EQ(rt.phase_at(0.0).name, "staging");
+  EXPECT_EQ(rt.phase_at(0.10 * iter).name, "staging");
+  EXPECT_EQ(rt.phase_at(0.50 * iter).name, "dgemm");
+  EXPECT_EQ(rt.phase_at(iter + 0.05 * iter).name, "staging");  // wraps
+}
+
+TEST_F(AppRuntimeTest, QuicksilverPowerSignalIsPeriodic) {
+  auto nodes = make_nodes(1);
+  auto prof = make_profile(AppKind::Quicksilver, Platform::LassenIbmAc922, 1,
+                           27.5);
+  AppRuntime rt(sim_, nodes, prof);
+  rt.start([] {});
+  std::vector<double> series;
+  sim::PeriodicTask sampler(sim_, 2.0, [&] {
+    series.push_back(nodes[0]->node_draw_w());
+    return series.size() < 60;
+  });
+  sim_.run_until(125.0);
+  rt.cancel();
+  const double lo = *std::min_element(series.begin(), series.end());
+  const double hi = *std::max_element(series.begin(), series.end());
+  EXPECT_GT(hi - lo, 300.0);  // visible square wave (Fig 1b)
+}
+
+}  // namespace
+}  // namespace fluxpower::apps

@@ -1,0 +1,102 @@
+// Tests for experiments/report: machine-readable result export.
+#include "experiments/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace fluxpower::experiments {
+namespace {
+
+ScenarioResult run_small() {
+  ScenarioConfig cfg;
+  cfg.nodes = 2;
+  Scenario s(cfg);
+  JobRequest req;
+  req.kind = apps::AppKind::Laghos;
+  req.nnodes = 2;
+  req.work_scale = 3.0;
+  s.submit(req);
+  return s.run();
+}
+
+TEST(Report, JobsCsvHasHeaderAndRow) {
+  const ScenarioResult res = run_small();
+  std::ostringstream os;
+  write_jobs_csv(res, os);
+  std::istringstream lines(os.str());
+  std::string header, row, extra;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, row));
+  EXPECT_FALSE(std::getline(lines, extra));
+  const auto hcells = util::parse_csv_line(header);
+  const auto rcells = util::parse_csv_line(row);
+  ASSERT_EQ(hcells.size(), rcells.size());
+  EXPECT_EQ(hcells.front(), "id");
+  EXPECT_EQ(rcells[1], "laghos");
+  EXPECT_EQ(rcells.back(), "complete");
+}
+
+TEST(Report, ClusterTimelineCsvMonotoneTime) {
+  const ScenarioResult res = run_small();
+  std::ostringstream os;
+  write_cluster_timeline_csv(res, os);
+  std::istringstream lines(os.str());
+  std::string line;
+  std::getline(lines, line);  // header
+  double prev = -1.0;
+  int rows = 0;
+  while (std::getline(lines, line)) {
+    const auto cells = util::parse_csv_line(line);
+    ASSERT_EQ(cells.size(), 2u);
+    const double t = std::stod(cells[0]);
+    EXPECT_GT(t, prev);
+    prev = t;
+    ++rows;
+  }
+  EXPECT_GT(rows, 5);
+}
+
+TEST(Report, JobTimelineCsvShapesColumns) {
+  const ScenarioResult res = run_small();
+  const flux::JobId id = res.jobs.front().id;
+  std::ostringstream os;
+  write_job_timeline_csv(res, id, os);
+  std::istringstream lines(os.str());
+  std::string header;
+  std::getline(lines, header);
+  const auto cells = util::parse_csv_line(header);
+  // Lassen node: t, node, mem + 2 cpu + 4 gpu + 4 gpu caps = 13 columns.
+  EXPECT_EQ(cells.size(), 13u);
+  EXPECT_EQ(cells[0], "t_s");
+  EXPECT_EQ(cells.back(), "gpu3_cap_w");
+}
+
+TEST(Report, JobTimelineUnknownIdThrows) {
+  const ScenarioResult res = run_small();
+  std::ostringstream os;
+  EXPECT_THROW(write_job_timeline_csv(res, 999, os), std::out_of_range);
+}
+
+TEST(Report, JsonDocumentRoundTrips) {
+  const ScenarioResult res = run_small();
+  const util::Json doc = to_json(res, /*include_timelines=*/true);
+  const util::Json back = util::Json::parse(doc.dump());
+  EXPECT_EQ(back.at("jobs").size(), 1u);
+  EXPECT_DOUBLE_EQ(back.number_or("makespan_s", -1.0), res.makespan_s);
+  EXPECT_TRUE(back.contains("timelines"));
+  const util::Json& job = back.at("jobs")[0];
+  EXPECT_EQ(job.string_or("app", ""), "laghos");
+  EXPECT_GT(job.number_or("runtime_s", 0.0), 0.0);
+}
+
+TEST(Report, JsonWithoutTimelines) {
+  const ScenarioResult res = run_small();
+  const util::Json doc = to_json(res);
+  EXPECT_FALSE(doc.contains("timelines"));
+}
+
+}  // namespace
+}  // namespace fluxpower::experiments

@@ -1,0 +1,62 @@
+// Full-machine-scale smoke tests: Lassen has 792 nodes; the framework must
+// bootstrap, monitor, manage and aggregate at that size without trouble.
+#include <gtest/gtest.h>
+
+#include "experiments/scenario.hpp"
+#include "monitor/client.hpp"
+
+namespace fluxpower::experiments {
+namespace {
+
+TEST(Scale, FullLassenMonitorAndTreeQuery) {
+  ScenarioConfig cfg;
+  cfg.platform = hwsim::Platform::LassenIbmAc922;
+  cfg.nodes = 792;
+  cfg.tbon_fanout = 2;
+  Scenario s(cfg);
+
+  JobRequest req;
+  req.kind = apps::AppKind::Lammps;  // strong-scaled: ~15 s at 792 nodes
+  req.nnodes = 792;
+  const flux::JobId id = s.submit(req);
+  auto res = s.run();
+  const JobResult& job = res.job(id);
+  EXPECT_GT(job.runtime_s, 10.0);
+  EXPECT_LT(job.runtime_s, 25.0);
+  EXPECT_TRUE(job.telemetry_complete);
+  // Telemetry covered all 792 nodes through the depth-9 TBON.
+  monitor::MonitorClient client(s.instance());
+  auto data = client.query_blocking(id);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->nodes.size(), 792u);
+  // Strong-scaled LAMMPS at 792 nodes is nearly serial-bound: node power
+  // sits close to idle-plus-CPU, far below the 4-node figure.
+  EXPECT_LT(data->average_node_power_w(), 900.0);
+}
+
+TEST(Scale, FullLassenManagerPushesLimitsEverywhere) {
+  ScenarioConfig cfg;
+  cfg.platform = hwsim::Platform::LassenIbmAc922;
+  cfg.nodes = 792;
+  cfg.load_monitor = false;  // isolate the manager path
+  cfg.load_manager = true;
+  cfg.manager.cluster_power_bound_w = 792 * 1200.0;
+  cfg.manager.node_policy = manager::NodePolicy::DirectGpuBudget;
+  Scenario s(cfg);
+  JobRequest req;
+  req.kind = apps::AppKind::Lammps;
+  req.nnodes = 792;
+  s.submit(req);
+  s.sim().run_until(10.0);
+  // Every rank received its 1200 W proportional share.
+  for (int r : {0, 1, 395, 790, 791}) {
+    auto* mod = dynamic_cast<manager::PowerManagerModule*>(
+        s.instance().broker(r).find_module("power-manager"));
+    ASSERT_NE(mod, nullptr);
+    EXPECT_DOUBLE_EQ(mod->node_limit_w(), 1200.0) << "rank " << r;
+  }
+  s.run();
+}
+
+}  // namespace
+}  // namespace fluxpower::experiments

@@ -1,0 +1,242 @@
+// Tests for flux brokers: services, RPC, events, modules.
+#include <gtest/gtest.h>
+
+#include "flux/instance.hpp"
+#include "hwsim/cluster.hpp"
+
+namespace fluxpower::flux {
+namespace {
+
+class BrokerTest : public ::testing::Test {
+ protected:
+  BrokerTest() {
+    cluster_ = hwsim::make_cluster(sim_, hwsim::Platform::LassenIbmAc922, 4);
+    std::vector<hwsim::Node*> nodes;
+    for (int i = 0; i < cluster_.size(); ++i) nodes.push_back(&cluster_.node(i));
+    instance_ = std::make_unique<Instance>(sim_, std::move(nodes));
+  }
+
+  sim::Simulation sim_;
+  hwsim::Cluster cluster_;
+  std::unique_ptr<Instance> instance_;
+};
+
+TEST_F(BrokerTest, InstanceShape) {
+  EXPECT_EQ(instance_->size(), 4);
+  EXPECT_TRUE(instance_->root().is_root());
+  EXPECT_FALSE(instance_->broker(1).is_root());
+  EXPECT_EQ(instance_->broker(2).rank(), 2);
+  EXPECT_THROW(instance_->broker(4), std::out_of_range);
+  EXPECT_EQ(instance_->node(0)->hostname(), "lassen0");
+}
+
+TEST_F(BrokerTest, EmptyInstanceRejected) {
+  EXPECT_THROW(Instance(sim_, {}), std::invalid_argument);
+}
+
+TEST_F(BrokerTest, RpcRoundTrip) {
+  instance_->broker(2).register_service("echo", [this](const Message& req) {
+    util::Json reply = util::Json::object();
+    reply["echo"] = req.payload.string_or("msg", "");
+    instance_->broker(2).respond(req, std::move(reply));
+  });
+  std::string got;
+  util::Json payload = util::Json::object();
+  payload["msg"] = "hello";
+  instance_->root().rpc(2, "echo", std::move(payload),
+                        [&](const Message& resp) {
+                          got = resp.payload.string_or("echo", "");
+                        });
+  sim_.run();
+  EXPECT_EQ(got, "hello");
+}
+
+TEST_F(BrokerTest, RpcToUnknownServiceReturnsEnosys) {
+  int errnum = 0;
+  instance_->root().rpc(1, "no.such.service", util::Json::object(),
+                        [&](const Message& resp) { errnum = resp.errnum; });
+  sim_.run();
+  EXPECT_EQ(errnum, kENosys);
+}
+
+TEST_F(BrokerTest, RespondErrorCarriesText) {
+  instance_->broker(1).register_service("fail", [this](const Message& req) {
+    instance_->broker(1).respond_error(req, kEInval, "bad input");
+  });
+  std::string text;
+  int errnum = 0;
+  instance_->root().rpc(1, "fail", util::Json::object(),
+                        [&](const Message& resp) {
+                          errnum = resp.errnum;
+                          text = resp.error_text;
+                        });
+  sim_.run();
+  EXPECT_EQ(errnum, kEInval);
+  EXPECT_EQ(text, "bad input");
+}
+
+TEST_F(BrokerTest, RpcDeliveryTakesHopLatency) {
+  instance_->broker(3).register_service("ping", [this](const Message& req) {
+    instance_->broker(3).respond(req, util::Json::object());
+  });
+  double response_at = -1.0;
+  instance_->root().rpc(3, "ping", util::Json::object(),
+                        [&](const Message&) { response_at = sim_.now(); });
+  sim_.run();
+  // Rank 3's parent chain: 3 -> 1 -> 0 = 2 hops each way at 100 us.
+  EXPECT_NEAR(response_at, 4 * 100e-6, 1e-9);
+}
+
+TEST_F(BrokerTest, ConcurrentRpcsCorrelateByMatchtag) {
+  instance_->broker(1).register_service("id", [this](const Message& req) {
+    util::Json reply = util::Json::object();
+    reply["v"] = req.payload.int_or("v", -1);
+    instance_->broker(1).respond(req, std::move(reply));
+  });
+  std::vector<std::int64_t> got;
+  for (int i = 0; i < 5; ++i) {
+    util::Json payload = util::Json::object();
+    payload["v"] = i;
+    instance_->root().rpc(1, "id", std::move(payload),
+                          [&](const Message& resp) {
+                            got.push_back(resp.payload.int_or("v", -1));
+                          });
+  }
+  sim_.run();
+  EXPECT_EQ(got, (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(BrokerTest, DuplicateServiceRegistrationThrows) {
+  auto& b = instance_->broker(1);
+  b.register_service("dup", [](const Message&) {});
+  EXPECT_THROW(b.register_service("dup", [](const Message&) {}),
+               std::invalid_argument);
+  b.unregister_service("dup");
+  EXPECT_NO_THROW(b.register_service("dup", [](const Message&) {}));
+}
+
+TEST_F(BrokerTest, EventsBroadcastToAllSubscribers) {
+  int delivered = 0;
+  for (int r = 0; r < 4; ++r) {
+    instance_->broker(r).subscribe_event(
+        "test.event", [&](const Message&) { ++delivered; });
+  }
+  instance_->broker(2).publish_event("test.event", util::Json::object());
+  sim_.run();
+  EXPECT_EQ(delivered, 4);  // including the publisher itself
+}
+
+TEST_F(BrokerTest, EventTopicExactMatch) {
+  int hits = 0;
+  instance_->root().subscribe_event("a.b", [&](const Message&) { ++hits; });
+  instance_->root().publish_event("a.b", util::Json::object());
+  instance_->root().publish_event("a.bc", util::Json::object());
+  instance_->root().publish_event("a", util::Json::object());
+  sim_.run();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST_F(BrokerTest, EventPrefixSubscription) {
+  int hits = 0;
+  instance_->root().subscribe_event("job.", [&](const Message&) { ++hits; });
+  instance_->root().publish_event("job.state-run", util::Json::object());
+  instance_->root().publish_event("job.state-inactive", util::Json::object());
+  instance_->root().publish_event("power.sample", util::Json::object());
+  sim_.run();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST_F(BrokerTest, UnsubscribeStopsDelivery) {
+  int hits = 0;
+  const auto id = instance_->root().subscribe_event(
+      "x", [&](const Message&) { ++hits; });
+  instance_->root().publish_event("x", util::Json::object());
+  sim_.run();
+  instance_->root().unsubscribe_event(id);
+  instance_->root().publish_event("x", util::Json::object());
+  sim_.run();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST_F(BrokerTest, MessageCountersAdvance) {
+  instance_->broker(1).register_service("s", [this](const Message& req) {
+    instance_->broker(1).respond(req, util::Json::object());
+  });
+  const auto sent_before = instance_->root().messages_sent();
+  instance_->root().rpc(1, "s", util::Json::object(), [](const Message&) {});
+  sim_.run();
+  EXPECT_EQ(instance_->root().messages_sent(), sent_before + 1);
+  EXPECT_GE(instance_->broker(1).messages_received(), 1u);
+  EXPECT_GT(instance_->messages_routed(), 0u);
+}
+
+// Module lifecycle coverage.
+class CountingModule final : public Module {
+ public:
+  explicit CountingModule(int* loads, int* unloads)
+      : loads_(loads), unloads_(unloads) {}
+  const char* name() const override { return "counting"; }
+  void load(Broker& broker) override {
+    broker_ = &broker;
+    ++*loads_;
+    broker.register_service("counting.ping", [this](const Message& req) {
+      broker_->respond(req, util::Json::object());
+    });
+  }
+  void unload() override {
+    ++*unloads_;
+    broker_->unregister_service("counting.ping");
+  }
+
+ private:
+  Broker* broker_ = nullptr;
+  int* loads_;
+  int* unloads_;
+};
+
+TEST_F(BrokerTest, ModuleLoadUnload) {
+  int loads = 0, unloads = 0;
+  auto& b = instance_->broker(1);
+  b.load_module(std::make_shared<CountingModule>(&loads, &unloads));
+  EXPECT_EQ(loads, 1);
+  EXPECT_NE(b.find_module("counting"), nullptr);
+  EXPECT_TRUE(b.has_service("counting.ping"));
+  b.unload_module("counting");
+  EXPECT_EQ(unloads, 1);
+  EXPECT_EQ(b.find_module("counting"), nullptr);
+  EXPECT_FALSE(b.has_service("counting.ping"));
+}
+
+TEST_F(BrokerTest, DuplicateModuleLoadThrows) {
+  int loads = 0, unloads = 0;
+  auto& b = instance_->broker(1);
+  b.load_module(std::make_shared<CountingModule>(&loads, &unloads));
+  EXPECT_THROW(
+      b.load_module(std::make_shared<CountingModule>(&loads, &unloads)),
+      std::invalid_argument);
+}
+
+TEST_F(BrokerTest, SpawnChildInstanceOnSubset) {
+  Instance& child = instance_->spawn_child({1, 2});
+  EXPECT_EQ(child.size(), 2);
+  // Child broker rank 0 maps to parent rank 1's node.
+  EXPECT_EQ(child.node(0)->hostname(), "lassen1");
+  EXPECT_EQ(child.node(1)->hostname(), "lassen2");
+  EXPECT_THROW(instance_->spawn_child({9}), std::out_of_range);
+}
+
+TEST_F(BrokerTest, ChildInstanceHasIndependentServices) {
+  Instance& child = instance_->spawn_child({0, 1});
+  child.root().register_service("only.child", [&](const Message& req) {
+    child.root().respond(req, util::Json::object());
+  });
+  // Parent root does not have the service.
+  int errnum = -1;
+  instance_->root().rpc(0, "only.child", util::Json::object(),
+                        [&](const Message& resp) { errnum = resp.errnum; });
+  sim_.run();
+  EXPECT_EQ(errnum, kENosys);
+}
+
+}  // namespace
+}  // namespace fluxpower::flux

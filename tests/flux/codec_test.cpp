@@ -1,0 +1,170 @@
+// Tests for the message wire codec (envelope + netstring framing).
+#include "flux/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fluxpower::flux {
+namespace {
+
+Message sample_request() {
+  Message m;
+  m.type = Message::Type::Request;
+  m.topic = "power-monitor.get-data";
+  m.sender = 0;
+  m.dest = 5;
+  m.matchtag = 42;
+  m.userid = kGuestUserid;
+  m.payload = util::Json::object();
+  m.payload["start"] = 10.5;
+  m.payload["ranks"] = util::Json::array();
+  m.payload["ranks"].push_back(1);
+  return m;
+}
+
+TEST(Codec, RequestRoundTrip) {
+  const Message m = sample_request();
+  const Message back = decode_message(encode_message(m));
+  EXPECT_EQ(back.type, Message::Type::Request);
+  EXPECT_EQ(back.topic, m.topic);
+  EXPECT_EQ(back.sender, 0);
+  EXPECT_EQ(back.dest, 5);
+  EXPECT_EQ(back.matchtag, 42u);
+  EXPECT_EQ(back.userid, kGuestUserid);
+  EXPECT_EQ(back.errnum, 0);
+  EXPECT_DOUBLE_EQ(back.payload.number_or("start", 0.0), 10.5);
+  EXPECT_EQ(back.payload.at("ranks").size(), 1u);
+}
+
+TEST(Codec, ErrorResponseRoundTrip) {
+  Message m;
+  m.type = Message::Type::Response;
+  m.topic = "x";
+  m.sender = 3;
+  m.dest = 0;
+  m.matchtag = 7;
+  m.errnum = kEPerm;
+  m.error_text = "denied";
+  const Message back = decode_message(encode_message(m));
+  EXPECT_EQ(back.errnum, kEPerm);
+  EXPECT_EQ(back.error_text, "denied");
+  EXPECT_TRUE(back.is_error());
+}
+
+TEST(Codec, EventWithoutDestIsValid) {
+  Message m;
+  m.type = Message::Type::Event;
+  m.topic = "job.state-run";
+  m.sender = 0;
+  m.dest = -1;
+  const Message back = decode_message(encode_message(m));
+  EXPECT_EQ(back.type, Message::Type::Event);
+  EXPECT_EQ(back.dest, -1);
+}
+
+TEST(Codec, DecodeValidation) {
+  EXPECT_THROW(decode_message("not json"), std::invalid_argument);
+  EXPECT_THROW(decode_message("[]"), std::invalid_argument);
+  EXPECT_THROW(decode_message(R"({"type":"bogus","topic":"t","dest":0})"),
+               std::invalid_argument);
+  // Request without a destination rank.
+  EXPECT_THROW(decode_message(R"({"type":"request","topic":"t"})"),
+               std::invalid_argument);
+}
+
+TEST(Codec, FrameFormat) {
+  EXPECT_EQ(frame("hello"), "5:hello,");
+  EXPECT_EQ(frame(""), "0:,");
+}
+
+TEST(FrameReaderTest, SingleFrame) {
+  FrameReader reader;
+  const auto frames = reader.feed("5:hello,");
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], "hello");
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(FrameReaderTest, FragmentedAcrossFeeds) {
+  FrameReader reader;
+  EXPECT_TRUE(reader.feed("5:he").empty());
+  EXPECT_TRUE(reader.feed("ll").empty());
+  const auto frames = reader.feed("o,");
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], "hello");
+}
+
+TEST(FrameReaderTest, CoalescedFrames) {
+  FrameReader reader;
+  const auto frames = reader.feed("1:a,2:bb,3:ccc,");
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[2], "ccc");
+}
+
+TEST(FrameReaderTest, LengthSplitAcrossFeeds) {
+  FrameReader reader;
+  EXPECT_TRUE(reader.feed("1").empty());
+  const auto frames = reader.feed("0:0123456789,");
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], "0123456789");
+}
+
+TEST(FrameReaderTest, MalformedHeaderThrows) {
+  FrameReader a;
+  EXPECT_THROW(a.feed("x:abc,"), std::invalid_argument);
+  FrameReader b;
+  EXPECT_THROW(b.feed("3:abcX"), std::invalid_argument);
+}
+
+TEST(FrameReaderTest, PayloadMayContainFramingChars) {
+  FrameReader reader;
+  const std::string payload = "a,b:c,5:x,";
+  const auto frames = reader.feed(frame(payload));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], payload);
+}
+
+// Property: any sequence of encoded messages survives arbitrary stream
+// fragmentation.
+class CodecStream : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecStream, RandomFragmentationRoundTrips) {
+  util::Rng rng(GetParam());
+  std::vector<Message> sent;
+  std::string stream;
+  const int count = static_cast<int>(rng.uniform_int(1, 12));
+  for (int i = 0; i < count; ++i) {
+    Message m = sample_request();
+    m.matchtag = static_cast<std::uint64_t>(i);
+    m.topic = "topic-" + std::to_string(rng.uniform_int(0, 5));
+    m.payload["blob"] = std::string(static_cast<std::size_t>(
+                                        rng.uniform_int(0, 200)),
+                                    'z');
+    sent.push_back(m);
+    stream += frame(encode_message(m));
+  }
+  FrameReader reader;
+  std::vector<std::string> got;
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    const std::size_t n = static_cast<std::size_t>(
+        rng.uniform_int(1, 17));
+    const auto chunk = stream.substr(pos, n);
+    pos += chunk.size();
+    for (auto& f : reader.feed(chunk)) got.push_back(std::move(f));
+  }
+  ASSERT_EQ(got.size(), sent.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const Message m = decode_message(got[i]);
+    EXPECT_EQ(m.matchtag, sent[i].matchtag);
+    EXPECT_EQ(m.topic, sent[i].topic);
+  }
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecStream,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace fluxpower::flux

@@ -1,0 +1,127 @@
+// Tests for node drain/undrain (resource administration, §V workflow).
+#include <gtest/gtest.h>
+
+#include "apps/launcher.hpp"
+#include "flux/instance.hpp"
+#include "hwsim/cluster.hpp"
+
+namespace fluxpower::flux {
+namespace {
+
+class DrainTest : public ::testing::Test {
+ protected:
+  DrainTest() {
+    cluster_ = hwsim::make_cluster(sim_, hwsim::Platform::LassenIbmAc922, 4);
+    std::vector<hwsim::Node*> nodes;
+    for (int i = 0; i < cluster_.size(); ++i) nodes.push_back(&cluster_.node(i));
+    instance_ = std::make_unique<Instance>(sim_, std::move(nodes));
+    instance_->jobs().set_launcher(apps::make_launcher(
+        {.platform = hwsim::Platform::LassenIbmAc922}));
+  }
+
+  JobId submit(int nnodes, double scale = 1.0) {
+    JobSpec spec;
+    spec.name = "laghos";
+    spec.app = "laghos";
+    spec.nnodes = nnodes;
+    spec.attributes = util::Json::object();
+    spec.attributes["work_scale"] = scale;
+    return instance_->jobs().submit(spec);
+  }
+
+  sim::Simulation sim_;
+  hwsim::Cluster cluster_;
+  std::unique_ptr<Instance> instance_;
+};
+
+TEST_F(DrainTest, DrainedNodeIsSkipped) {
+  instance_->scheduler().drain(0);
+  EXPECT_TRUE(instance_->scheduler().drained(0));
+  EXPECT_EQ(instance_->scheduler().free_node_count(), 3);
+  const JobId id = submit(3);
+  sim_.run_until(1.0);
+  const Job& job = instance_->jobs().job(id);
+  ASSERT_EQ(job.state, JobState::Run);
+  for (Rank r : job.ranks) EXPECT_NE(r, 0);
+}
+
+TEST_F(DrainTest, JobBlocksWhenTooFewHealthyNodes) {
+  instance_->scheduler().drain(0);
+  instance_->scheduler().drain(1);
+  const JobId id = submit(3);
+  sim_.run_until(1.0);
+  EXPECT_EQ(instance_->jobs().job(id).state, JobState::Sched);
+  // Undrain kicks the queue.
+  instance_->scheduler().undrain(1);
+  sim_.run_until(2.0);
+  EXPECT_EQ(instance_->jobs().job(id).state, JobState::Run);
+}
+
+TEST_F(DrainTest, DrainDoesNotKillRunningJob) {
+  const JobId id = submit(4, 4.0);
+  sim_.run_until(1.0);
+  ASSERT_EQ(instance_->jobs().job(id).state, JobState::Run);
+  instance_->scheduler().drain(2);
+  sim_.run();
+  EXPECT_TRUE(instance_->jobs().job(id).done());
+  // After release, the drained node stays out of the pool.
+  EXPECT_EQ(instance_->scheduler().free_node_count(), 3);
+}
+
+TEST_F(DrainTest, DrainRpcServicesOwnerOnly) {
+  util::Json payload = util::Json::object();
+  payload["rank"] = 1;
+  int errnum = -1;
+  instance_->root().rpc(kRootRank, "resource.drain", payload,
+                        [&](const Message& resp) { errnum = resp.errnum; });
+  sim_.run_until(0.5);
+  EXPECT_EQ(errnum, 0);
+  EXPECT_TRUE(instance_->scheduler().drained(1));
+
+  // Guests are rejected.
+  instance_->root().set_userid(kGuestUserid);
+  util::Json payload2 = util::Json::object();
+  payload2["rank"] = 2;
+  errnum = -1;
+  instance_->root().rpc(kRootRank, "resource.drain", payload2,
+                        [&](const Message& resp) { errnum = resp.errnum; });
+  sim_.run_until(1.0);
+  EXPECT_EQ(errnum, kEPerm);
+  EXPECT_FALSE(instance_->scheduler().drained(2));
+  instance_->root().set_userid(kOwnerUserid);
+
+  // Undrain via RPC.
+  util::Json payload3 = util::Json::object();
+  payload3["rank"] = 1;
+  instance_->root().rpc(kRootRank, "resource.undrain", payload3,
+                        [&](const Message&) {});
+  sim_.run_until(1.5);
+  EXPECT_FALSE(instance_->scheduler().drained(1));
+}
+
+TEST_F(DrainTest, DrainRpcValidatesRank) {
+  util::Json payload = util::Json::object();
+  payload["rank"] = 99;
+  int errnum = -1;
+  instance_->root().rpc(kRootRank, "resource.drain", payload,
+                        [&](const Message& resp) { errnum = resp.errnum; });
+  sim_.run_until(0.5);
+  EXPECT_EQ(errnum, kEInval);
+}
+
+TEST_F(DrainTest, ResourceStatusReportsDrains) {
+  instance_->scheduler().drain(0);
+  instance_->scheduler().drain(3);
+  util::Json got;
+  instance_->root().rpc(kRootRank, "resource.status", util::Json::object(),
+                        [&](const Message& resp) { got = resp.payload; });
+  sim_.run_until(0.5);
+  EXPECT_EQ(got.int_or("size", 0), 4);
+  EXPECT_EQ(got.int_or("free", -1), 2);
+  ASSERT_EQ(got.at("drained").size(), 2u);
+  EXPECT_EQ(got.at("drained")[0].as_int(), 0);
+  EXPECT_EQ(got.at("drained")[1].as_int(), 3);
+}
+
+}  // namespace
+}  // namespace fluxpower::flux

@@ -1,0 +1,113 @@
+// Tests for flux/hostlist (RFC 29 subset).
+#include "flux/hostlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fluxpower::flux {
+namespace {
+
+TEST(Hostlist, EncodeEmpty) { EXPECT_EQ(hostlist_encode({}), ""); }
+
+TEST(Hostlist, EncodeSingleHost) {
+  EXPECT_EQ(hostlist_encode({"lassen3"}), "lassen3");
+}
+
+TEST(Hostlist, EncodeConsecutiveRange) {
+  EXPECT_EQ(hostlist_encode({"lassen0", "lassen1", "lassen2", "lassen3"}),
+            "lassen[0-3]");
+}
+
+TEST(Hostlist, EncodeGaps) {
+  EXPECT_EQ(hostlist_encode({"n0", "n1", "n2", "n5", "n7", "n8"}),
+            "n[0-2,5,7-8]");
+}
+
+TEST(Hostlist, EncodeUnsortedAndDuplicates) {
+  EXPECT_EQ(hostlist_encode({"n3", "n1", "n2", "n1"}), "n[1-3]");
+}
+
+TEST(Hostlist, EncodeMultiplePrefixes) {
+  EXPECT_EQ(hostlist_encode({"tioga0", "tioga1", "lassen5"}),
+            "tioga[0-1],lassen5");
+}
+
+TEST(Hostlist, EncodePreservesZeroPadding) {
+  EXPECT_EQ(hostlist_encode({"node001", "node002", "node003"}),
+            "node[001-003]");
+}
+
+TEST(Hostlist, EncodeMixedWidthNotMerged) {
+  // 9 and 010 are not a consecutive same-width run.
+  EXPECT_EQ(hostlist_encode({"n9", "n010"}), "n[9,010]");
+}
+
+TEST(Hostlist, EncodeNonNumericVerbatim) {
+  EXPECT_EQ(hostlist_encode({"login-a", "n1", "n2"}), "n[1-2],login-a");
+}
+
+TEST(Hostlist, DecodeSimple) {
+  EXPECT_EQ(hostlist_decode("lassen[0-2]"),
+            (std::vector<std::string>{"lassen0", "lassen1", "lassen2"}));
+}
+
+TEST(Hostlist, DecodeSingles) {
+  EXPECT_EQ(hostlist_decode("a1,b2"), (std::vector<std::string>{"a1", "b2"}));
+}
+
+TEST(Hostlist, DecodeMixed) {
+  EXPECT_EQ(hostlist_decode("a[0,2-3],b7"),
+            (std::vector<std::string>{"a0", "a2", "a3", "b7"}));
+}
+
+TEST(Hostlist, DecodePadding) {
+  EXPECT_EQ(hostlist_decode("n[08-10]"),
+            (std::vector<std::string>{"n08", "n09", "n10"}));
+}
+
+TEST(Hostlist, DecodeLiteralName) {
+  EXPECT_EQ(hostlist_decode("login-a"), (std::vector<std::string>{"login-a"}));
+}
+
+TEST(Hostlist, DecodeErrors) {
+  EXPECT_THROW(hostlist_decode("a[0-2"), std::invalid_argument);
+  EXPECT_THROW(hostlist_decode("a[]"), std::invalid_argument);
+  EXPECT_THROW(hostlist_decode("a[3-1]"), std::invalid_argument);
+  EXPECT_THROW(hostlist_decode("a[x]"), std::invalid_argument);
+  EXPECT_THROW(hostlist_decode("a1,,b2"), std::invalid_argument);
+  EXPECT_THROW(hostlist_decode("a1,"), std::invalid_argument);
+}
+
+// Property: decode(encode(x)) is the sorted/deduplicated expansion of x.
+class HostlistRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HostlistRoundTrip, DecodeEncodeIsStable) {
+  util::Rng rng(GetParam());
+  std::vector<std::string> hosts;
+  const char* prefixes[] = {"lassen", "tioga", "n"};
+  const int count = static_cast<int>(rng.uniform_int(1, 40));
+  for (int i = 0; i < count; ++i) {
+    const char* prefix = prefixes[rng.uniform_int(0, 2)];
+    hosts.push_back(prefix + std::to_string(rng.uniform_int(0, 99)));
+  }
+  const std::string encoded = hostlist_encode(hosts);
+  const auto decoded = hostlist_decode(encoded);
+  // Every input host appears in the decoding and vice versa.
+  for (const auto& h : hosts) {
+    EXPECT_NE(std::find(decoded.begin(), decoded.end(), h), decoded.end())
+        << h << " missing from " << encoded;
+  }
+  for (const auto& h : decoded) {
+    EXPECT_NE(std::find(hosts.begin(), hosts.end(), h), hosts.end())
+        << h << " invented by " << encoded;
+  }
+  // Encoding the decoding is a fixed point.
+  EXPECT_EQ(hostlist_encode(decoded), encoded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HostlistRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace fluxpower::flux

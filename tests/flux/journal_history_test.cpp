@@ -1,0 +1,213 @@
+// Tests for the message journal, the manager's power history service, and
+// the Table I provenance helpers.
+#include <gtest/gtest.h>
+
+#include "apps/app_model.hpp"
+#include "experiments/scenario.hpp"
+#include "flux/codec.hpp"
+#include "flux/journal.hpp"
+#include "manager/power_manager.hpp"
+
+namespace fluxpower {
+namespace {
+
+TEST(MessageJournal, RecordsRoutedTraffic) {
+  experiments::ScenarioConfig cfg;
+  cfg.nodes = 2;
+  experiments::Scenario s(cfg);
+  flux::MessageJournal journal(1000);
+  s.instance().attach_journal(&journal);
+
+  experiments::JobRequest req;
+  req.kind = apps::AppKind::Laghos;
+  req.nnodes = 2;
+  s.submit(req);
+  s.run();
+
+  EXPECT_GT(journal.size(), 0u);
+  const auto counts = journal.topic_counts();
+  // Job lifecycle events and monitor data requests must show up.
+  EXPECT_GT(counts.at("job.state-run"), 0u);
+  EXPECT_GT(counts.count("power-monitor.get-subtree") +
+                counts.count("power-monitor.get-data"),
+            0u);
+  // Timestamps are nondecreasing.
+  double prev = -1.0;
+  for (std::size_t i = 0; i < journal.size(); ++i) {
+    EXPECT_GE(journal.entry(i).t_s, prev);
+    prev = journal.entry(i).t_s;
+  }
+}
+
+TEST(MessageJournal, WireDumpParsesWithCodec) {
+  experiments::ScenarioConfig cfg;
+  cfg.nodes = 1;
+  cfg.load_monitor = false;
+  experiments::Scenario s(cfg);
+  flux::MessageJournal journal(100);
+  s.instance().attach_journal(&journal);
+  experiments::JobRequest req;
+  req.kind = apps::AppKind::Laghos;
+  req.nnodes = 1;
+  s.submit(req);
+  s.run();
+
+  const std::string wire = journal.dump_wire();
+  flux::FrameReader reader;
+  std::size_t parsed = 0;
+  for (const std::string& f : reader.feed(wire)) {
+    const flux::Message m = flux::decode_message(f);
+    EXPECT_FALSE(m.topic.empty());
+    // The capture timestamp survives in the envelope.
+    const util::Json envelope = util::Json::parse(f);
+    EXPECT_TRUE(envelope.contains("t"));
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, journal.size());
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(MessageJournal, BoundedRetention) {
+  flux::MessageJournal journal(3);
+  flux::Message m;
+  m.type = flux::Message::Type::Event;
+  m.topic = "x";
+  for (int i = 0; i < 10; ++i) journal.record(i, m);
+  EXPECT_EQ(journal.size(), 3u);
+  EXPECT_EQ(journal.total_recorded(), 10u);
+  EXPECT_DOUBLE_EQ(journal.entry(0).t_s, 7.0);
+}
+
+TEST(PowerHistory, ServiceReturnsAllocationTimeline) {
+  experiments::ScenarioConfig cfg;
+  cfg.nodes = 4;
+  cfg.load_manager = true;
+  cfg.manager.cluster_power_bound_w = 4 * 1200.0;
+  cfg.manager.node_policy = manager::NodePolicy::DirectGpuBudget;
+  cfg.manager.history_period_s = 10.0;
+  experiments::Scenario s(cfg);
+  experiments::JobRequest req;
+  req.kind = apps::AppKind::Quicksilver;
+  req.nnodes = 4;
+  req.work_scale = 10.0;  // ~130 s
+  s.submit(req);
+  auto res = s.run();
+
+  util::Json got;
+  s.instance().root().rpc(flux::kRootRank, manager::kHistoryTopic,
+                          util::Json::object(),
+                          [&](const flux::Message& resp) {
+                            got = resp.payload;
+                          });
+  s.sim().run_until(s.sim().now() + 1.0);
+  ASSERT_TRUE(got.is_object());
+  const auto& points = got.at("points").as_array();
+  ASSERT_GE(points.size(), 10u);
+  // While the job ran, the full bound was allocated over 4 nodes.
+  bool saw_busy = false, saw_idle = false;
+  for (const util::Json& p : points) {
+    if (p.int_or("jobs", -1) == 1) {
+      saw_busy = true;
+      EXPECT_DOUBLE_EQ(p.number_or("allocated_w", 0.0), 4800.0);
+      EXPECT_EQ(p.int_or("allocated_nodes", 0), 4);
+    } else if (p.int_or("jobs", -1) == 0) {
+      saw_idle = true;
+      EXPECT_DOUBLE_EQ(p.number_or("allocated_w", -1.0), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_busy);
+  (void)saw_idle;  // present only if recording continued past completion
+  EXPECT_EQ(got.int_or("dropped", -1), 0);
+  EXPECT_GT(res.makespan_s, 0.0);
+}
+
+TEST(PowerHistory, MaxPointsTruncatesFromTheFront) {
+  experiments::ScenarioConfig cfg;
+  cfg.nodes = 1;
+  cfg.load_manager = true;
+  cfg.manager.history_period_s = 5.0;
+  experiments::Scenario s(cfg);
+  s.sim().run_until(100.0);
+  util::Json req = util::Json::object();
+  req["max_points"] = 3;
+  util::Json got;
+  s.instance().root().rpc(flux::kRootRank, manager::kHistoryTopic,
+                          std::move(req), [&](const flux::Message& resp) {
+                            got = resp.payload;
+                          });
+  s.sim().run_until(101.0);
+  EXPECT_EQ(got.at("points").size(), 3u);
+  EXPECT_GT(got.int_or("dropped", 0), 0);
+  // The retained points are the most recent ones.
+  EXPECT_GT(got.at("points")[0].number_or("t_s", 0.0), 80.0);
+}
+
+TEST(UserAccounting, EnergyAccumulatesPerUser) {
+  experiments::ScenarioConfig cfg;
+  cfg.nodes = 2;
+  experiments::Scenario s(cfg);
+
+  // Two jobs from user 1001, one from user 1002 (submitted directly so we
+  // can set the userid; the Scenario API uses the owner id).
+  auto submit_as = [&s](flux::UserId uid, double scale) {
+    flux::JobSpec spec;
+    spec.name = "laghos";
+    spec.app = "laghos";
+    spec.nnodes = 2;
+    spec.userid = uid;
+    spec.attributes = util::Json::object();
+    spec.attributes["work_scale"] = scale;
+    return s.instance().jobs().submit(spec);
+  };
+  const flux::JobId a = submit_as(1001, 2.0);
+  while (!s.instance().jobs().job(a).done() && s.sim().step()) {
+  }
+  const flux::JobId b = submit_as(1001, 3.0);
+  while (!s.instance().jobs().job(b).done() && s.sim().step()) {
+  }
+  const flux::JobId c = submit_as(1002, 2.0);
+  while (!s.instance().jobs().job(c).done() && s.sim().step()) {
+  }
+  s.sim().run_until(s.sim().now() + 5.0);  // let archives land
+
+  const auto acct1 = s.instance().kvs().get("accounting.users.1001");
+  const auto acct2 = s.instance().kvs().get("accounting.users.1002");
+  ASSERT_TRUE(acct1 && acct2);
+  EXPECT_EQ(acct1->int_or("jobs", 0), 2);
+  EXPECT_EQ(acct2->int_or("jobs", 0), 1);
+  // User 1001 ran 2x + 3x work; ~2.5x the energy of user 1002's single 2x.
+  EXPECT_GT(acct1->number_or("energy_j", 0.0),
+            2.0 * acct2->number_or("energy_j", 0.0));
+  EXPECT_GT(acct1->number_or("node_seconds", 0.0),
+            acct2->number_or("node_seconds", 0.0));
+}
+
+TEST(TableOneProvenance, CanonicalInputs) {
+  using apps::AppKind;
+  EXPECT_STREQ(apps::canonical_input(AppKind::Lammps),
+               "-v nx 64 -v ny 64 -v nz 64");
+  EXPECT_STREQ(apps::canonical_input(AppKind::Gemm),
+               "--sizefact 700 -repfact 50");
+  EXPECT_NE(std::string(apps::canonical_input(AppKind::Quicksilver))
+                .find("nsteps=40"),
+            std::string::npos);
+  EXPECT_NE(std::string(apps::canonical_input(AppKind::NQueens)).find("+p160"),
+            std::string::npos);
+}
+
+TEST(TableOneProvenance, TaskPartitions) {
+  using apps::task_partition;
+  EXPECT_EQ(task_partition(4), (apps::TaskPartition{2, 2, 1}));
+  EXPECT_EQ(task_partition(8), (apps::TaskPartition{2, 2, 2}));
+  EXPECT_EQ(task_partition(16), (apps::TaskPartition{2, 2, 4}));
+  EXPECT_EQ(task_partition(32), (apps::TaskPartition{4, 4, 2}));
+  EXPECT_EQ(task_partition(64), (apps::TaskPartition{4, 4, 4}));
+  for (int ranks : {4, 8, 16, 32, 64}) {
+    EXPECT_EQ(task_partition(ranks).ranks(), ranks);
+  }
+  EXPECT_THROW(task_partition(3), std::invalid_argument);
+  EXPECT_THROW(task_partition(128), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fluxpower

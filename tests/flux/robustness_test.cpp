@@ -1,0 +1,157 @@
+// Production-robustness tests: RPC deadlines, credential checks, and
+// fault-tolerant telemetry aggregation.
+#include <gtest/gtest.h>
+
+#include "apps/launcher.hpp"
+#include "flux/instance.hpp"
+#include "hwsim/cluster.hpp"
+#include "manager/power_manager.hpp"
+#include "monitor/client.hpp"
+#include "monitor/power_monitor.hpp"
+
+namespace fluxpower::flux {
+namespace {
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  RobustnessTest() {
+    cluster_ = hwsim::make_cluster(sim_, hwsim::Platform::LassenIbmAc922, 4);
+    std::vector<hwsim::Node*> nodes;
+    for (int i = 0; i < cluster_.size(); ++i) nodes.push_back(&cluster_.node(i));
+    instance_ = std::make_unique<Instance>(sim_, std::move(nodes));
+    instance_->jobs().set_launcher(apps::make_launcher(
+        {.platform = hwsim::Platform::LassenIbmAc922}));
+  }
+
+  sim::Simulation sim_;
+  hwsim::Cluster cluster_;
+  std::unique_ptr<Instance> instance_;
+};
+
+TEST_F(RobustnessTest, RpcTimeoutSynthesizesError) {
+  // A service that never responds.
+  instance_->broker(1).register_service("blackhole", [](const Message&) {});
+  int errnum = 0;
+  double fired_at = -1.0;
+  instance_->root().rpc(
+      1, "blackhole", util::Json::object(),
+      [&](const Message& resp) {
+        errnum = resp.errnum;
+        fired_at = sim_.now();
+      },
+      /*timeout_s=*/2.0);
+  sim_.run_until(10.0);
+  EXPECT_EQ(errnum, kETimedout);
+  EXPECT_NEAR(fired_at, 2.0, 1e-6);
+}
+
+TEST_F(RobustnessTest, LateResponseAfterTimeoutIsDropped) {
+  // Service responds after 3 s; the RPC deadline is 1 s.
+  instance_->broker(1).register_service("slow", [this](const Message& req) {
+    const Message saved = req;
+    sim_.schedule_after(3.0, [this, saved] {
+      instance_->broker(1).respond(saved, util::Json::object());
+    });
+  });
+  int calls = 0;
+  int first_errnum = -1;
+  instance_->root().rpc(
+      1, "slow", util::Json::object(),
+      [&](const Message& resp) {
+        ++calls;
+        if (calls == 1) first_errnum = resp.errnum;
+      },
+      1.0);
+  sim_.run_until(10.0);
+  EXPECT_EQ(calls, 1);  // exactly once, the timeout
+  EXPECT_EQ(first_errnum, kETimedout);
+}
+
+TEST_F(RobustnessTest, PromptResponseCancelsTimeout) {
+  instance_->broker(1).register_service("fast", [this](const Message& req) {
+    instance_->broker(1).respond(req, util::Json::object());
+  });
+  int calls = 0, errnum = -1;
+  instance_->root().rpc(
+      1, "fast", util::Json::object(),
+      [&](const Message& resp) {
+        ++calls;
+        errnum = resp.errnum;
+      },
+      1.0);
+  sim_.run_until(10.0);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(errnum, 0);
+}
+
+TEST_F(RobustnessTest, GuestCannotSetNodeLimit) {
+  instance_->load_module_on_all<manager::PowerManagerModule>(
+      manager::PowerManagerConfig{});
+  instance_->root().set_userid(kGuestUserid);
+  util::Json payload = util::Json::object();
+  payload["limit_w"] = 1000.0;
+  int errnum = 0;
+  instance_->root().rpc(1, manager::kSetNodeLimitTopic, std::move(payload),
+                        [&](const Message& resp) { errnum = resp.errnum; });
+  sim_.run_until(1.0);
+  EXPECT_EQ(errnum, kEPerm);
+
+  // The owner credential goes through.
+  instance_->root().set_userid(kOwnerUserid);
+  util::Json payload2 = util::Json::object();
+  payload2["limit_w"] = 1000.0;
+  errnum = -1;
+  instance_->root().rpc(1, manager::kSetNodeLimitTopic, std::move(payload2),
+                        [&](const Message& resp) { errnum = resp.errnum; });
+  sim_.run_until(2.0);
+  EXPECT_EQ(errnum, 0);
+}
+
+TEST_F(RobustnessTest, GuestCanStillReadTelemetry) {
+  instance_->load_module_on_all<monitor::PowerMonitorModule>(
+      monitor::PowerMonitorConfig::for_lassen());
+  sim_.run_until(10.0);
+  instance_->root().set_userid(kGuestUserid);
+  int errnum = -1;
+  util::Json window = util::Json::object();
+  window["start"] = 0.0;
+  window["end"] = 10.0;
+  instance_->root().rpc(1, monitor::kGetDataTopic, std::move(window),
+                        [&](const Message& resp) { errnum = resp.errnum; });
+  sim_.run_until(11.0);
+  EXPECT_EQ(errnum, 0);
+}
+
+TEST_F(RobustnessTest, QueryJobToleratesDeadNodeAgent) {
+  instance_->load_module_on_all<monitor::PowerMonitorModule>(
+      monitor::PowerMonitorConfig::for_lassen());
+  JobSpec spec;
+  spec.name = "laghos";
+  spec.app = "laghos";
+  spec.nnodes = 3;
+  spec.attributes = util::Json::object();
+  spec.attributes["work_scale"] = 4.0;
+  const JobId id = instance_->jobs().submit(spec);
+  while (!instance_->jobs().job(id).done() && sim_.step()) {
+  }
+  // Kill one node-agent after the fact: its service disappears.
+  instance_->broker(1).unload_module("power-monitor");
+
+  monitor::MonitorClient client(*instance_);
+  auto data = client.query_blocking(id);
+  ASSERT_TRUE(data.has_value());
+  ASSERT_EQ(data->nodes.size(), 3u);
+  int complete = 0, partial = 0;
+  for (const auto& n : data->nodes) {
+    if (n.complete) ++complete;
+    else {
+      ++partial;
+      EXPECT_TRUE(n.samples.empty());
+    }
+  }
+  EXPECT_EQ(complete, 2);
+  EXPECT_EQ(partial, 1);
+}
+
+}  // namespace
+}  // namespace fluxpower::flux

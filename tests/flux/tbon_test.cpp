@@ -1,0 +1,158 @@
+// Tests for flux/tbon: overlay-network topology math.
+#include "flux/tbon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fluxpower::flux {
+namespace {
+
+TEST(Tbon, InvalidConstruction) {
+  EXPECT_THROW(Tbon(0, 2), std::invalid_argument);
+  EXPECT_THROW(Tbon(4, 0), std::invalid_argument);
+}
+
+TEST(Tbon, SingleNode) {
+  Tbon t(1, 2);
+  EXPECT_EQ(t.parent(0), -1);
+  EXPECT_TRUE(t.children(0).empty());
+  EXPECT_EQ(t.level(0), 0);
+  EXPECT_EQ(t.height(), 0);
+  EXPECT_EQ(t.hops(0, 0), 0);
+}
+
+TEST(Tbon, BinaryTreeOfSeven) {
+  Tbon t(7, 2);
+  EXPECT_EQ(t.parent(1), 0);
+  EXPECT_EQ(t.parent(2), 0);
+  EXPECT_EQ(t.parent(3), 1);
+  EXPECT_EQ(t.parent(6), 2);
+  EXPECT_EQ(t.children(0), (std::vector<Rank>{1, 2}));
+  EXPECT_EQ(t.children(1), (std::vector<Rank>{3, 4}));
+  EXPECT_EQ(t.children(3), (std::vector<Rank>{}));
+  EXPECT_EQ(t.level(0), 0);
+  EXPECT_EQ(t.level(2), 1);
+  EXPECT_EQ(t.level(5), 2);
+  EXPECT_EQ(t.height(), 2);
+}
+
+TEST(Tbon, HopsSymmetricAndTriangle) {
+  Tbon t(15, 2);
+  for (Rank a = 0; a < 15; ++a) {
+    for (Rank b = 0; b < 15; ++b) {
+      EXPECT_EQ(t.hops(a, b), t.hops(b, a));
+    }
+  }
+  // Siblings are 2 hops apart through their parent.
+  EXPECT_EQ(t.hops(3, 4), 2);
+  // Leaf to leaf across the root.
+  EXPECT_EQ(t.hops(7, 14), 6);
+}
+
+TEST(Tbon, NextHopWalksTowardsDestination) {
+  Tbon t(15, 2);
+  // From a leaf, the first hop towards another subtree is the parent.
+  EXPECT_EQ(t.next_hop(7, 14), 3);
+  // From the root towards a descendant, descend into the right child.
+  EXPECT_EQ(t.next_hop(0, 14), 2);
+  EXPECT_EQ(t.next_hop(5, 5), 5);
+}
+
+TEST(Tbon, NextHopChainReachesDestination) {
+  Tbon t(31, 2);
+  for (Rank from : {0, 7, 15, 30}) {
+    for (Rank to : {0, 3, 22, 30}) {
+      Rank cursor = from;
+      int steps = 0;
+      while (cursor != to && steps <= 31) {
+        cursor = t.next_hop(cursor, to);
+        ++steps;
+      }
+      EXPECT_EQ(cursor, to);
+      EXPECT_EQ(steps, t.hops(from, to));
+    }
+  }
+}
+
+TEST(Tbon, SubtreeContainsDescendants) {
+  Tbon t(15, 2);
+  EXPECT_EQ(t.subtree(1), (std::vector<Rank>{1, 3, 4, 7, 8, 9, 10}));
+  EXPECT_EQ(t.subtree(7), (std::vector<Rank>{7}));
+  EXPECT_EQ(t.subtree(0).size(), 15u);
+}
+
+TEST(Tbon, RangeChecks) {
+  Tbon t(4, 2);
+  EXPECT_THROW(t.parent(-1), std::out_of_range);
+  EXPECT_THROW(t.parent(4), std::out_of_range);
+  EXPECT_THROW(t.hops(0, 4), std::out_of_range);
+  EXPECT_THROW(t.children(9), std::out_of_range);
+}
+
+// Property suite over (size, fanout) combinations.
+class TbonProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TbonProperty, ParentChildConsistency) {
+  const auto [size, fanout] = GetParam();
+  Tbon t(size, fanout);
+  for (Rank r = 0; r < size; ++r) {
+    for (Rank c : t.children(r)) {
+      EXPECT_EQ(t.parent(c), r);
+      EXPECT_EQ(t.level(c), t.level(r) + 1);
+    }
+    if (r != kRootRank) {
+      const auto siblings = t.children(t.parent(r));
+      EXPECT_NE(std::find(siblings.begin(), siblings.end(), r),
+                siblings.end());
+    }
+  }
+}
+
+TEST_P(TbonProperty, EveryRankReachableFromRoot) {
+  const auto [size, fanout] = GetParam();
+  Tbon t(size, fanout);
+  const auto all = t.subtree(kRootRank);
+  EXPECT_EQ(static_cast<int>(all.size()), size);
+  std::set<Rank> unique(all.begin(), all.end());
+  EXPECT_EQ(static_cast<int>(unique.size()), size);
+}
+
+TEST_P(TbonProperty, ChildrenCountBoundedByFanout) {
+  const auto [size, fanout] = GetParam();
+  Tbon t(size, fanout);
+  for (Rank r = 0; r < size; ++r) {
+    EXPECT_LE(static_cast<int>(t.children(r).size()), fanout);
+  }
+}
+
+TEST_P(TbonProperty, HeightIsLogarithmic) {
+  const auto [size, fanout] = GetParam();
+  Tbon t(size, fanout);
+  if (fanout > 1) {
+    // height <= ceil(log_fanout(size * (fanout-1) + 1)), generously bounded:
+    int bound = 1, h = 0;
+    while (bound < size) {
+      bound = bound * fanout + 1;
+      ++h;
+    }
+    EXPECT_LE(t.height(), h);
+  }
+}
+
+TEST_P(TbonProperty, HopsMatchLevelSum) {
+  const auto [size, fanout] = GetParam();
+  Tbon t(size, fanout);
+  // Root-to-rank hop count equals the rank's level.
+  for (Rank r = 0; r < size; ++r) {
+    EXPECT_EQ(t.hops(kRootRank, r), t.level(r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TbonProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 8, 16, 31, 32, 100, 792),
+                       ::testing::Values(1, 2, 3, 4, 16)));
+
+}  // namespace
+}  // namespace fluxpower::flux

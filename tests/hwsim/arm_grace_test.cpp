@@ -1,0 +1,81 @@
+// Tests for the ARM Grace-class node model (fourth vendor surface).
+#include "hwsim/arm_grace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hwsim/cluster.hpp"
+#include "variorum/variorum.hpp"
+
+namespace fluxpower::hwsim {
+namespace {
+
+class ArmNodeTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  ArmGraceNode node{sim, "arm0"};
+};
+
+TEST_F(ArmNodeTest, Topology) {
+  EXPECT_EQ(node.socket_count(), 1);
+  EXPECT_EQ(node.gpu_count(), 0);
+  EXPECT_STREQ(node.vendor_name(), "arm_grace");
+}
+
+TEST_F(ArmNodeTest, IdleDraw) {
+  // 80 cpu + 30 mem + 60 base.
+  EXPECT_NEAR(node.node_draw_w(), 170.0, 1.0);
+}
+
+TEST_F(ArmNodeTest, BmcNodeSensorIsDirect) {
+  const PowerSample s = node.sample();
+  EXPECT_TRUE(s.node_w.has_value());
+  EXPECT_FALSE(s.node_estimate_w.has_value());
+  EXPECT_TRUE(s.mem_w.has_value());
+  EXPECT_TRUE(s.gpu_w.empty());
+  EXPECT_EQ(s.cpu_w.size(), 1u);
+}
+
+TEST_F(ArmNodeTest, SocketCapClampsToFirmwareRange) {
+  EXPECT_EQ(node.set_socket_power_cap(0, 50.0).status, CapStatus::Clamped);
+  EXPECT_DOUBLE_EQ(*node.socket_power_cap(0), 150.0);
+  EXPECT_EQ(node.set_socket_power_cap(0, 900.0).status, CapStatus::Clamped);
+  EXPECT_DOUBLE_EQ(*node.socket_power_cap(0), 500.0);
+  EXPECT_TRUE(node.set_socket_power_cap(0, 300.0).ok());
+}
+
+TEST_F(ArmNodeTest, SocketCapLimitsGrant) {
+  LoadDemand d;
+  d.cpu_w = {480.0};
+  d.mem_w = 60.0;
+  node.set_demand(d);
+  node.set_socket_power_cap(0, 250.0);
+  EXPECT_NEAR(node.grants().cpu_w[0], 250.0, 0.01);
+}
+
+TEST_F(ArmNodeTest, NoGpuOrNodeDial) {
+  EXPECT_EQ(node.set_gpu_power_cap(0, 100.0).status, CapStatus::Unsupported);
+  EXPECT_EQ(node.set_node_power_cap(400.0).status, CapStatus::Unsupported);
+}
+
+TEST(ArmCluster, FactoryAndVariorum) {
+  sim::Simulation sim;
+  Cluster c = make_cluster(sim, Platform::GenericArmGrace, 2);
+  EXPECT_EQ(c.node(0).hostname(), "arm0");
+
+  // Variorum best-effort node capping falls back to the socket split.
+  auto& node = c.node(0);
+  const auto r = variorum::cap_best_effort_node_power_limit(node, 400.0);
+  EXPECT_TRUE(r.ok());
+  ASSERT_TRUE(node.socket_power_cap(0).has_value());
+  // 400 W minus the idle mem reserve, one socket.
+  EXPECT_NEAR(*node.socket_power_cap(0), 400.0 - 30.0, 1.0);
+
+  // Telemetry JSON has the ARM shape.
+  const util::Json j = variorum::get_node_power_json(node);
+  EXPECT_TRUE(j.contains("power_node_watts"));
+  EXPECT_TRUE(j.contains("power_cpu_watts_socket_0"));
+  EXPECT_FALSE(j.contains("power_gpu_watts_gpu_0"));
+}
+
+}  // namespace
+}  // namespace fluxpower::hwsim

@@ -1,0 +1,228 @@
+// Tests for the FPP controller (Algorithm 1).
+#include "manager/fpp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace fluxpower::manager {
+namespace {
+
+FppConfig literal_config() {
+  FppConfig cfg;
+  cfg.exploratory_first_reduce = false;  // strictly Algorithm 1
+  return cfg;
+}
+
+void feed_square(FppController& c, double period_s, double duration_s,
+                 double lo = 120.0, double hi = 280.0) {
+  for (double t = 0.0; t < duration_s; t += 2.0) {
+    const double pos = std::fmod(t, period_s) / period_s;
+    c.add_power_sample(pos < 0.3 ? hi : lo);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GET-GPU-CAP decision lattice (pure function, literal Algorithm 1).
+// ---------------------------------------------------------------------------
+
+TEST(GetGpuCap, FirstInvocationKeepsCurrentCap) {
+  FppController c(literal_config(), 300.0);
+  EXPECT_DOUBLE_EQ(c.get_gpu_cap(25.0, std::nullopt, 300.0, 0.0), 300.0);
+}
+
+TEST(GetGpuCap, ConvergesWhenDeltaSmall) {
+  FppController c(literal_config(), 300.0);
+  EXPECT_DOUBLE_EQ(c.get_gpu_cap(10.5, 300.0, 300.0, 10.0), 300.0);
+  EXPECT_TRUE(c.converged());
+  // Once converged, even large deltas change nothing (F_converge latch).
+  EXPECT_DOUBLE_EQ(c.get_gpu_cap(50.0, 300.0, 300.0, 10.0), 300.0);
+}
+
+TEST(GetGpuCap, MildPeriodShrinkReducesPower) {
+  FppController c(literal_config(), 300.0);
+  // Δ = -3 s: within (converge, change) and negative → −P_reduce.
+  EXPECT_DOUBLE_EQ(c.get_gpu_cap(7.0, 300.0, 300.0, 10.0), 250.0);
+  EXPECT_EQ(c.reductions(), 1);
+  EXPECT_FALSE(c.converged());
+}
+
+TEST(GetGpuCap, MildPeriodStretchIncreasesSmallStep) {
+  FppController c(literal_config(), 300.0);
+  // Δ = +3 s: positive, mid-band → else-branch, levels[0] = +10.
+  EXPECT_DOUBLE_EQ(c.get_gpu_cap(13.0, 250.0, 250.0, 10.0), 260.0);
+  EXPECT_EQ(c.increases(), 1);
+}
+
+TEST(GetGpuCap, LargeStretchIncreasesBiggerSteps) {
+  FppController c(literal_config(), 300.0);
+  // Δ = +7 s → levels[1] = +15.
+  EXPECT_DOUBLE_EQ(c.get_gpu_cap(17.0, 250.0, 250.0, 10.0), 265.0);
+  // Δ = +12 s → levels[2] = +25.
+  FppController c2(literal_config(), 300.0);
+  EXPECT_DOUBLE_EQ(c2.get_gpu_cap(22.0, 250.0, 250.0, 10.0), 275.0);
+}
+
+TEST(GetGpuCap, LargeShrinkAlsoGivesPowerBack) {
+  // Δ = -8 s falls outside the reduce band (|Δ| ≥ change_th) → else-branch.
+  FppController c(literal_config(), 300.0);
+  EXPECT_DOUBLE_EQ(c.get_gpu_cap(2.0, 250.0, 250.0, 10.0), 265.0);
+}
+
+TEST(GetGpuCap, BoundaryDeltas) {
+  // |Δ| exactly at converge_th converges.
+  FppController a(literal_config(), 300.0);
+  EXPECT_DOUBLE_EQ(a.get_gpu_cap(12.0, 300.0, 300.0, 10.0), 300.0);
+  EXPECT_TRUE(a.converged());
+  // Δ = -5 exactly at change_th is NOT the reduce band (strict <).
+  FppController b(literal_config(), 300.0);
+  EXPECT_DOUBLE_EQ(b.get_gpu_cap(5.0, 280.0, 280.0, 10.0), 295.0);
+  EXPECT_EQ(b.reductions(), 0);
+}
+
+// Parameterized sweep of the decision lattice.
+struct CapCase {
+  double delta;
+  double expected_change;  // relative to current cap
+  bool reduces;
+};
+
+class GetGpuCapSweep : public ::testing::TestWithParam<CapCase> {};
+
+TEST_P(GetGpuCapSweep, DecisionMatchesAlgorithm1) {
+  const CapCase cc = GetParam();
+  FppController c(literal_config(), 300.0);
+  const double t_prev = 20.0;
+  const double got = c.get_gpu_cap(t_prev + cc.delta, 250.0, 250.0, t_prev);
+  EXPECT_NEAR(got - 250.0, cc.expected_change, 1e-9) << "delta " << cc.delta;
+  EXPECT_EQ(c.reductions() == 1, cc.reduces);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lattice, GetGpuCapSweep,
+    ::testing::Values(CapCase{0.0, 0.0, false},      // converged
+                      CapCase{1.9, 0.0, false},      // converged
+                      CapCase{-1.9, 0.0, false},     // converged
+                      CapCase{-2.5, -50.0, true},    // reduce band
+                      CapCase{-4.9, -50.0, true},    // reduce band edge
+                      CapCase{-5.0, +15.0, false},   // at change_th: else
+                      CapCase{2.5, +10.0, false},    // mild stretch
+                      CapCase{4.9, +10.0, false},    // still level 0
+                      CapCase{5.0, +15.0, false},    // level 1
+                      CapCase{9.9, +15.0, false},    // level 1
+                      CapCase{10.0, +25.0, false},   // level 2
+                      CapCase{100.0, +25.0, false}   // clamped at level 2
+                      ));
+
+// ---------------------------------------------------------------------------
+// Controller integration: period estimation + control loop.
+// ---------------------------------------------------------------------------
+
+TEST(FppController, EstimatesPeriodFromBuffer) {
+  FppController c(literal_config(), 300.0);
+  feed_square(c, 8.7, 90.0);
+  c.update_period();
+  ASSERT_TRUE(c.last_period_s().has_value());
+  EXPECT_NEAR(*c.last_period_s(), 8.7, 1.0);
+}
+
+TEST(FppController, UpdatePeriodNoopOnTinyBuffer) {
+  FppController c(literal_config(), 300.0);
+  c.add_power_sample(100.0);
+  c.update_period();
+  EXPECT_FALSE(c.last_period_s().has_value());
+}
+
+TEST(FppController, ControlClampsToCeiling) {
+  FppController c(literal_config(), 300.0);
+  feed_square(c, 8.7, 90.0);
+  const double cap = c.control(220.0);
+  EXPECT_LE(cap, 220.0);
+  EXPECT_GE(cap, 100.0);
+}
+
+TEST(FppController, ControlClampsToNvmlFloor) {
+  FppConfig cfg = literal_config();
+  FppController c(cfg, 110.0);
+  feed_square(c, 8.7, 90.0);
+  c.control(300.0);
+  // Force repeated reductions via period history; cap may never fall
+  // below the 100 W NVML floor.
+  for (int round = 0; round < 10; ++round) {
+    feed_square(c, 8.7 - 0.1 * round, 90.0);  // mild shrink each round
+    const double cap = c.control(300.0);
+    EXPECT_GE(cap, 100.0);
+  }
+}
+
+TEST(FppController, ControlResetsBuffer) {
+  FppController c(literal_config(), 300.0);
+  feed_square(c, 8.7, 90.0);
+  c.control(300.0);
+  // After reset, a fresh window with a different period dominates.
+  feed_square(c, 20.0, 90.0);
+  c.update_period();
+  ASSERT_TRUE(c.last_period_s().has_value());
+  EXPECT_NEAR(*c.last_period_s(), 20.0, 2.5);
+}
+
+TEST(FppController, StablePeriodLiteralAlgorithmConverges) {
+  FppController c(literal_config(), 300.0);
+  // Round 1: first control has no previous cap → no change.
+  feed_square(c, 8.7, 90.0);
+  EXPECT_DOUBLE_EQ(c.control(300.0), 300.0);
+  // Round 2: Δ ≈ 0 → converge at current cap, no reduction ever (the
+  // literal algorithm's behaviour on a stable signal).
+  feed_square(c, 8.7, 90.0);
+  EXPECT_DOUBLE_EQ(c.control(300.0), 300.0);
+  EXPECT_TRUE(c.converged());
+  EXPECT_EQ(c.reductions(), 0);
+}
+
+TEST(FppController, ExploratoryProbeReducesOnceThenConverges) {
+  FppConfig cfg;  // default: exploratory_first_reduce = true
+  FppController c(cfg, 300.0);
+  feed_square(c, 8.7, 90.0);
+  EXPECT_DOUBLE_EQ(c.control(300.0), 300.0);  // first round: no prev cap
+  feed_square(c, 8.7, 90.0);
+  EXPECT_DOUBLE_EQ(c.control(300.0), 250.0);  // probe −50 W
+  EXPECT_EQ(c.reductions(), 1);
+  // Application unaffected → stable period → converge at reduced cap.
+  feed_square(c, 8.7, 90.0);
+  EXPECT_DOUBLE_EQ(c.control(300.0), 250.0);
+  EXPECT_TRUE(c.converged());
+  // Cap stays put forever after.
+  feed_square(c, 8.7, 90.0);
+  EXPECT_DOUBLE_EQ(c.control(300.0), 250.0);
+}
+
+TEST(FppController, ProbeGivenBackWhenPeriodStretches) {
+  FppConfig cfg;
+  FppController c(cfg, 300.0);
+  feed_square(c, 25.0, 90.0);
+  c.control(300.0);  // first round
+  feed_square(c, 25.0, 90.0);
+  EXPECT_DOUBLE_EQ(c.control(300.0), 250.0);  // probe
+  // The cap hurt: period stretches 25 → 31 s (Δ = +6 ≥ change_th).
+  feed_square(c, 31.0, 90.0);
+  const double cap = c.control(300.0);
+  EXPECT_GT(cap, 250.0);  // power given back (stepped)
+  EXPECT_GE(c.increases(), 1);
+}
+
+TEST(FppController, DeviceAgnosticOnSocketSignal) {
+  // Nothing GPU-specific: drive the controller with a CPU-socket-like
+  // signal and lower cap range (§III-B2: applicable to socket capping).
+  FppConfig cfg = literal_config();
+  cfg.min_gpu_cap_w = 75.0;
+  cfg.max_gpu_cap_w = 190.0;
+  FppController c(cfg, 190.0);
+  feed_square(c, 12.0, 90.0, 80.0, 170.0);
+  const double cap = c.control(190.0);
+  EXPECT_LE(cap, 190.0);
+  EXPECT_GE(cap, 75.0);
+}
+
+}  // namespace
+}  // namespace fluxpower::manager

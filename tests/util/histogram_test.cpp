@@ -1,0 +1,84 @@
+// Tests for util/histogram.
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fluxpower::util {
+namespace {
+
+TEST(Histogram, ConstructionValidation) {
+  EXPECT_THROW(Histogram(10.0, 10.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(10.0, 5.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 100.0, 4);
+  EXPECT_EQ(h.bins(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 25.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 75.0);
+  EXPECT_THROW(h.bin_lo(4), std::out_of_range);
+}
+
+TEST(Histogram, CountsLandInRightBins) {
+  Histogram h(0.0, 100.0, 4);
+  h.add(0.0);    // bin 0 (inclusive low edge)
+  h.add(24.9);   // bin 0
+  h.add(25.0);   // bin 1
+  h.add(99.9);   // bin 3
+  h.add(100.0);  // overflow (exclusive high edge)
+  h.add(-0.1);   // underflow
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, FractionAtOrAbove) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_NEAR(h.fraction_at_or_above(50.0), 0.5, 0.02);
+  EXPECT_NEAR(h.fraction_at_or_above(90.0), 0.1, 0.02);
+  EXPECT_DOUBLE_EQ(h.fraction_at_or_above(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction_at_or_above(200.0), 0.0);
+}
+
+TEST(Histogram, FractionCountsOverflow) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(5.0);
+  h.add(50.0);  // overflow, still >= any threshold in range
+  EXPECT_NEAR(h.fraction_at_or_above(8.0), 0.5, 1e-9);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(7.0);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // peak bin full width
+  EXPECT_NE(out.find("#####"), std::string::npos);
+}
+
+TEST(Histogram, TotalConservation) {
+  util::Rng rng(5);
+  Histogram h(100.0, 900.0, 16);
+  std::uint64_t n = 0;
+  for (int i = 0; i < 5000; ++i) {
+    h.add(rng.uniform(0.0, 1000.0));
+    ++n;
+  }
+  std::uint64_t sum = h.underflow() + h.overflow();
+  for (std::size_t b = 0; b < h.bins(); ++b) sum += h.count(b);
+  EXPECT_EQ(sum, n);
+  EXPECT_EQ(h.total(), n);
+}
+
+}  // namespace
+}  // namespace fluxpower::util

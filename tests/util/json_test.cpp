@@ -1,0 +1,252 @@
+// Tests for util/json: the telemetry and RPC payload encoding.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace fluxpower::util {
+namespace {
+
+TEST(Json, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.type(), Json::Type::Null);
+}
+
+TEST(Json, BoolRoundTrip) {
+  Json t(true), f(false);
+  EXPECT_TRUE(t.is_bool());
+  EXPECT_TRUE(t.as_bool());
+  EXPECT_FALSE(f.as_bool());
+}
+
+TEST(Json, IntRoundTrip) {
+  Json j(42);
+  EXPECT_TRUE(j.is_int());
+  EXPECT_TRUE(j.is_number());
+  EXPECT_EQ(j.as_int(), 42);
+  EXPECT_DOUBLE_EQ(j.as_double(), 42.0);
+}
+
+TEST(Json, NegativeInt) {
+  Json j(-7);
+  EXPECT_EQ(j.as_int(), -7);
+}
+
+TEST(Json, Int64Limits) {
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+  Json j(big);
+  EXPECT_EQ(j.as_int(), big);
+  EXPECT_EQ(Json::parse(j.dump()).as_int(), big);
+}
+
+TEST(Json, DoubleRoundTrip) {
+  Json j(3.14159);
+  EXPECT_TRUE(j.is_double());
+  EXPECT_DOUBLE_EQ(j.as_double(), 3.14159);
+}
+
+TEST(Json, StringRoundTrip) {
+  Json j("hello");
+  EXPECT_TRUE(j.is_string());
+  EXPECT_EQ(j.as_string(), "hello");
+}
+
+TEST(Json, TypeMismatchThrows) {
+  Json j(42);
+  EXPECT_THROW(j.as_string(), JsonError);
+  EXPECT_THROW(j.as_array(), JsonError);
+  EXPECT_THROW(j.as_object(), JsonError);
+  EXPECT_THROW(Json("x").as_int(), JsonError);
+  EXPECT_THROW(Json("x").as_bool(), JsonError);
+}
+
+TEST(Json, ObjectInsertAndLookup) {
+  Json j = Json::object();
+  j["power"] = 123.5;
+  j["host"] = "lassen0";
+  EXPECT_TRUE(j.contains("power"));
+  EXPECT_FALSE(j.contains("missing"));
+  EXPECT_DOUBLE_EQ(j.at("power").as_double(), 123.5);
+  EXPECT_EQ(j.at("host").as_string(), "lassen0");
+}
+
+TEST(Json, ObjectMissingKeyThrows) {
+  Json j = Json::object();
+  EXPECT_THROW(j.at("nope"), JsonError);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j["z"] = 1;
+  j["a"] = 2;
+  j["m"] = 3;
+  EXPECT_EQ(j.dump(), R"({"z":1,"a":2,"m":3})");
+}
+
+TEST(Json, MutatingNullMakesObject) {
+  Json j;
+  j["k"] = 5;
+  EXPECT_TRUE(j.is_object());
+  EXPECT_EQ(j.at("k").as_int(), 5);
+}
+
+TEST(Json, PushBackOnNullMakesArray) {
+  Json j;
+  j.push_back(1);
+  j.push_back("two");
+  EXPECT_TRUE(j.is_array());
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_EQ(j[0].as_int(), 1);
+  EXPECT_EQ(j[1].as_string(), "two");
+}
+
+TEST(Json, SizeOnScalarThrows) {
+  EXPECT_THROW(Json(3).size(), JsonError);
+}
+
+TEST(Json, NumberOrDefaults) {
+  Json j = Json::object();
+  j["x"] = 2.5;
+  j["s"] = "str";
+  EXPECT_DOUBLE_EQ(j.number_or("x", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(j.number_or("missing", 7.0), 7.0);
+  EXPECT_DOUBLE_EQ(j.number_or("s", 7.0), 7.0);  // wrong type -> fallback
+  EXPECT_EQ(j.int_or("missing", 3), 3);
+  EXPECT_EQ(j.string_or("s", ""), "str");
+  EXPECT_EQ(j.string_or("x", "d"), "d");
+  EXPECT_TRUE(j.bool_or("nope", true));
+}
+
+TEST(Json, LookupHelpersOnNonObject) {
+  Json j(5);
+  EXPECT_DOUBLE_EQ(j.number_or("k", 1.5), 1.5);
+  EXPECT_EQ(j.string_or("k", "d"), "d");
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_EQ(Json::parse("123").as_int(), 123);
+  EXPECT_EQ(Json::parse("-4").as_int(), -4);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-1.5E-2").as_double(), -0.015);
+  EXPECT_EQ(Json::parse("\"abc\"").as_string(), "abc");
+}
+
+TEST(JsonParse, Whitespace) {
+  Json j = Json::parse("  {\n\t\"a\" : [ 1 , 2 ] \r\n}  ");
+  EXPECT_EQ(j.at("a").size(), 2u);
+}
+
+TEST(JsonParse, NestedStructures) {
+  Json j = Json::parse(R"({"a":{"b":[1,{"c":true}]}})");
+  EXPECT_TRUE(j.at("a").at("b")[1].at("c").as_bool());
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_EQ(Json::parse("{}").size(), 0u);
+  EXPECT_EQ(Json::parse("[]").size(), 0u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b")").as_string(), "a\"b");
+  EXPECT_EQ(Json::parse(R"("a\\b")").as_string(), "a\\b");
+  EXPECT_EQ(Json::parse(R"("a\nb")").as_string(), "a\nb");
+  EXPECT_EQ(Json::parse(R"("a\tb")").as_string(), "a\tb");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");  // é UTF-8
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), JsonError);
+  EXPECT_THROW(Json::parse("{a:1}"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("1 2"), JsonError);  // trailing garbage
+  EXPECT_THROW(Json::parse("-"), JsonError);
+  EXPECT_THROW(Json::parse("\"a\nb\""), JsonError);  // raw control char
+}
+
+TEST(JsonDump, CompactAndPretty) {
+  Json j = Json::object();
+  j["a"] = 1;
+  j["b"] = Json::array();
+  j["b"].push_back(2);
+  EXPECT_EQ(j.dump(), R"({"a":1,"b":[2]})");
+  const std::string pretty = j.dump(2);
+  EXPECT_NE(pretty.find("\n  \"a\": 1"), std::string::npos);
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  Json j(std::string("a\x01") + "b");
+  EXPECT_EQ(j.dump(), "\"a\\u0001b\"");
+}
+
+TEST(JsonDump, NanAndInfBecomeNull) {
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(JsonDump, DoubleRoundTripsExactly) {
+  const double values[] = {0.1, 1.0 / 3.0, 1e-17, 123456.789,
+                           2.2250738585072014e-308};
+  for (double v : values) {
+    EXPECT_DOUBLE_EQ(Json::parse(Json(v).dump()).as_double(), v) << v;
+  }
+}
+
+TEST(JsonEquality, OrderInsensitiveObjects) {
+  Json a = Json::parse(R"({"x":1,"y":2})");
+  Json b = Json::parse(R"({"y":2,"x":1})");
+  EXPECT_EQ(a, b);
+}
+
+TEST(JsonEquality, DifferentValues) {
+  EXPECT_FALSE(Json(1) == Json(2));
+  EXPECT_FALSE(Json(1) == Json("1"));
+}
+
+TEST(JsonObject, EraseRemovesKey) {
+  Json j = Json::object();
+  j["a"] = 1;
+  j["b"] = 2;
+  j.as_object().erase("a");
+  EXPECT_FALSE(j.contains("a"));
+  EXPECT_TRUE(j.contains("b"));
+}
+
+// Round-trip property over a family of generated documents.
+class JsonRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonRoundTrip, ParseDumpParseIsIdentity) {
+  const int depth = GetParam();
+  // Build a nested document of the given depth.
+  Json j = Json::object();
+  j["leaf"] = depth;
+  j["list"] = Json::array();
+  for (int i = 0; i < depth; ++i) {
+    j["list"].push_back(i * 1.5);
+    Json child = Json::object();
+    child["d"] = i;
+    child["s"] = std::string(static_cast<std::size_t>(i), 'x');
+    j["n" + std::to_string(i)] = std::move(child);
+  }
+  const std::string once = j.dump();
+  Json back = Json::parse(once);
+  EXPECT_EQ(back, j);
+  EXPECT_EQ(back.dump(), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, JsonRoundTrip,
+                         ::testing::Values(0, 1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace fluxpower::util

@@ -1,0 +1,98 @@
+// Tests for util/log and util/table.
+#include <gtest/gtest.h>
+
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace fluxpower::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest() {
+    Logger::instance().set_sink([this](LogLevel level, std::string_view msg) {
+      captured_.emplace_back(level, std::string(msg));
+    });
+    saved_level_ = Logger::instance().level();
+  }
+  ~LogTest() override {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(saved_level_);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+  LogLevel saved_level_;
+};
+
+TEST_F(LogTest, LevelFiltering) {
+  Logger::instance().set_level(LogLevel::Warning);
+  log_debug("d");
+  log_info("i");
+  log_warning("w");
+  log_error("e");
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].second, "w");
+  EXPECT_EQ(captured_[1].second, "e");
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Logger::instance().set_level(LogLevel::Off);
+  log_error("nope");
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogTest, DebugLevelPassesAll) {
+  Logger::instance().set_level(LogLevel::Debug);
+  log_debug("a");
+  log_info("b");
+  EXPECT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].first, LogLevel::Debug);
+}
+
+TEST(LogLevelNames, AllNamed) {
+  EXPECT_STREQ(log_level_name(LogLevel::Debug), "debug");
+  EXPECT_STREQ(log_level_name(LogLevel::Info), "info");
+  EXPECT_STREQ(log_level_name(LogLevel::Warning), "warning");
+  EXPECT_STREQ(log_level_name(LogLevel::Error), "error");
+  EXPECT_STREQ(log_level_name(LogLevel::Off), "off");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"xxxxxx", "1"});
+  t.add_row({"y", "22"});
+  const std::string out = t.to_string();
+  // All lines the same width.
+  std::size_t width = 0;
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+  EXPECT_NE(out.find("| xxxxxx | 1           |"), std::string::npos);
+}
+
+TEST(TextTable, HandlesShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, EmptyTableStillPrintsHeader) {
+  TextTable t({"h1", "h2"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("h1"), std::string::npos);
+  // Separator, header, separator, separator (no rows).
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace fluxpower::util

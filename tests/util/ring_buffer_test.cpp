@@ -1,0 +1,122 @@
+// Tests for util/ring_buffer: the node-agent's sample store.
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fluxpower::util {
+namespace {
+
+TEST(RingBuffer, ZeroCapacityRejected) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+}
+
+TEST(RingBuffer, FillWithoutWrap) {
+  RingBuffer<int> rb(4);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb[0], 1);
+  EXPECT_EQ(rb[1], 2);
+  EXPECT_EQ(rb[2], 3);
+  EXPECT_EQ(rb.front(), 1);
+  EXPECT_EQ(rb.back(), 3);
+  EXPECT_EQ(rb.evicted(), 0u);
+}
+
+TEST(RingBuffer, WrapEvictsOldest) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.front(), 3);
+  EXPECT_EQ(rb.back(), 5);
+  EXPECT_EQ(rb[0], 3);
+  EXPECT_EQ(rb[1], 4);
+  EXPECT_EQ(rb[2], 5);
+  EXPECT_EQ(rb.evicted(), 2u);
+  EXPECT_EQ(rb.total_pushed(), 5u);
+}
+
+TEST(RingBuffer, IndexOutOfRangeThrows) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  EXPECT_THROW(rb[1], std::out_of_range);
+}
+
+TEST(RingBuffer, ForEachVisitsInOrder) {
+  RingBuffer<int> rb(3);
+  for (int i = 0; i < 7; ++i) rb.push(i);
+  std::vector<int> seen;
+  rb.for_each([&](int v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{4, 5, 6}));
+}
+
+TEST(RingBuffer, SnapshotMatchesForEach) {
+  RingBuffer<std::string> rb(2);
+  rb.push("a");
+  rb.push("b");
+  rb.push("c");
+  EXPECT_EQ(rb.snapshot(), (std::vector<std::string>{"b", "c"}));
+}
+
+TEST(RingBuffer, ClearKeepsEvictionAccounting) {
+  RingBuffer<int> rb(2);
+  for (int i = 0; i < 5; ++i) rb.push(i);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.total_pushed(), 5u);
+  rb.push(9);
+  EXPECT_EQ(rb.front(), 9);
+}
+
+TEST(RingBuffer, CapacityOneAlwaysKeepsNewest) {
+  RingBuffer<int> rb(1);
+  for (int i = 0; i < 10; ++i) rb.push(i);
+  EXPECT_EQ(rb.size(), 1u);
+  EXPECT_EQ(rb[0], 9);
+}
+
+TEST(RingBuffer, MoveOnlyFriendly) {
+  RingBuffer<std::unique_ptr<int>> rb(2);
+  rb.push(std::make_unique<int>(1));
+  rb.push(std::make_unique<int>(2));
+  rb.push(std::make_unique<int>(3));
+  EXPECT_EQ(*rb[0], 2);
+  EXPECT_EQ(*rb[1], 3);
+}
+
+// Property: after any number of pushes n, contents are exactly the last
+// min(n, capacity) values in order.
+class RingBufferProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RingBufferProperty, LastKSurvive) {
+  const auto [capacity, pushes] = GetParam();
+  RingBuffer<int> rb(static_cast<std::size_t>(capacity));
+  for (int i = 0; i < pushes; ++i) rb.push(i);
+  const int expect_size = std::min(capacity, pushes);
+  ASSERT_EQ(rb.size(), static_cast<std::size_t>(expect_size));
+  for (int i = 0; i < expect_size; ++i) {
+    EXPECT_EQ(rb[static_cast<std::size_t>(i)], pushes - expect_size + i);
+  }
+  EXPECT_EQ(rb.evicted(), static_cast<std::uint64_t>(pushes - expect_size));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RingBufferProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 16, 100),
+                       ::testing::Values(0, 1, 5, 16, 99, 250)));
+
+}  // namespace
+}  // namespace fluxpower::util

@@ -1,0 +1,147 @@
+// Tests for util/stats: the measurement arithmetic behind every table.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fluxpower::util {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{7.0}), 7.0);
+}
+
+TEST(Stats, SumIsAccurateForManySmallTerms) {
+  // 1e6 terms of 0.1: naive float summation drifts; Kahan keeps it exact
+  // to ~1e-6 relative.
+  std::vector<double> xs(1000000, 0.1);
+  EXPECT_NEAR(sum(xs), 100000.0, 1e-6);
+}
+
+TEST(Stats, VarianceAndStddev) {
+  std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(variance(xs), 4.5714285714, 1e-9);  // sample variance
+  EXPECT_NEAR(stddev(xs), 2.13809, 1e-4);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  std::vector<double> xs{3, -1, 7, 2};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7);
+  EXPECT_THROW(min_of(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(max_of(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  std::vector<double> xs{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, QuantileErrors) {
+  std::vector<double> xs{1.0};
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(Stats, BoxStatsFiveNumbers) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const BoxStats b = box_stats(xs);
+  EXPECT_DOUBLE_EQ(b.min, 1);
+  EXPECT_DOUBLE_EQ(b.median, 5);
+  EXPECT_DOUBLE_EQ(b.max, 9);
+  EXPECT_DOUBLE_EQ(b.q1, 3);
+  EXPECT_DOUBLE_EQ(b.q3, 7);
+}
+
+TEST(Stats, PercentChange) {
+  EXPECT_DOUBLE_EQ(percent_change(100.0, 120.0), 20.0);
+  EXPECT_DOUBLE_EQ(percent_change(100.0, 80.0), -20.0);
+  EXPECT_THROW(percent_change(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Stats, CoefficientOfVariation) {
+  std::vector<double> same{5, 5, 5};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation_pct(same), 0.0);
+  std::vector<double> xs{90, 100, 110};
+  EXPECT_NEAR(coefficient_of_variation_pct(xs), 10.0, 0.5);
+}
+
+TEST(Stats, TrapezoidIntegration) {
+  // Constant 100 W over 10 s = 1000 J.
+  std::vector<double> ts{0, 2, 4, 6, 8, 10};
+  std::vector<double> ws(6, 100.0);
+  EXPECT_DOUBLE_EQ(trapezoid(ts, ws), 1000.0);
+  // Linear ramp 0..10 over 10 s = 50 J.
+  std::vector<double> ramp{0, 2, 4, 6, 8, 10};
+  EXPECT_DOUBLE_EQ(trapezoid(ts, ramp), 50.0);
+}
+
+TEST(Stats, TrapezoidErrors) {
+  std::vector<double> a{1, 2}, b{1};
+  EXPECT_THROW(trapezoid(a, b), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(trapezoid(b, b), 0.0);  // single point integrates to 0
+}
+
+TEST(RunningStats, MatchesBatch) {
+  std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.max(), 9);
+  EXPECT_DOUBLE_EQ(rs.min(), 2);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats rs;
+  rs.add(-3.5);
+  EXPECT_DOUBLE_EQ(rs.mean(), -3.5);
+  EXPECT_DOUBLE_EQ(rs.min(), -3.5);
+  EXPECT_DOUBLE_EQ(rs.max(), -3.5);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+// Property sweep: quantile is monotone in q and bounded by min/max.
+class QuantileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileMonotone, MonotoneAndBounded) {
+  const int n = GetParam();
+  std::vector<double> xs;
+  for (int i = 0; i < n; ++i) xs.push_back((i * 37) % 101);
+  double prev = min_of(xs);
+  for (double q = 0.0; q <= 1.0001; q += 0.05) {
+    const double v = quantile(xs, std::min(q, 1.0));
+    EXPECT_GE(v, prev - 1e-12);
+    EXPECT_GE(v, min_of(xs));
+    EXPECT_LE(v, max_of(xs));
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QuantileMonotone,
+                         ::testing::Values(1, 2, 3, 10, 101, 1000));
+
+}  // namespace
+}  // namespace fluxpower::util

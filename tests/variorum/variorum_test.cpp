@@ -1,0 +1,155 @@
+// Tests for the Variorum layer: vendor-neutral telemetry and capping.
+#include "variorum/variorum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hwsim/cray_ex235a.hpp"
+#include "hwsim/ibm_ac922.hpp"
+#include "hwsim/intel_xeon.hpp"
+
+namespace fluxpower::variorum {
+namespace {
+
+using hwsim::CapStatus;
+using hwsim::LoadDemand;
+
+TEST(VariorumJson, IbmSchemaHasAllDomains) {
+  sim::Simulation sim;
+  hwsim::IbmAc922Node node(sim, "lassen0");
+  const util::Json j = get_node_power_json(node);
+  EXPECT_EQ(j.at("hostname").as_string(), "lassen0");
+  EXPECT_TRUE(j.contains("timestamp"));
+  EXPECT_TRUE(j.contains("power_node_watts"));
+  EXPECT_TRUE(j.contains("power_cpu_watts_socket_0"));
+  EXPECT_TRUE(j.contains("power_cpu_watts_socket_1"));
+  EXPECT_TRUE(j.contains("power_mem_watts"));
+  EXPECT_TRUE(j.contains("power_gpu_watts_gpu_0"));
+  EXPECT_TRUE(j.contains("power_gpu_watts_gpu_3"));
+  EXPECT_FALSE(j.contains("power_gpu_watts_oam_0"));
+  EXPECT_FALSE(j.contains("power_node_estimate_watts"));
+}
+
+TEST(VariorumJson, TiogaSchemaOmitsMissingSensors) {
+  sim::Simulation sim;
+  hwsim::CrayEx235aNode node(sim, "tioga0");
+  const util::Json j = get_node_power_json(node);
+  EXPECT_FALSE(j.contains("power_node_watts"));
+  EXPECT_FALSE(j.contains("power_mem_watts"));
+  EXPECT_TRUE(j.contains("power_node_estimate_watts"));
+  EXPECT_TRUE(j.contains("power_gpu_watts_oam_0"));
+  EXPECT_TRUE(j.contains("power_gpu_watts_oam_3"));
+  EXPECT_FALSE(j.contains("power_gpu_watts_gpu_0"));
+}
+
+TEST(VariorumJson, TimestampTracksSimClock) {
+  sim::Simulation sim;
+  hwsim::IbmAc922Node node(sim, "lassen0");
+  sim.run_until(42.0);
+  const util::Json j = get_node_power_json(node);
+  EXPECT_DOUBLE_EQ(j.at("timestamp").as_double(), 42.0);
+}
+
+TEST(VariorumJson, ParseRoundTripsIbm) {
+  sim::Simulation sim;
+  hwsim::IbmAc922Node node(sim, "lassen0");
+  LoadDemand d;
+  d.cpu_w = {110, 120};
+  d.gpu_w = {200, 210, 220, 230};
+  d.mem_w = 70;
+  node.set_demand(d);
+  const hwsim::PowerSample parsed =
+      parse_node_power_json(get_node_power_json(node));
+  EXPECT_EQ(parsed.hostname, "lassen0");
+  ASSERT_EQ(parsed.cpu_w.size(), 2u);
+  EXPECT_NEAR(parsed.cpu_w[1], 120.0, 0.01);
+  ASSERT_EQ(parsed.gpu_w.size(), 4u);
+  EXPECT_NEAR(parsed.gpu_w[3], 230.0, 0.01);
+  ASSERT_TRUE(parsed.node_w.has_value());
+  EXPECT_FALSE(parsed.gpu_is_oam);
+}
+
+TEST(VariorumJson, ParseRoundTripsTioga) {
+  sim::Simulation sim;
+  hwsim::CrayEx235aNode node(sim, "tioga0");
+  const hwsim::PowerSample parsed =
+      parse_node_power_json(get_node_power_json(node));
+  EXPECT_TRUE(parsed.gpu_is_oam);
+  EXPECT_EQ(parsed.gpu_w.size(), 4u);
+  EXPECT_FALSE(parsed.node_w.has_value());
+  EXPECT_TRUE(parsed.node_estimate_w.has_value());
+  EXPECT_FALSE(parsed.mem_w.has_value());
+}
+
+TEST(VariorumCap, IbmUsesDirectNodeDial) {
+  sim::Simulation sim;
+  hwsim::IbmAc922Node node(sim, "lassen0");
+  const auto r = cap_best_effort_node_power_limit(node, 1950.0);
+  EXPECT_TRUE(r.ok());
+  ASSERT_TRUE(node.node_power_cap().has_value());
+  EXPECT_DOUBLE_EQ(*node.node_power_cap(), 1950.0);
+  // Sockets untouched: the node dial handled it.
+  EXPECT_FALSE(node.socket_power_cap(0).has_value());
+}
+
+TEST(VariorumCap, IntelFallsBackToUniformSocketSplit) {
+  sim::Simulation sim;
+  hwsim::IntelXeonNode node(sim, "intel0");
+  const auto r = cap_best_effort_node_power_limit(node, 600.0);
+  EXPECT_TRUE(r.ok());
+  ASSERT_TRUE(node.socket_power_cap(0).has_value());
+  ASSERT_TRUE(node.socket_power_cap(1).has_value());
+  EXPECT_DOUBLE_EQ(*node.socket_power_cap(0), *node.socket_power_cap(1));
+  // (600 - idle mem reserve) split two ways, within RAPL range.
+  EXPECT_GT(*node.socket_power_cap(0), 75.0 - 1e-9);
+  EXPECT_LT(*node.socket_power_cap(0), 350.0 + 1e-9);
+}
+
+TEST(VariorumCap, TiogaDeniedPropagates) {
+  sim::Simulation sim;
+  hwsim::CrayEx235aNode node(sim, "tioga0");
+  const auto r = cap_best_effort_node_power_limit(node, 1500.0);
+  EXPECT_EQ(r.status, CapStatus::PermissionDenied);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(VariorumCap, EachGpuAppliesUniformCap) {
+  sim::Simulation sim;
+  hwsim::IbmAc922Node node(sim, "lassen0");
+  const auto results = cap_each_gpu_power_limit(node, 180.0);
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) EXPECT_TRUE(r.ok());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(*node.gpu_power_cap(i), 180.0);
+  }
+}
+
+TEST(VariorumCap, EachGpuOnTiogaDeniedPerGpu) {
+  sim::Simulation sim;
+  hwsim::CrayEx235aNode node(sim, "tioga0");
+  const auto results = cap_each_gpu_power_limit(node, 180.0);
+  ASSERT_EQ(results.size(), 8u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.status, CapStatus::PermissionDenied);
+  }
+}
+
+TEST(VariorumCap, SingleGpuCap) {
+  sim::Simulation sim;
+  hwsim::IbmAc922Node node(sim, "lassen0");
+  EXPECT_TRUE(cap_gpu_power_limit(node, 2, 222.0).ok());
+  EXPECT_DOUBLE_EQ(*node.gpu_power_cap(2), 222.0);
+  EXPECT_FALSE(node.gpu_power_cap(0).has_value());
+}
+
+TEST(VariorumJson, SerializedFormParsesAsJsonText) {
+  // The JSON object must be valid JSON text end-to-end (the paper's module
+  // stores the serialized Variorum object in its buffer).
+  sim::Simulation sim;
+  hwsim::IbmAc922Node node(sim, "lassen0");
+  const std::string text = get_node_power_json(node).dump();
+  const util::Json back = util::Json::parse(text);
+  EXPECT_EQ(back.at("hostname").as_string(), "lassen0");
+}
+
+}  // namespace
+}  // namespace fluxpower::variorum

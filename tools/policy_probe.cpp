@@ -1,0 +1,32 @@
+#include "experiments/scenario.hpp"
+#include <cstdio>
+using namespace fluxpower;
+using namespace fluxpower::experiments;
+
+static void run(const char* label, manager::PowerManagerConfig mcfg, bool load_manager) {
+  ScenarioConfig cfg;
+  cfg.nodes = 8;
+  cfg.load_manager = load_manager;
+  cfg.manager = mcfg;
+  Scenario s(cfg);
+  JobRequest gemm; gemm.kind = apps::AppKind::Gemm; gemm.nnodes = 6; gemm.work_scale = 2.0;
+  s.submit(gemm);
+  JobRequest qs; qs.kind = apps::AppKind::Quicksilver; qs.nnodes = 2; qs.work_scale = 27.5;
+  s.submit(qs);
+  auto res = s.run();
+  std::printf("%-14s GEMM t=%7.1f maxW=%7.1f avgW=%7.1f E=%7.1fkJ | QS t=%6.1f maxW=%6.1f E=%6.1fkJ | clusterMax=%8.1f\n",
+    label,
+    res.jobs[0].runtime_s, res.jobs[0].max_node_power_w, res.jobs[0].avg_node_power_w, res.jobs[0].exact_avg_node_energy_j/1e3,
+    res.jobs[1].runtime_s, res.jobs[1].max_node_power_w, res.jobs[1].exact_avg_node_energy_j/1e3,
+    res.max_cluster_power_w);
+}
+
+int main() {
+  manager::PowerManagerConfig unc; run("unconstrained", unc, false);
+  manager::PowerManagerConfig ibm; ibm.static_node_cap_w = 1200.0; run("ibm-1200", ibm, true);
+  manager::PowerManagerConfig st;  st.static_node_cap_w = 1950.0; run("static-1950", st, true);
+  manager::PowerManagerConfig pr;  pr.cluster_power_bound_w = 9600.0; pr.static_node_cap_w = 1950.0;
+  pr.node_policy = manager::NodePolicy::DirectGpuBudget; run("prop-share", pr, true);
+  manager::PowerManagerConfig fp = pr; fp.node_policy = manager::NodePolicy::Fpp; run("fpp", fp, true);
+  return 0;
+}
