@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fpp.dir/ablation_fpp.cpp.o"
+  "CMakeFiles/ablation_fpp.dir/ablation_fpp.cpp.o.d"
+  "ablation_fpp"
+  "ablation_fpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fpp_stagger.dir/ablation_fpp_stagger.cpp.o"
+  "CMakeFiles/ablation_fpp_stagger.dir/ablation_fpp_stagger.cpp.o.d"
+  "ablation_fpp_stagger"
+  "ablation_fpp_stagger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fpp_stagger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

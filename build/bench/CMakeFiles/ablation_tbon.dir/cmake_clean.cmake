@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tbon.dir/ablation_tbon.cpp.o"
+  "CMakeFiles/ablation_tbon.dir/ablation_tbon.cpp.o.d"
+  "ablation_tbon"
+  "ablation_tbon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tbon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_converged_site.dir/ext_converged_site.cpp.o"
+  "CMakeFiles/ext_converged_site.dir/ext_converged_site.cpp.o.d"
+  "ext_converged_site"
+  "ext_converged_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_converged_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

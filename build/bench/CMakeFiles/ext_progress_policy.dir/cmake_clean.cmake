@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_progress_policy.dir/ext_progress_policy.cpp.o"
+  "CMakeFiles/ext_progress_policy.dir/ext_progress_policy.cpp.o.d"
+  "ext_progress_policy"
+  "ext_progress_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_progress_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_queue_mixes.dir/ext_queue_mixes.cpp.o"
+  "CMakeFiles/ext_queue_mixes.dir/ext_queue_mixes.cpp.o.d"
+  "ext_queue_mixes"
+  "ext_queue_mixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_queue_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_monitor_overhead.dir/fig3_monitor_overhead.cpp.o"
+  "CMakeFiles/fig3_monitor_overhead.dir/fig3_monitor_overhead.cpp.o.d"
+  "fig3_monitor_overhead"
+  "fig3_monitor_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_monitor_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

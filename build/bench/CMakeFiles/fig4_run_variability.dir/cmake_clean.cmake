@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_run_variability.dir/fig4_run_variability.cpp.o"
+  "CMakeFiles/fig4_run_variability.dir/fig4_run_variability.cpp.o.d"
+  "fig4_run_variability"
+  "fig4_run_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_run_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

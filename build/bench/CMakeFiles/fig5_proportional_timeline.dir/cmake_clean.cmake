@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_proportional_timeline.dir/fig5_proportional_timeline.cpp.o"
+  "CMakeFiles/fig5_proportional_timeline.dir/fig5_proportional_timeline.cpp.o.d"
+  "fig5_proportional_timeline"
+  "fig5_proportional_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_proportional_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fpp_timeline.dir/fig6_fpp_timeline.cpp.o"
+  "CMakeFiles/fig6_fpp_timeline.dir/fig6_fpp_timeline.cpp.o.d"
+  "fig6_fpp_timeline"
+  "fig6_fpp_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fpp_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_non_mpi.dir/fig7_non_mpi.cpp.o"
+  "CMakeFiles/fig7_non_mpi.dir/fig7_non_mpi.cpp.o.d"
+  "fig7_non_mpi"
+  "fig7_non_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_non_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

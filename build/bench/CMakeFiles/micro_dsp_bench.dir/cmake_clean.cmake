@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dsp_bench.dir/micro_dsp_bench.cpp.o"
+  "CMakeFiles/micro_dsp_bench.dir/micro_dsp_bench.cpp.o.d"
+  "micro_dsp_bench"
+  "micro_dsp_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dsp_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hwsim_bench.dir/micro_hwsim_bench.cpp.o"
+  "CMakeFiles/micro_hwsim_bench.dir/micro_hwsim_bench.cpp.o.d"
+  "micro_hwsim_bench"
+  "micro_hwsim_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hwsim_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_makespan.dir/queue_makespan.cpp.o"
+  "CMakeFiles/queue_makespan.dir/queue_makespan.cpp.o.d"
+  "queue_makespan"
+  "queue_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section5_capping_reliability.dir/section5_capping_reliability.cpp.o"
+  "CMakeFiles/section5_capping_reliability.dir/section5_capping_reliability.cpp.o.d"
+  "section5_capping_reliability"
+  "section5_capping_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section5_capping_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

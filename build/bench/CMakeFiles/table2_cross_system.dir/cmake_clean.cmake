@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cross_system.dir/table2_cross_system.cpp.o"
+  "CMakeFiles/table2_cross_system.dir/table2_cross_system.cpp.o.d"
+  "table2_cross_system"
+  "table2_cross_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cross_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

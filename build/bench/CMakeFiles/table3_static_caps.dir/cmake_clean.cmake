@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_static_caps.dir/table3_static_caps.cpp.o"
+  "CMakeFiles/table3_static_caps.dir/table3_static_caps.cpp.o.d"
+  "table3_static_caps"
+  "table3_static_caps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_static_caps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

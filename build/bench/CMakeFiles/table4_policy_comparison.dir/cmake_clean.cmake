@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_policy_comparison.dir/table4_policy_comparison.cpp.o"
+  "CMakeFiles/table4_policy_comparison.dir/table4_policy_comparison.cpp.o.d"
+  "table4_policy_comparison"
+  "table4_policy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_queue_policies.dir/job_queue_policies.cpp.o"
+  "CMakeFiles/job_queue_policies.dir/job_queue_policies.cpp.o.d"
+  "job_queue_policies"
+  "job_queue_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_queue_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/non_mpi_and_user_instances.dir/non_mpi_and_user_instances.cpp.o"
+  "CMakeFiles/non_mpi_and_user_instances.dir/non_mpi_and_user_instances.cpp.o.d"
+  "non_mpi_and_user_instances"
+  "non_mpi_and_user_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/non_mpi_and_user_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

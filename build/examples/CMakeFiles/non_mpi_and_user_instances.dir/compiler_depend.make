@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for non_mpi_and_user_instances.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_constrained_cluster.dir/power_constrained_cluster.cpp.o"
+  "CMakeFiles/power_constrained_cluster.dir/power_constrained_cluster.cpp.o.d"
+  "power_constrained_cluster"
+  "power_constrained_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_constrained_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

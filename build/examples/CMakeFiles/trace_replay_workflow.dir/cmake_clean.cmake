@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_replay_workflow.dir/trace_replay_workflow.cpp.o"
+  "CMakeFiles/trace_replay_workflow.dir/trace_replay_workflow.cpp.o.d"
+  "trace_replay_workflow"
+  "trace_replay_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_replay_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_model.cpp" "src/apps/CMakeFiles/fp_apps.dir/app_model.cpp.o" "gcc" "src/apps/CMakeFiles/fp_apps.dir/app_model.cpp.o.d"
+  "/root/repo/src/apps/app_runtime.cpp" "src/apps/CMakeFiles/fp_apps.dir/app_runtime.cpp.o" "gcc" "src/apps/CMakeFiles/fp_apps.dir/app_runtime.cpp.o.d"
+  "/root/repo/src/apps/launcher.cpp" "src/apps/CMakeFiles/fp_apps.dir/launcher.cpp.o" "gcc" "src/apps/CMakeFiles/fp_apps.dir/launcher.cpp.o.d"
+  "/root/repo/src/apps/trace_replay.cpp" "src/apps/CMakeFiles/fp_apps.dir/trace_replay.cpp.o" "gcc" "src/apps/CMakeFiles/fp_apps.dir/trace_replay.cpp.o.d"
+  "/root/repo/src/apps/workload.cpp" "src/apps/CMakeFiles/fp_apps.dir/workload.cpp.o" "gcc" "src/apps/CMakeFiles/fp_apps.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flux/CMakeFiles/fp_flux.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsim/CMakeFiles/fp_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

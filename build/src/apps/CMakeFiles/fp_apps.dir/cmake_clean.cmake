@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_apps.dir/app_model.cpp.o"
+  "CMakeFiles/fp_apps.dir/app_model.cpp.o.d"
+  "CMakeFiles/fp_apps.dir/app_runtime.cpp.o"
+  "CMakeFiles/fp_apps.dir/app_runtime.cpp.o.d"
+  "CMakeFiles/fp_apps.dir/launcher.cpp.o"
+  "CMakeFiles/fp_apps.dir/launcher.cpp.o.d"
+  "CMakeFiles/fp_apps.dir/trace_replay.cpp.o"
+  "CMakeFiles/fp_apps.dir/trace_replay.cpp.o.d"
+  "CMakeFiles/fp_apps.dir/workload.cpp.o"
+  "CMakeFiles/fp_apps.dir/workload.cpp.o.d"
+  "libfp_apps.a"
+  "libfp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

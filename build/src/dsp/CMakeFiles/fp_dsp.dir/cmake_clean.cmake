@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_dsp.dir/fft.cpp.o"
+  "CMakeFiles/fp_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/fp_dsp.dir/period.cpp.o"
+  "CMakeFiles/fp_dsp.dir/period.cpp.o.d"
+  "libfp_dsp.a"
+  "libfp_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_experiments.dir/report.cpp.o"
+  "CMakeFiles/fp_experiments.dir/report.cpp.o.d"
+  "CMakeFiles/fp_experiments.dir/scenario.cpp.o"
+  "CMakeFiles/fp_experiments.dir/scenario.cpp.o.d"
+  "libfp_experiments.a"
+  "libfp_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

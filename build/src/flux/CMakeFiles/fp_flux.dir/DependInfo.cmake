@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flux/broker.cpp" "src/flux/CMakeFiles/fp_flux.dir/broker.cpp.o" "gcc" "src/flux/CMakeFiles/fp_flux.dir/broker.cpp.o.d"
+  "/root/repo/src/flux/codec.cpp" "src/flux/CMakeFiles/fp_flux.dir/codec.cpp.o" "gcc" "src/flux/CMakeFiles/fp_flux.dir/codec.cpp.o.d"
+  "/root/repo/src/flux/hostlist.cpp" "src/flux/CMakeFiles/fp_flux.dir/hostlist.cpp.o" "gcc" "src/flux/CMakeFiles/fp_flux.dir/hostlist.cpp.o.d"
+  "/root/repo/src/flux/instance.cpp" "src/flux/CMakeFiles/fp_flux.dir/instance.cpp.o" "gcc" "src/flux/CMakeFiles/fp_flux.dir/instance.cpp.o.d"
+  "/root/repo/src/flux/job_manager.cpp" "src/flux/CMakeFiles/fp_flux.dir/job_manager.cpp.o" "gcc" "src/flux/CMakeFiles/fp_flux.dir/job_manager.cpp.o.d"
+  "/root/repo/src/flux/journal.cpp" "src/flux/CMakeFiles/fp_flux.dir/journal.cpp.o" "gcc" "src/flux/CMakeFiles/fp_flux.dir/journal.cpp.o.d"
+  "/root/repo/src/flux/kvs.cpp" "src/flux/CMakeFiles/fp_flux.dir/kvs.cpp.o" "gcc" "src/flux/CMakeFiles/fp_flux.dir/kvs.cpp.o.d"
+  "/root/repo/src/flux/scheduler.cpp" "src/flux/CMakeFiles/fp_flux.dir/scheduler.cpp.o" "gcc" "src/flux/CMakeFiles/fp_flux.dir/scheduler.cpp.o.d"
+  "/root/repo/src/flux/tbon.cpp" "src/flux/CMakeFiles/fp_flux.dir/tbon.cpp.o" "gcc" "src/flux/CMakeFiles/fp_flux.dir/tbon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hwsim/CMakeFiles/fp_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

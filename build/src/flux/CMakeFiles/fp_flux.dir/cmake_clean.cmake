@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_flux.dir/broker.cpp.o"
+  "CMakeFiles/fp_flux.dir/broker.cpp.o.d"
+  "CMakeFiles/fp_flux.dir/codec.cpp.o"
+  "CMakeFiles/fp_flux.dir/codec.cpp.o.d"
+  "CMakeFiles/fp_flux.dir/hostlist.cpp.o"
+  "CMakeFiles/fp_flux.dir/hostlist.cpp.o.d"
+  "CMakeFiles/fp_flux.dir/instance.cpp.o"
+  "CMakeFiles/fp_flux.dir/instance.cpp.o.d"
+  "CMakeFiles/fp_flux.dir/job_manager.cpp.o"
+  "CMakeFiles/fp_flux.dir/job_manager.cpp.o.d"
+  "CMakeFiles/fp_flux.dir/journal.cpp.o"
+  "CMakeFiles/fp_flux.dir/journal.cpp.o.d"
+  "CMakeFiles/fp_flux.dir/kvs.cpp.o"
+  "CMakeFiles/fp_flux.dir/kvs.cpp.o.d"
+  "CMakeFiles/fp_flux.dir/scheduler.cpp.o"
+  "CMakeFiles/fp_flux.dir/scheduler.cpp.o.d"
+  "CMakeFiles/fp_flux.dir/tbon.cpp.o"
+  "CMakeFiles/fp_flux.dir/tbon.cpp.o.d"
+  "libfp_flux.a"
+  "libfp_flux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_flux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

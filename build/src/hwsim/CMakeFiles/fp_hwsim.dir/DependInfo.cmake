@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwsim/arm_grace.cpp" "src/hwsim/CMakeFiles/fp_hwsim.dir/arm_grace.cpp.o" "gcc" "src/hwsim/CMakeFiles/fp_hwsim.dir/arm_grace.cpp.o.d"
+  "/root/repo/src/hwsim/cluster.cpp" "src/hwsim/CMakeFiles/fp_hwsim.dir/cluster.cpp.o" "gcc" "src/hwsim/CMakeFiles/fp_hwsim.dir/cluster.cpp.o.d"
+  "/root/repo/src/hwsim/cray_ex235a.cpp" "src/hwsim/CMakeFiles/fp_hwsim.dir/cray_ex235a.cpp.o" "gcc" "src/hwsim/CMakeFiles/fp_hwsim.dir/cray_ex235a.cpp.o.d"
+  "/root/repo/src/hwsim/energy_meter.cpp" "src/hwsim/CMakeFiles/fp_hwsim.dir/energy_meter.cpp.o" "gcc" "src/hwsim/CMakeFiles/fp_hwsim.dir/energy_meter.cpp.o.d"
+  "/root/repo/src/hwsim/ibm_ac922.cpp" "src/hwsim/CMakeFiles/fp_hwsim.dir/ibm_ac922.cpp.o" "gcc" "src/hwsim/CMakeFiles/fp_hwsim.dir/ibm_ac922.cpp.o.d"
+  "/root/repo/src/hwsim/intel_xeon.cpp" "src/hwsim/CMakeFiles/fp_hwsim.dir/intel_xeon.cpp.o" "gcc" "src/hwsim/CMakeFiles/fp_hwsim.dir/intel_xeon.cpp.o.d"
+  "/root/repo/src/hwsim/node.cpp" "src/hwsim/CMakeFiles/fp_hwsim.dir/node.cpp.o" "gcc" "src/hwsim/CMakeFiles/fp_hwsim.dir/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_hwsim.dir/arm_grace.cpp.o"
+  "CMakeFiles/fp_hwsim.dir/arm_grace.cpp.o.d"
+  "CMakeFiles/fp_hwsim.dir/cluster.cpp.o"
+  "CMakeFiles/fp_hwsim.dir/cluster.cpp.o.d"
+  "CMakeFiles/fp_hwsim.dir/cray_ex235a.cpp.o"
+  "CMakeFiles/fp_hwsim.dir/cray_ex235a.cpp.o.d"
+  "CMakeFiles/fp_hwsim.dir/energy_meter.cpp.o"
+  "CMakeFiles/fp_hwsim.dir/energy_meter.cpp.o.d"
+  "CMakeFiles/fp_hwsim.dir/ibm_ac922.cpp.o"
+  "CMakeFiles/fp_hwsim.dir/ibm_ac922.cpp.o.d"
+  "CMakeFiles/fp_hwsim.dir/intel_xeon.cpp.o"
+  "CMakeFiles/fp_hwsim.dir/intel_xeon.cpp.o.d"
+  "CMakeFiles/fp_hwsim.dir/node.cpp.o"
+  "CMakeFiles/fp_hwsim.dir/node.cpp.o.d"
+  "libfp_hwsim.a"
+  "libfp_hwsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_hwsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

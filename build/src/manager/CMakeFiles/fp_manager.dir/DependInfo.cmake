@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/manager/fpp.cpp" "src/manager/CMakeFiles/fp_manager.dir/fpp.cpp.o" "gcc" "src/manager/CMakeFiles/fp_manager.dir/fpp.cpp.o.d"
+  "/root/repo/src/manager/power_manager.cpp" "src/manager/CMakeFiles/fp_manager.dir/power_manager.cpp.o" "gcc" "src/manager/CMakeFiles/fp_manager.dir/power_manager.cpp.o.d"
+  "/root/repo/src/manager/site_coordinator.cpp" "src/manager/CMakeFiles/fp_manager.dir/site_coordinator.cpp.o" "gcc" "src/manager/CMakeFiles/fp_manager.dir/site_coordinator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flux/CMakeFiles/fp_flux.dir/DependInfo.cmake"
+  "/root/repo/build/src/variorum/CMakeFiles/fp_variorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsim/CMakeFiles/fp_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/fp_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_manager.dir/fpp.cpp.o"
+  "CMakeFiles/fp_manager.dir/fpp.cpp.o.d"
+  "CMakeFiles/fp_manager.dir/power_manager.cpp.o"
+  "CMakeFiles/fp_manager.dir/power_manager.cpp.o.d"
+  "CMakeFiles/fp_manager.dir/site_coordinator.cpp.o"
+  "CMakeFiles/fp_manager.dir/site_coordinator.cpp.o.d"
+  "libfp_manager.a"
+  "libfp_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_monitor.dir/client.cpp.o"
+  "CMakeFiles/fp_monitor.dir/client.cpp.o.d"
+  "CMakeFiles/fp_monitor.dir/power_monitor.cpp.o"
+  "CMakeFiles/fp_monitor.dir/power_monitor.cpp.o.d"
+  "libfp_monitor.a"
+  "libfp_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_sim.dir/simulation.cpp.o"
+  "CMakeFiles/fp_sim.dir/simulation.cpp.o.d"
+  "libfp_sim.a"
+  "libfp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_util.dir/csv.cpp.o"
+  "CMakeFiles/fp_util.dir/csv.cpp.o.d"
+  "CMakeFiles/fp_util.dir/histogram.cpp.o"
+  "CMakeFiles/fp_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/fp_util.dir/json.cpp.o"
+  "CMakeFiles/fp_util.dir/json.cpp.o.d"
+  "CMakeFiles/fp_util.dir/log.cpp.o"
+  "CMakeFiles/fp_util.dir/log.cpp.o.d"
+  "CMakeFiles/fp_util.dir/rng.cpp.o"
+  "CMakeFiles/fp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fp_util.dir/stats.cpp.o"
+  "CMakeFiles/fp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fp_util.dir/table.cpp.o"
+  "CMakeFiles/fp_util.dir/table.cpp.o.d"
+  "libfp_util.a"
+  "libfp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

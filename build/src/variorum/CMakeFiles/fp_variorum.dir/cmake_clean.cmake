@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_variorum.dir/variorum.cpp.o"
+  "CMakeFiles/fp_variorum.dir/variorum.cpp.o.d"
+  "libfp_variorum.a"
+  "libfp_variorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_variorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

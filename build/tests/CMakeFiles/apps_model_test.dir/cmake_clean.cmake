@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_model_test.dir/apps/app_model_test.cpp.o"
+  "CMakeFiles/apps_model_test.dir/apps/app_model_test.cpp.o.d"
+  "apps_model_test"
+  "apps_model_test.pdb"
+  "apps_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

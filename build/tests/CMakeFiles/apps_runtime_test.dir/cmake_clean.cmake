@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_runtime_test.dir/apps/app_runtime_test.cpp.o"
+  "CMakeFiles/apps_runtime_test.dir/apps/app_runtime_test.cpp.o.d"
+  "apps_runtime_test"
+  "apps_runtime_test.pdb"
+  "apps_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_trace_replay_test.dir/apps/trace_replay_test.cpp.o"
+  "CMakeFiles/apps_trace_replay_test.dir/apps/trace_replay_test.cpp.o.d"
+  "apps_trace_replay_test"
+  "apps_trace_replay_test.pdb"
+  "apps_trace_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_trace_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_period_test.dir/dsp/period_test.cpp.o"
+  "CMakeFiles/dsp_period_test.dir/dsp/period_test.cpp.o.d"
+  "dsp_period_test"
+  "dsp_period_test.pdb"
+  "dsp_period_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_period_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

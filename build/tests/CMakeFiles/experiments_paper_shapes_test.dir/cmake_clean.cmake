@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiments_paper_shapes_test.dir/experiments/paper_shapes_test.cpp.o"
+  "CMakeFiles/experiments_paper_shapes_test.dir/experiments/paper_shapes_test.cpp.o.d"
+  "experiments_paper_shapes_test"
+  "experiments_paper_shapes_test.pdb"
+  "experiments_paper_shapes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiments_paper_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

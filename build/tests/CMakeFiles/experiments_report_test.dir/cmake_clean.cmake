@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiments_report_test.dir/experiments/report_test.cpp.o"
+  "CMakeFiles/experiments_report_test.dir/experiments/report_test.cpp.o.d"
+  "experiments_report_test"
+  "experiments_report_test.pdb"
+  "experiments_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiments_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiments_scale_test.dir/experiments/scale_test.cpp.o"
+  "CMakeFiles/experiments_scale_test.dir/experiments/scale_test.cpp.o.d"
+  "experiments_scale_test"
+  "experiments_scale_test.pdb"
+  "experiments_scale_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiments_scale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

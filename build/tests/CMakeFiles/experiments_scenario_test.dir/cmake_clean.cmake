@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiments_scenario_test.dir/experiments/scenario_test.cpp.o"
+  "CMakeFiles/experiments_scenario_test.dir/experiments/scenario_test.cpp.o.d"
+  "experiments_scenario_test"
+  "experiments_scenario_test.pdb"
+  "experiments_scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiments_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_broker_test.dir/flux/broker_test.cpp.o"
+  "CMakeFiles/flux_broker_test.dir/flux/broker_test.cpp.o.d"
+  "flux_broker_test"
+  "flux_broker_test.pdb"
+  "flux_broker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_broker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_codec_test.dir/flux/codec_test.cpp.o"
+  "CMakeFiles/flux_codec_test.dir/flux/codec_test.cpp.o.d"
+  "flux_codec_test"
+  "flux_codec_test.pdb"
+  "flux_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_drain_test.dir/flux/drain_test.cpp.o"
+  "CMakeFiles/flux_drain_test.dir/flux/drain_test.cpp.o.d"
+  "flux_drain_test"
+  "flux_drain_test.pdb"
+  "flux_drain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_drain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_hostlist_test.dir/flux/hostlist_test.cpp.o"
+  "CMakeFiles/flux_hostlist_test.dir/flux/hostlist_test.cpp.o.d"
+  "flux_hostlist_test"
+  "flux_hostlist_test.pdb"
+  "flux_hostlist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_hostlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_job_test.dir/flux/job_test.cpp.o"
+  "CMakeFiles/flux_job_test.dir/flux/job_test.cpp.o.d"
+  "flux_job_test"
+  "flux_job_test.pdb"
+  "flux_job_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_job_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

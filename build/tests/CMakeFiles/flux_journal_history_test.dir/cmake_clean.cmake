@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_journal_history_test.dir/flux/journal_history_test.cpp.o"
+  "CMakeFiles/flux_journal_history_test.dir/flux/journal_history_test.cpp.o.d"
+  "flux_journal_history_test"
+  "flux_journal_history_test.pdb"
+  "flux_journal_history_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_journal_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

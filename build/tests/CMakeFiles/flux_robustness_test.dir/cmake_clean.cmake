@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_robustness_test.dir/flux/robustness_test.cpp.o"
+  "CMakeFiles/flux_robustness_test.dir/flux/robustness_test.cpp.o.d"
+  "flux_robustness_test"
+  "flux_robustness_test.pdb"
+  "flux_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

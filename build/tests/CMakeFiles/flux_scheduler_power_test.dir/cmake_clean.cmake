@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_scheduler_power_test.dir/flux/scheduler_power_test.cpp.o"
+  "CMakeFiles/flux_scheduler_power_test.dir/flux/scheduler_power_test.cpp.o.d"
+  "flux_scheduler_power_test"
+  "flux_scheduler_power_test.pdb"
+  "flux_scheduler_power_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_scheduler_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_tbon_test.dir/flux/tbon_test.cpp.o"
+  "CMakeFiles/flux_tbon_test.dir/flux/tbon_test.cpp.o.d"
+  "flux_tbon_test"
+  "flux_tbon_test.pdb"
+  "flux_tbon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_tbon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwsim_arm_grace_test.dir/hwsim/arm_grace_test.cpp.o"
+  "CMakeFiles/hwsim_arm_grace_test.dir/hwsim/arm_grace_test.cpp.o.d"
+  "hwsim_arm_grace_test"
+  "hwsim_arm_grace_test.pdb"
+  "hwsim_arm_grace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwsim_arm_grace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hwsim_arm_grace_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manager_emergency_test.dir/manager/emergency_test.cpp.o"
+  "CMakeFiles/manager_emergency_test.dir/manager/emergency_test.cpp.o.d"
+  "manager_emergency_test"
+  "manager_emergency_test.pdb"
+  "manager_emergency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manager_emergency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manager_fpp_test.dir/manager/fpp_test.cpp.o"
+  "CMakeFiles/manager_fpp_test.dir/manager/fpp_test.cpp.o.d"
+  "manager_fpp_test"
+  "manager_fpp_test.pdb"
+  "manager_fpp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manager_fpp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

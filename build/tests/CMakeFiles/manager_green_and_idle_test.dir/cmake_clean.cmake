@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manager_green_and_idle_test.dir/manager/green_and_idle_test.cpp.o"
+  "CMakeFiles/manager_green_and_idle_test.dir/manager/green_and_idle_test.cpp.o.d"
+  "manager_green_and_idle_test"
+  "manager_green_and_idle_test.pdb"
+  "manager_green_and_idle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manager_green_and_idle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manager_progress_policy_test.dir/manager/progress_policy_test.cpp.o"
+  "CMakeFiles/manager_progress_policy_test.dir/manager/progress_policy_test.cpp.o.d"
+  "manager_progress_policy_test"
+  "manager_progress_policy_test.pdb"
+  "manager_progress_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manager_progress_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manager_site_coordinator_test.dir/manager/site_coordinator_test.cpp.o"
+  "CMakeFiles/manager_site_coordinator_test.dir/manager/site_coordinator_test.cpp.o.d"
+  "manager_site_coordinator_test"
+  "manager_site_coordinator_test.pdb"
+  "manager_site_coordinator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manager_site_coordinator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

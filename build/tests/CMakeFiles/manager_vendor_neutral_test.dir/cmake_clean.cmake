@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manager_vendor_neutral_test.dir/manager/vendor_neutral_test.cpp.o"
+  "CMakeFiles/manager_vendor_neutral_test.dir/manager/vendor_neutral_test.cpp.o.d"
+  "manager_vendor_neutral_test"
+  "manager_vendor_neutral_test.pdb"
+  "manager_vendor_neutral_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manager_vendor_neutral_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

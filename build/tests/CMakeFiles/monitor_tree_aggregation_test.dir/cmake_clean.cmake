@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_tree_aggregation_test.dir/monitor/tree_aggregation_test.cpp.o"
+  "CMakeFiles/monitor_tree_aggregation_test.dir/monitor/tree_aggregation_test.cpp.o.d"
+  "monitor_tree_aggregation_test"
+  "monitor_tree_aggregation_test.pdb"
+  "monitor_tree_aggregation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_tree_aggregation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_window_query_test.dir/monitor/window_query_test.cpp.o"
+  "CMakeFiles/monitor_window_query_test.dir/monitor/window_query_test.cpp.o.d"
+  "monitor_window_query_test"
+  "monitor_window_query_test.pdb"
+  "monitor_window_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_window_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

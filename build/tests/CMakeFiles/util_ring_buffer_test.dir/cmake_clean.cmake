@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_ring_buffer_test.dir/util/ring_buffer_test.cpp.o"
+  "CMakeFiles/util_ring_buffer_test.dir/util/ring_buffer_test.cpp.o.d"
+  "util_ring_buffer_test"
+  "util_ring_buffer_test.pdb"
+  "util_ring_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_ring_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variorum_edge_test.dir/variorum/variorum_edge_test.cpp.o"
+  "CMakeFiles/variorum_edge_test.dir/variorum/variorum_edge_test.cpp.o.d"
+  "variorum_edge_test"
+  "variorum_edge_test.pdb"
+  "variorum_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variorum_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variorum_test.dir/variorum/variorum_test.cpp.o"
+  "CMakeFiles/variorum_test.dir/variorum/variorum_test.cpp.o.d"
+  "variorum_test"
+  "variorum_test.pdb"
+  "variorum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variorum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

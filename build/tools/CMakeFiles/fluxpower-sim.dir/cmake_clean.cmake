@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxpower-sim.dir/fluxpower_sim.cpp.o"
+  "CMakeFiles/fluxpower-sim.dir/fluxpower_sim.cpp.o.d"
+  "fluxpower-sim"
+  "fluxpower-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxpower-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

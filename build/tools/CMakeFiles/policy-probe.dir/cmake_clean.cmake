@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy-probe.dir/policy_probe.cpp.o"
+  "CMakeFiles/policy-probe.dir/policy_probe.cpp.o.d"
+  "policy-probe"
+  "policy-probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy-probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
