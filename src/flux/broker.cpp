@@ -98,6 +98,20 @@ void Broker::respond(const Message& request, util::Json payload) {
   instance_.route(std::move(msg));
 }
 
+void Broker::respond_telemetry(const Message& request, util::Json meta,
+                               std::shared_ptr<const TelemetryBatch> batch) {
+  Message msg;
+  msg.type = Message::Type::Response;
+  msg.topic = request.topic;
+  msg.sender = rank_;
+  msg.dest = request.sender;
+  msg.matchtag = request.matchtag;
+  msg.payload = std::move(meta);
+  msg.telemetry = std::move(batch);
+  ++sent_;
+  instance_.route(std::move(msg));
+}
+
 void Broker::respond_error(const Message& request, int errnum,
                            std::string text) {
   Message msg;

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "flux/telemetry.hpp"
 #include "util/json.hpp"
 
 namespace fluxpower::flux {
@@ -39,7 +40,11 @@ std::string encode_message(const Message& msg) {
     envelope["errnum"] = msg.errnum;
     envelope["error_text"] = msg.error_text;
   }
-  envelope["payload"] = msg.payload;
+  // Typed telemetry never crosses the wire: render it into the payload so
+  // the encoded form is byte-identical to the JSON-everywhere protocol.
+  envelope["payload"] = msg.telemetry
+                            ? render_telemetry_payload(msg.payload, *msg.telemetry)
+                            : msg.payload;
   return envelope.dump();
 }
 

@@ -8,11 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "util/json.hpp"
 
 namespace fluxpower::flux {
+
+struct TelemetryBatch;
 
 /// Broker rank within an instance; rank 0 is the TBON root.
 using Rank = int;
@@ -45,6 +48,13 @@ struct Message {
   std::string error_text;  ///< human-readable error detail
   UserId userid = kOwnerUserid;  ///< credential of the requester
   util::Json payload;
+  /// Typed-telemetry fast path: when set, the real payload is this batch
+  /// plus the JSON `payload` as meta keys. Routing copies the pointer (one
+  /// atomic increment per TBON hop, never the samples); the codec renders
+  /// it into the JSON payload at the wire boundary so encoded messages are
+  /// indistinguishable from the JSON-everywhere protocol. Only responses
+  /// to requests that opted in (telemetry::wants_typed_telemetry) carry it.
+  std::shared_ptr<const TelemetryBatch> telemetry;
 
   bool is_error() const noexcept { return errnum != 0; }
 };

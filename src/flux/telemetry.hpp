@@ -1,0 +1,73 @@
+// telemetry.hpp — typed telemetry payloads for intra-instance messaging.
+//
+// The monitor's data plane carries hwsim::PowerSample structs end-to-end:
+// node-agents store them raw in the ring buffer, brokers merge them through
+// the TBON subtree reduction, and the root hands them to the client — all
+// without serializing. JSON exists only at the edges: a response is rendered
+// (a) when a requester did not opt into the typed protocol, or (b) when a
+// message crosses the codec boundary (wire dumps, journal). Both renderings
+// are byte-identical to the historical JSON-everywhere payloads, so wire
+// formats and experiment outputs are unchanged.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flux/message.hpp"
+#include "hwsim/types.hpp"
+#include "util/json.hpp"
+
+namespace fluxpower::flux {
+
+/// One node's contribution to a telemetry query — the typed equivalent of
+/// the per-node JSON entry ({hostname, rank, complete, decimated, samples}).
+struct TelemetryNodeEntry {
+  std::string hostname;
+  Rank rank = -1;
+  bool complete = true;
+  bool decimated = false;
+  /// Entry synthesized for a dead/unreachable subtree member; renders with
+  /// the historical error shape (no `decimated` key, `error` text present).
+  bool errored = false;
+  std::string error;
+  std::vector<hwsim::PowerSample> samples;
+};
+
+/// A merged set of per-node entries travelling up the TBON. Held by
+/// shared_ptr on the Message so each routing hop copies a pointer, not the
+/// samples.
+struct TelemetryBatch {
+  std::vector<TelemetryNodeEntry> nodes;
+  /// When true the batch is a single node-agent's get-data reply and
+  /// renders as the bare entry object instead of {..., "nodes": [...]}.
+  bool single_entry = false;
+};
+
+/// Render one entry exactly as the JSON data plane produced it: normal
+/// entries as {hostname, rank, complete, decimated, samples}, error entries
+/// as {hostname, rank, complete, samples, error}.
+util::Json render_telemetry_entry(const TelemetryNodeEntry& entry);
+
+/// Render a message's payload with its telemetry batch folded in: the batch
+/// nodes land under "nodes" after the meta keys (or as the bare entry for
+/// single_entry batches). `meta` is the message's JSON payload.
+util::Json render_telemetry_payload(const util::Json& meta,
+                                    const TelemetryBatch& batch);
+
+/// Decode a per-node JSON entry back to typed form (fallback for responses
+/// from agents speaking the JSON protocol).
+TelemetryNodeEntry parse_telemetry_entry(const util::Json& entry);
+
+/// The payload key internal requesters set to receive typed responses.
+/// Absent → the responder renders JSON, byte-identical to the legacy path.
+inline constexpr const char* kTypedProtoKey = "proto";
+inline constexpr const char* kTypedProtoValue = "typed";
+
+/// Does this request opt into typed-telemetry responses?
+bool wants_typed_telemetry(const Message& request);
+
+/// Mark a request payload as typed-protocol.
+void request_typed_telemetry(util::Json& payload);
+
+}  // namespace fluxpower::flux

@@ -5,10 +5,21 @@
 // each vendor exposing a different subset (see DESIGN.md). Applications
 // express load as absolute per-device power demand; vendor node models turn
 // demand + active caps into granted power.
+//
+// `PowerSample` is the telemetry currency of the whole stack: it is stored
+// verbatim in the monitor's ring buffer, merged through the TBON, and only
+// rendered to Variorum JSON at the system's edges. That is why it is a flat
+// trivially-copyable struct with fixed-capacity arrays instead of a bag of
+// strings/vectors/optionals — one sample costs `sizeof(PowerSample)` bytes
+// and zero heap allocations, wherever it travels.
 #pragma once
 
+#include <cstddef>
 #include <optional>
+#include <ostream>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
 namespace fluxpower::hwsim {
@@ -60,17 +71,131 @@ struct Grants {
   double total() const;
 };
 
+/// Sensor-count ceilings across every supported platform. AC922 has 2
+/// sockets + 4 GPUs, EX235a 1 socket + 4 OAM sensors, Grace 1 socket, and
+/// Xeon 2 sockets + a configurable PCIe accelerator set. The headroom makes
+/// these safe for hypothetical denser nodes without growing the sample.
+inline constexpr std::size_t kMaxSockets = 4;
+inline constexpr std::size_t kMaxGpuSensors = 8;
+inline constexpr std::size_t kMaxHostnameLen = 31;
+
+/// Fixed-capacity inline vector of doubles — the per-domain telemetry array.
+/// Deliberately a small subset of std::vector's interface so the vendor
+/// sampling code and every consumer read identically against either type.
+/// push_back beyond capacity drops the value: a sensor sweep can never
+/// overrun the sample, it can only under-report (and no shipped platform
+/// comes close to the ceiling).
+template <std::size_t Capacity>
+struct FixedWattsVec {
+  double data[Capacity] = {};
+  std::size_t count = 0;
+
+  static constexpr std::size_t capacity() noexcept { return Capacity; }
+  std::size_t size() const noexcept { return count; }
+  bool empty() const noexcept { return count == 0; }
+  void clear() noexcept { count = 0; }
+  void reserve(std::size_t) noexcept {}  // layout is fixed; parity with vector
+  void push_back(double w) noexcept {
+    if (count < Capacity) data[count++] = w;
+  }
+  double& operator[](std::size_t i) noexcept { return data[i]; }
+  const double& operator[](std::size_t i) const noexcept { return data[i]; }
+  double* begin() noexcept { return data; }
+  double* end() noexcept { return data + count; }
+  const double* begin() const noexcept { return data; }
+  const double* end() const noexcept { return data + count; }
+  bool operator==(const FixedWattsVec& other) const noexcept {
+    if (count != other.count) return false;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (data[i] != other.data[i]) return false;
+    }
+    return true;
+  }
+};
+
+/// Optional watts reading without std::optional (which is not guaranteed
+/// trivially copyable and doubles the storage granularity). Mirrors the
+/// slice of the optional interface the stack uses.
+struct OptWatts {
+  double watts = 0.0;
+  bool present = false;
+
+  OptWatts() = default;
+  OptWatts(std::nullopt_t) {}
+  OptWatts(double w) : watts(w), present(true) {}
+  OptWatts& operator=(std::nullopt_t) {
+    watts = 0.0;
+    present = false;
+    return *this;
+  }
+  OptWatts& operator=(double w) {
+    watts = w;
+    present = true;
+    return *this;
+  }
+  bool has_value() const noexcept { return present; }
+  explicit operator bool() const noexcept { return present; }
+  double operator*() const noexcept { return watts; }
+  double value_or(double fallback) const noexcept {
+    return present ? watts : fallback;
+  }
+  void reset() noexcept {
+    watts = 0.0;
+    present = false;
+  }
+  bool operator==(const OptWatts&) const = default;
+};
+
+/// Fixed-capacity hostname. Hostnames in the simulator are short rank-derived
+/// strings ("lassen1023"); anything longer is truncated.
+struct FixedHostname {
+  char data[kMaxHostnameLen + 1] = {};
+  unsigned char len = 0;
+
+  FixedHostname() = default;
+  FixedHostname(std::string_view s) { assign(s); }
+  FixedHostname& operator=(std::string_view s) {
+    assign(s);
+    return *this;
+  }
+  void assign(std::string_view s) {
+    len = static_cast<unsigned char>(
+        s.size() < kMaxHostnameLen ? s.size() : kMaxHostnameLen);
+    for (unsigned char i = 0; i < len; ++i) data[i] = s[i];
+    data[len] = '\0';
+  }
+  bool empty() const noexcept { return len == 0; }
+  std::size_t size() const noexcept { return len; }
+  const char* c_str() const noexcept { return data; }
+  std::string_view view() const noexcept { return {data, len}; }
+  operator std::string_view() const noexcept { return view(); }
+  std::string str() const { return std::string(view()); }
+  bool operator==(const FixedHostname& other) const noexcept {
+    return view() == other.view();
+  }
+  bool operator==(std::string_view other) const noexcept {
+    return view() == other;
+  }
+  friend std::ostream& operator<<(std::ostream& os, const FixedHostname& h) {
+    return os << h.view();
+  }
+};
+
 /// One telemetry sample, the vendor-neutral superset. Vendors that lack a
 /// sensor leave the corresponding optional empty — exactly how Variorum
 /// surfaces missing domains (§II-A: Tioga has no node or memory sensor).
+///
+/// Flat POD by design: the monitor stores these raw in its circular buffer
+/// and ships them through the TBON untouched; JSON is rendered only at the
+/// edges (variorum::render_node_power_json).
 struct PowerSample {
   double timestamp_s = 0.0;
-  std::string hostname;
-  std::optional<double> node_w;           ///< direct node sensor (IBM only)
-  std::optional<double> node_estimate_w;  ///< conservative CPU+GPU sum
-  std::vector<double> cpu_w;              ///< per socket
-  std::optional<double> mem_w;
-  std::vector<double> gpu_w;  ///< per GPU, or per OAM when gpu_is_oam
+  FixedHostname hostname;
+  OptWatts node_w;           ///< direct node sensor (IBM only)
+  OptWatts node_estimate_w;  ///< conservative CPU+GPU sum
+  FixedWattsVec<kMaxSockets> cpu_w;     ///< per socket
+  OptWatts mem_w;
+  FixedWattsVec<kMaxGpuSensors> gpu_w;  ///< per GPU, or per OAM when gpu_is_oam
   bool gpu_is_oam = false;
 
   /// Best available node power: the direct sensor when present, else the
@@ -80,5 +205,9 @@ struct PowerSample {
     return node_estimate_w.value_or(0.0);
   }
 };
+
+static_assert(std::is_trivially_copyable_v<PowerSample>,
+              "PowerSample is the wire/storage telemetry format and must "
+              "stay trivially copyable");
 
 }  // namespace fluxpower::hwsim

@@ -1,6 +1,7 @@
 #include "manager/power_manager.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "flux/instance.hpp"
 #include "util/log.hpp"
@@ -97,9 +98,13 @@ void PowerManagerModule::load(flux::Broker& broker) {
         broker.sim(), config_.fpp.sample_period_s, [this] {
           hwsim::Node* n = broker_->node();
           if (n == nullptr) return true;
-          const hwsim::PowerSample s = n->sample();
-          const std::vector<double>& per_domain =
-              manages_gpus() ? s.gpu_w : s.cpu_w;
+          // Typed sample straight off the sensors: the FPP window feed
+          // never touches JSON.
+          const hwsim::PowerSample s = variorum::get_node_power_sample(*n);
+          const std::span<const double> per_domain =
+              manages_gpus()
+                  ? std::span<const double>(s.gpu_w.begin(), s.gpu_w.size())
+                  : std::span<const double>(s.cpu_w.begin(), s.cpu_w.size());
           for (std::size_t i = 0; i < fpp_.size() && i < per_domain.size();
                ++i) {
             fpp_[i]->add_power_sample(per_domain[i]);
@@ -457,9 +462,13 @@ double PowerManagerModule::derive_gpu_budget_w() {
   // Measure the node's draw outside the managed domains and hand the
   // remainder to them — the "derived max cap from node-level limit" of
   // Algorithm 1 line 36.
-  const hwsim::PowerSample s = node->sample();
+  const hwsim::PowerSample s = variorum::get_node_power_sample(*node);
   double managed_total = 0.0;
-  for (double w : manages_gpus() ? s.gpu_w : s.cpu_w) managed_total += w;
+  const std::span<const double> managed =
+      manages_gpus()
+          ? std::span<const double>(s.gpu_w.begin(), s.gpu_w.size())
+          : std::span<const double>(s.cpu_w.begin(), s.cpu_w.size());
+  for (double w : managed) managed_total += w;
   const double unmanaged = std::max(0.0, s.best_node_w() - managed_total);
   double budget = (node_limit_w_ - unmanaged) / static_cast<double>(domains);
   budget = std::clamp(budget, dcfg.min_gpu_cap_w, ceiling);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "flux/telemetry.hpp"
 #include "monitor/power_monitor.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
@@ -85,16 +86,42 @@ JobPowerData parse_job_power_payload(const util::Json& payload) {
   return data;
 }
 
+JobPowerData parse_job_power_message(const flux::Message& resp) {
+  if (!resp.telemetry) return parse_job_power_payload(resp.payload);
+  // Typed fast path: the batch already holds PowerSample structs; the JSON
+  // payload carries only the meta keys.
+  JobPowerData data;
+  data.job_id = static_cast<flux::JobId>(resp.payload.int_or("id", 0));
+  data.app = resp.payload.string_or("app", "");
+  data.t_start = resp.payload.number_or("t_start", 0.0);
+  data.t_end = resp.payload.number_or("t_end", 0.0);
+  data.nodes.reserve(resp.telemetry->nodes.size());
+  for (const flux::TelemetryNodeEntry& entry : resp.telemetry->nodes) {
+    NodePowerData node;
+    node.hostname = entry.hostname;
+    node.rank = entry.rank;
+    node.complete = entry.complete;
+    node.samples = entry.samples;
+    data.nodes.push_back(std::move(node));
+  }
+  std::sort(data.nodes.begin(), data.nodes.end(),
+            [](const NodePowerData& a, const NodePowerData& b) {
+              return a.rank < b.rank;
+            });
+  return data;
+}
+
 void MonitorClient::query(flux::JobId job_id, Callback cb) {
   util::Json payload = util::Json::object();
   payload["id"] = job_id;
+  if (typed_protocol_) flux::request_typed_telemetry(payload);
   instance_.root().rpc(flux::kRootRank, kQueryJobTopic, std::move(payload),
                        [cb = std::move(cb)](const flux::Message& resp) {
                          if (resp.is_error()) {
                            cb(std::nullopt, resp.error_text);
                            return;
                          }
-                         cb(parse_job_power_payload(resp.payload), "");
+                         cb(parse_job_power_message(resp), "");
                        });
 }
 
@@ -123,6 +150,7 @@ std::optional<JobPowerData> MonitorClient::query_window_blocking(
   util::Json ranks_json = util::Json::array();
   for (flux::Rank r : ranks) ranks_json.push_back(r);
   req["ranks"] = std::move(ranks_json);
+  if (typed_protocol_) flux::request_typed_telemetry(req);
 
   std::optional<JobPowerData> result;
   bool done = false;
@@ -130,13 +158,16 @@ std::optional<JobPowerData> MonitorClient::query_window_blocking(
                        [&](const flux::Message& resp) {
                          done = true;
                          if (resp.is_error()) return;
-                         util::Json payload = util::Json::object();
-                         payload["id"] = 0;
-                         payload["app"] = "window-query";
-                         payload["t_start"] = start_s;
-                         payload["t_end"] = end_s;
-                         payload["nodes"] = resp.payload.at("nodes");
-                         result = parse_job_power_payload(payload);
+                         flux::Message shaped = resp;
+                         shaped.payload = util::Json::object();
+                         shaped.payload["id"] = 0;
+                         shaped.payload["app"] = "window-query";
+                         shaped.payload["t_start"] = start_s;
+                         shaped.payload["t_end"] = end_s;
+                         if (!resp.telemetry) {
+                           shaped.payload["nodes"] = resp.payload.at("nodes");
+                         }
+                         result = parse_job_power_message(shaped);
                        });
   while (!done && instance_.sim().step()) {
   }

@@ -8,6 +8,8 @@
 namespace fluxpower::monitor {
 
 using flux::Message;
+using flux::TelemetryBatch;
+using flux::TelemetryNodeEntry;
 using util::Json;
 
 PowerMonitorModule::PowerMonitorModule(PowerMonitorConfig config)
@@ -17,7 +19,8 @@ PowerMonitorModule::~PowerMonitorModule() = default;
 
 void PowerMonitorModule::load(flux::Broker& broker) {
   broker_ = &broker;
-  buffer_ = std::make_unique<util::RingBuffer<Sample>>(config_.buffer_capacity);
+  buffer_ = std::make_unique<util::RingBuffer<hwsim::PowerSample>>(
+      config_.buffer_capacity);
 
   // Node-agent: stateless periodic sampling on every broker.
   broker.register_service(kGetDataTopic,
@@ -72,23 +75,24 @@ void PowerMonitorModule::unload() {
 void PowerMonitorModule::take_sample() {
   hwsim::Node* node = broker_->node();
   if (node == nullptr) return;  // broker-only test instance
-  Sample s;
-  s.timestamp_s = broker_->sim().now();
-  s.payload = variorum::get_node_power_json(*node);
+  // One typed sensor sweep, stored raw: sizeof(PowerSample) bytes, no JSON,
+  // no heap allocation on the 2 s hot path.
+  const hwsim::PowerSample s = variorum::get_node_power_sample(*node);
   if (config_.stream_samples) {
+    // Streaming is an edge: dashboards consume the rendered JSON.
     Json event = Json::object();
     event["rank"] = broker_->rank();
-    event["sample"] = s.payload;
+    event["sample"] = variorum::render_node_power_json(s);
     broker_->publish_event("power-monitor.sample", std::move(event));
   }
-  buffer_->push(std::move(s));
+  buffer_->push(s);
   ++samples_taken_;
   // The sensor sweep runs on this node's cores and stalls the application
   // for its duration.
   node->add_stolen_time(config_.sample_cost_s);
 }
 
-util::Json PowerMonitorModule::local_entry(const Json& window) {
+TelemetryNodeEntry PowerMonitorModule::local_entry(const Json& window) {
   const double start = window.number_or("start", 0.0);
   const double end = window.number_or("end", broker_->sim().now());
   // Optional decimation: long-running jobs accumulate days of samples;
@@ -97,16 +101,15 @@ util::Json PowerMonitorModule::local_entry(const Json& window) {
   const auto max_samples =
       static_cast<std::size_t>(window.int_or("max_samples", 0));
 
-  std::vector<const Sample*> in_window;
-  buffer_->for_each([&](const Sample& s) {
+  std::vector<const hwsim::PowerSample*> in_window;
+  buffer_->for_each([&](const hwsim::PowerSample& s) {
     if (s.timestamp_s >= start && s.timestamp_s <= end) {
       in_window.push_back(&s);
     }
   });
-  bool decimated = false;
-  Json samples = Json::array();
+  TelemetryNodeEntry entry;
   if (max_samples > 1 && in_window.size() > max_samples) {
-    decimated = true;
+    entry.decimated = true;
     const double stride = static_cast<double>(in_window.size() - 1) /
                           static_cast<double>(max_samples - 1);
     std::size_t previous = static_cast<std::size_t>(-1);
@@ -114,34 +117,39 @@ util::Json PowerMonitorModule::local_entry(const Json& window) {
       const auto idx = static_cast<std::size_t>(k * stride + 0.5);
       if (idx == previous) continue;
       previous = idx;
-      samples.push_back(in_window[std::min(idx, in_window.size() - 1)]->payload);
+      entry.samples.push_back(*in_window[std::min(idx, in_window.size() - 1)]);
     }
   } else {
-    for (const Sample* s : in_window) samples.push_back(s->payload);
+    entry.samples.reserve(in_window.size());
+    for (const hwsim::PowerSample* s : in_window) entry.samples.push_back(*s);
   }
 
   // The dataset is partial if the buffer has already flushed samples that
   // fell inside the requested window: detectable when the oldest retained
   // sample is newer than the window start and evictions have occurred.
-  bool complete = true;
+  entry.complete = true;
   if (buffer_->empty()) {
-    complete = false;
+    entry.complete = false;
   } else if (buffer_->evicted() > 0 && buffer_->front().timestamp_s > start) {
-    complete = false;
+    entry.complete = false;
   }
 
-  Json payload = Json::object();
-  payload["hostname"] =
+  entry.hostname =
       broker_->node() != nullptr ? broker_->node()->hostname() : "";
-  payload["rank"] = broker_->rank();
-  payload["complete"] = complete;
-  payload["decimated"] = decimated;
-  payload["samples"] = std::move(samples);
-  return payload;
+  entry.rank = broker_->rank();
+  return entry;
 }
 
 void PowerMonitorModule::handle_get_data(const Message& req) {
-  broker_->respond(req, local_entry(req.payload));
+  auto batch = std::make_shared<TelemetryBatch>();
+  batch->single_entry = true;
+  batch->nodes.push_back(local_entry(req.payload));
+  if (flux::wants_typed_telemetry(req)) {
+    broker_->respond_telemetry(req, Json::object(), std::move(batch));
+  } else {
+    // JSON edge: requester speaks the legacy protocol.
+    broker_->respond(req, flux::render_telemetry_entry(batch->nodes.front()));
+  }
 }
 
 std::string PowerMonitorModule::metrics_text() const {
@@ -166,24 +174,30 @@ std::string PowerMonitorModule::metrics_text() const {
     gauge("fluxpower_monitor_buffer_evicted_total", "",
           static_cast<double>(buffer_->evicted()));
     if (!buffer_->empty()) {
-      const Json& sample = buffer_->back().payload;
-      if (sample.contains("power_node_watts")) {
-        gauge("fluxpower_node_power_watts", "domain=\"node\"",
-              sample.number_or("power_node_watts", 0.0));
-      } else if (sample.contains("power_node_estimate_watts")) {
+      // Per-domain gauges in the Variorum key order (node, sockets, mem,
+      // accelerators) so the exposition is byte-stable with the old
+      // JSON-backed implementation.
+      const hwsim::PowerSample& s = buffer_->back();
+      if (s.node_w) {
+        gauge("fluxpower_node_power_watts", "domain=\"node\"", *s.node_w);
+      } else if (s.node_estimate_w) {
         gauge("fluxpower_node_power_watts", "domain=\"node_estimate\"",
-              sample.number_or("power_node_estimate_watts", 0.0));
+              *s.node_estimate_w);
       }
-      if (sample.is_object()) {
-        for (const auto& [key, value] : sample.as_object()) {
-          if (key.rfind("power_cpu_watts_socket_", 0) == 0 ||
-              key.rfind("power_gpu_watts_", 0) == 0 ||
-              key == "power_mem_watts") {
-            gauge("fluxpower_domain_power_watts",
-                  "domain=\"" + key.substr(6) + "\"",
-                  value.is_number() ? value.as_double() : 0.0);
-          }
-        }
+      for (std::size_t i = 0; i < s.cpu_w.size(); ++i) {
+        gauge("fluxpower_domain_power_watts",
+              "domain=\"cpu_watts_socket_" + std::to_string(i) + "\"",
+              s.cpu_w[i]);
+      }
+      if (s.mem_w) {
+        gauge("fluxpower_domain_power_watts", "domain=\"mem_watts\"",
+              *s.mem_w);
+      }
+      const char* gpu_label = s.gpu_is_oam ? "gpu_watts_oam_" : "gpu_watts_gpu_";
+      for (std::size_t i = 0; i < s.gpu_w.size(); ++i) {
+        gauge("fluxpower_domain_power_watts",
+              "domain=\"" + std::string(gpu_label) + std::to_string(i) + "\"",
+              s.gpu_w[i]);
       }
     }
   }
@@ -194,7 +208,10 @@ void PowerMonitorModule::handle_get_subtree(const Message& req) {
   // TBON tree reduction: contribute the local window, recurse into the
   // children whose subtrees hold requested ranks, and answer upward with
   // the merged per-node entries. Every broker's fan-in is bounded by the
-  // tree fanout regardless of job size.
+  // tree fanout regardless of job size. Hop-to-hop the merge is typed:
+  // child batches arrive by pointer and entries are concatenated without
+  // touching JSON; only the reply to a legacy (non-typed) requester is
+  // rendered.
   const flux::Tbon& tbon = broker_->instance().tbon();
   std::vector<flux::Rank> wanted;
   if (req.payload.contains("ranks")) {
@@ -207,14 +224,14 @@ void PowerMonitorModule::handle_get_subtree(const Message& req) {
   };
 
   struct Pending {
-    Json nodes = Json::array();
+    TelemetryBatch batch;
     std::size_t outstanding = 0;
     Message original;
   };
   auto pending = std::make_shared<Pending>();
   pending->original = req;
   if (wants(broker_->rank())) {
-    pending->nodes.push_back(local_entry(req.payload));
+    pending->batch.nodes.push_back(local_entry(req.payload));
   }
 
   // Partition the remaining wanted ranks among child subtrees.
@@ -232,15 +249,23 @@ void PowerMonitorModule::handle_get_subtree(const Message& req) {
     if (!cr.subset.empty()) child_requests.push_back(std::move(cr));
   }
 
+  flux::Broker* broker = broker_;
+  auto respond_merged = [broker](Pending& p) {
+    auto batch = std::make_shared<TelemetryBatch>(std::move(p.batch));
+    if (flux::wants_typed_telemetry(p.original)) {
+      broker->respond_telemetry(p.original, Json::object(), std::move(batch));
+    } else {
+      broker->respond(p.original,
+                      flux::render_telemetry_payload(Json::object(), *batch));
+    }
+  };
+
   if (child_requests.empty()) {
-    Json payload = Json::object();
-    payload["nodes"] = std::move(pending->nodes);
-    broker_->respond(req, std::move(payload));
+    respond_merged(*pending);
     return;
   }
 
   pending->outstanding = child_requests.size();
-  flux::Broker* broker = broker_;
   for (ChildRequest& cr : child_requests) {
     Json sub = Json::object();
     sub["start"] = req.payload.number_or("start", 0.0);
@@ -251,33 +276,35 @@ void PowerMonitorModule::handle_get_subtree(const Message& req) {
     Json ranks = Json::array();
     for (flux::Rank r : cr.subset) ranks.push_back(r);
     sub["ranks"] = std::move(ranks);
+    // Internal hop: always ask the child for the typed batch.
+    flux::request_typed_telemetry(sub);
 
     const std::vector<flux::Rank> subset = cr.subset;
     broker->rpc(
         cr.child, kGetSubtreeTopic, std::move(sub),
-        [broker, pending, subset](const Message& resp) {
+        [pending, subset, respond_merged](const Message& resp) {
           if (resp.is_error()) {
             // A whole subtree went dark: emit partial entries for each of
             // its requested ranks so aggregation degrades, not fails.
             for (flux::Rank r : subset) {
-              Json entry = Json::object();
-              entry["hostname"] = "";
-              entry["rank"] = r;
-              entry["complete"] = false;
-              entry["samples"] = Json::array();
-              entry["error"] = resp.error_text;
-              pending->nodes.push_back(std::move(entry));
+              TelemetryNodeEntry entry;
+              entry.rank = r;
+              entry.complete = false;
+              entry.errored = true;
+              entry.error = resp.error_text;
+              pending->batch.nodes.push_back(std::move(entry));
+            }
+          } else if (resp.telemetry) {
+            for (const TelemetryNodeEntry& n : resp.telemetry->nodes) {
+              pending->batch.nodes.push_back(n);
             }
           } else {
+            // Legacy child speaking JSON: parse back to typed at this edge.
             for (const Json& n : resp.payload.at("nodes").as_array()) {
-              pending->nodes.push_back(n);
+              pending->batch.nodes.push_back(flux::parse_telemetry_entry(n));
             }
           }
-          if (--pending->outstanding == 0) {
-            Json payload = Json::object();
-            payload["nodes"] = std::move(pending->nodes);
-            broker->respond(pending->original, std::move(payload));
-          }
+          if (--pending->outstanding == 0) respond_merged(*pending);
         },
         /*timeout_s=*/10.0);
   }
@@ -291,6 +318,9 @@ void PowerMonitorModule::handle_status(const Message& req) {
   payload["buffer_capacity"] = buffer_->capacity();
   payload["evicted"] = buffer_->evicted();
   payload["sample_period_s"] = config_.sample_period_s;
+  // Byte accounting is exact now that the buffer stores flat structs.
+  payload["sample_bytes"] = sizeof(hwsim::PowerSample);
+  payload["buffer_bytes"] = buffer_->size() * sizeof(hwsim::PowerSample);
   broker_->respond(req, std::move(payload));
 }
 
@@ -312,7 +342,8 @@ void PowerMonitorModule::handle_set_config(const Message& req) {
       req.payload.bool_or("stream_samples", config_.stream_samples);
   if (capacity != config_.buffer_capacity) {
     config_.buffer_capacity = capacity;
-    buffer_ = std::make_unique<util::RingBuffer<Sample>>(capacity);
+    buffer_ =
+        std::make_unique<util::RingBuffer<hwsim::PowerSample>>(capacity);
   }
   if (period != config_.sample_period_s) {
     config_.sample_period_s = period;
@@ -336,11 +367,12 @@ void PowerMonitorModule::archive_job(flux::JobId id, flux::UserId userid) {
   broker->sim().schedule_after(config_.sample_period_s, [broker, id, userid] {
     util::Json payload = util::Json::object();
     payload["id"] = id;
+    flux::request_typed_telemetry(payload);
     broker->rpc(
         flux::kRootRank, kQueryJobTopic, std::move(payload),
         [broker, id, userid](const Message& resp) {
           if (resp.is_error()) return;  // nothing to archive
-          const JobPowerData data = parse_job_power_payload(resp.payload);
+          const JobPowerData data = parse_job_power_message(resp);
           util::Json summary = util::Json::object();
           summary["app"] = data.app;
           summary["t_start"] = data.t_start;
@@ -385,7 +417,8 @@ void PowerMonitorModule::handle_query_job(const Message& req) {
   // Resolve the job, then gather from the node-agents of its ranks —
   // through the TBON tree reduction by default, or by direct root fan-out
   // when tree aggregation is disabled. All communication is message-based,
-  // even root-local lookups.
+  // even root-local lookups. The gather itself is always typed; the final
+  // response is rendered to JSON only for legacy requesters.
   flux::Broker* broker = broker_;
   const bool tree_aggregation = config_.tree_aggregation;
   const Message original = req;
@@ -411,19 +444,22 @@ void PowerMonitorModule::handle_query_job(const Message& req) {
           return;
         }
 
-        // Aggregation state shared by the per-rank response handlers.
-        struct Pending {
-          Json result = Json::object();
-          std::size_t outstanding = 0;
-          bool failed = false;
+        Json meta = Json::object();
+        meta["id"] = info.payload.int_or("id", 0);
+        meta["app"] = info.payload.string_or("app", "");
+        meta["t_start"] = t_start;
+        meta["t_end"] = t_end;
+
+        auto respond_with = [broker](const Message& request, Json request_meta,
+                                     std::shared_ptr<const TelemetryBatch> b) {
+          if (flux::wants_typed_telemetry(request)) {
+            broker->respond_telemetry(request, std::move(request_meta),
+                                      std::move(b));
+          } else {
+            broker->respond(request,
+                            flux::render_telemetry_payload(request_meta, *b));
+          }
         };
-        auto pending = std::make_shared<Pending>();
-        pending->result["id"] = info.payload.int_or("id", 0);
-        pending->result["app"] = info.payload.string_or("app", "");
-        pending->result["t_start"] = t_start;
-        pending->result["t_end"] = t_end;
-        pending->result["nodes"] = Json::array();
-        pending->outstanding = ranks.size();
 
         Json window = Json::object();
         window["start"] = t_start;
@@ -432,44 +468,69 @@ void PowerMonitorModule::handle_query_job(const Message& req) {
         if (tree_aggregation) {
           // One request into the tree; brokers merge their subtrees.
           window["ranks"] = ranks;
+          flux::request_typed_telemetry(window);
           broker->rpc(
               flux::kRootRank, kGetSubtreeTopic, std::move(window),
-              [broker, original, pending](const Message& resp) {
+              [broker, original, meta = std::move(meta),
+               respond_with](const Message& resp) {
                 if (resp.is_error()) {
                   broker->respond_error(original, resp.errnum,
                                         resp.error_text);
                   return;
                 }
-                pending->result["nodes"] = resp.payload.at("nodes");
-                broker->respond(original, std::move(pending->result));
+                if (resp.telemetry) {
+                  // Re-share the merged batch: zero copies at the root.
+                  respond_with(original, meta, resp.telemetry);
+                  return;
+                }
+                auto batch = std::make_shared<TelemetryBatch>();
+                for (const Json& n : resp.payload.at("nodes").as_array()) {
+                  batch->nodes.push_back(flux::parse_telemetry_entry(n));
+                }
+                respond_with(original, meta, std::move(batch));
               },
               /*timeout_s=*/15.0);
           return;
         }
 
+        // Aggregation state shared by the per-rank response handlers.
+        struct Pending {
+          Json meta;
+          TelemetryBatch batch;
+          std::size_t outstanding = 0;
+        };
+        auto pending = std::make_shared<Pending>();
+        pending->meta = std::move(meta);
+        pending->outstanding = ranks.size();
+
+        flux::request_typed_telemetry(window);
         for (const Json& r : ranks) {
           const auto rank = static_cast<flux::Rank>(r.as_int());
           broker->rpc(
               rank, kGetDataTopic, window,
-              [broker, original, pending, rank](const Message& resp) {
-                if (pending->failed) return;
+              [original, pending, rank, respond_with](const Message& resp) {
                 if (resp.is_error()) {
                   // Fault-tolerant aggregation: a dead or unloaded
                   // node-agent yields an empty *partial* per-node entry
                   // rather than failing the whole query — the client's
                   // completeness column carries the bad news.
-                  Json entry = Json::object();
-                  entry["hostname"] = "";
-                  entry["rank"] = rank;
-                  entry["complete"] = false;
-                  entry["samples"] = Json::array();
-                  entry["error"] = resp.error_text;
-                  pending->result["nodes"].push_back(std::move(entry));
+                  TelemetryNodeEntry entry;
+                  entry.rank = rank;
+                  entry.complete = false;
+                  entry.errored = true;
+                  entry.error = resp.error_text;
+                  pending->batch.nodes.push_back(std::move(entry));
+                } else if (resp.telemetry &&
+                           !resp.telemetry->nodes.empty()) {
+                  pending->batch.nodes.push_back(resp.telemetry->nodes.front());
                 } else {
-                  pending->result["nodes"].push_back(resp.payload);
+                  pending->batch.nodes.push_back(
+                      flux::parse_telemetry_entry(resp.payload));
                 }
                 if (--pending->outstanding == 0) {
-                  broker->respond(original, std::move(pending->result));
+                  respond_with(
+                      original, std::move(pending->meta),
+                      std::make_shared<TelemetryBatch>(std::move(pending->batch)));
                 }
               },
               /*timeout_s=*/5.0);

@@ -3,15 +3,21 @@
 // Design follows the paper exactly:
 //   * STATELESS node-agent on every broker: a control loop samples Variorum
 //     every `sample_period_s` (default 2 s) into a fixed-size circular
-//     buffer (default 100,000 samples ≈ 43.4 MB of JSON), with no knowledge
-//     of whether a job is running. Statelessness is what keeps telemetry
-//     overhead low.
+//     buffer (default 100,000 samples), with no knowledge of whether a job
+//     is running. Statelessness is what keeps telemetry overhead low.
 //   * root-agent on rank 0: receives client queries, resolves the job id to
 //     its node set and time window via job-info, fans RPCs out to the
 //     node-agents, and relays the aggregated data back.
 //   * The client receives per-node data plus a completeness flag: if the
 //     circular buffer flushed samples inside the job's window, the dataset
 //     is reported as partial.
+//
+// The buffer stores raw `hwsim::PowerSample` structs — `sizeof(PowerSample)`
+// bytes per sample, no heap churn — and the TBON subtree merge ships typed
+// batches by pointer. JSON is rendered only at the edges: for requesters
+// that did not opt into the typed protocol, for the live sample stream, and
+// at the codec/wire boundary. The edge JSON is byte-identical to the old
+// JSON-everywhere data plane (see DESIGN.md, "Telemetry data plane").
 //
 // Every sensor read costs `sample_cost_s` of CPU on the node, deposited as
 // stolen time — the physical source of the monitor's 0.04–1.2% measured
@@ -25,6 +31,8 @@
 #include "flux/broker.hpp"
 #include "flux/jobspec.hpp"
 #include "flux/module.hpp"
+#include "flux/telemetry.hpp"
+#include "hwsim/types.hpp"
 #include "sim/simulation.hpp"
 #include "util/json.hpp"
 #include "util/ring_buffer.hpp"
@@ -52,10 +60,20 @@ struct PowerMonitorConfig {
   /// overlay design provides. Off = direct fan-out (kept for the ablation).
   bool tree_aggregation = true;
   static PowerMonitorConfig for_lassen() {
-    return {2.0, 100000, 0.008, true, false, true};
+    return {.sample_period_s = 2.0,
+            .buffer_capacity = 100000,
+            .sample_cost_s = 0.008,
+            .archive_jobs = true,
+            .stream_samples = false,
+            .tree_aggregation = true};
   }
   static PowerMonitorConfig for_tioga() {
-    return {2.0, 100000, 0.0008, true, false, true};
+    return {.sample_period_s = 2.0,
+            .buffer_capacity = 100000,
+            .sample_cost_s = 0.0008,
+            .archive_jobs = true,
+            .stream_samples = false,
+            .tree_aggregation = true};
   }
 };
 
@@ -84,24 +102,19 @@ class PowerMonitorModule final : public flux::Module {
   std::string metrics_text() const;
 
  private:
-  struct Sample {
-    double timestamp_s;
-    util::Json payload;  ///< verbatim Variorum JSON object
-  };
-
   void take_sample();
   void handle_get_data(const flux::Message& req);
   void handle_get_subtree(const flux::Message& req);
   void handle_query_job(const flux::Message& req);
   /// Build this rank's own per-node entry for a window request.
-  util::Json local_entry(const util::Json& window);
+  flux::TelemetryNodeEntry local_entry(const util::Json& window);
   void handle_status(const flux::Message& req);
   void handle_set_config(const flux::Message& req);
   void archive_job(flux::JobId id, flux::UserId userid);
 
   PowerMonitorConfig config_;
   flux::Broker* broker_ = nullptr;
-  std::unique_ptr<util::RingBuffer<Sample>> buffer_;
+  std::unique_ptr<util::RingBuffer<hwsim::PowerSample>> buffer_;
   std::unique_ptr<sim::PeriodicTask> sampler_;
   std::uint64_t samples_taken_ = 0;
   std::uint64_t archive_subscription_ = 0;

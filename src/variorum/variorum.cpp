@@ -9,10 +9,11 @@ using hwsim::CapStatus;
 using hwsim::PowerSample;
 using util::Json;
 
-Json get_node_power_json(hwsim::Node& node) {
-  const PowerSample s = node.sample();
+PowerSample get_node_power_sample(hwsim::Node& node) { return node.sample(); }
+
+Json render_node_power_json(const PowerSample& s) {
   Json j = Json::object();
-  j["hostname"] = s.hostname;
+  j["hostname"] = s.hostname.view();
   j["timestamp"] = s.timestamp_s;
   if (s.node_w) j["power_node_watts"] = *s.node_w;
   if (s.node_estimate_w) j["power_node_estimate_watts"] = *s.node_estimate_w;
@@ -25,6 +26,10 @@ Json get_node_power_json(hwsim::Node& node) {
     j[gpu_key + std::to_string(i)] = s.gpu_w[i];
   }
   return j;
+}
+
+Json get_node_power_json(hwsim::Node& node) {
+  return render_node_power_json(node.sample());
 }
 
 PowerSample parse_node_power_json(const Json& json) {

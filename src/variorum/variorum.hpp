@@ -21,13 +21,26 @@
 
 namespace fluxpower::variorum {
 
-/// Telemetry sample as a JSON object. Keys follow the real library's
-/// convention: `hostname`, `timestamp` (seconds, simulated),
-/// `power_node_watts` (absent on platforms without a node sensor, in which
-/// case `power_node_estimate_watts` carries the conservative CPU+GPU sum),
+/// Telemetry sample in the neutral typed form — the canonical read used by
+/// the monitor's sampling loop and the manager's control loops. Costs one
+/// sensor sweep and zero heap allocations.
+hwsim::PowerSample get_node_power_sample(hwsim::Node& node);
+
+/// Render a typed sample as the Variorum JSON object. Keys follow the real
+/// library's convention *in this exact insertion order*: `hostname`,
+/// `timestamp` (seconds, simulated), `power_node_watts` (absent on
+/// platforms without a node sensor, in which case
+/// `power_node_estimate_watts` carries the conservative CPU+GPU sum),
 /// `power_cpu_watts_socket_<i>`, `power_mem_watts` and either
 /// `power_gpu_watts_gpu_<i>` or `power_gpu_watts_oam_<i>` depending on the
-/// platform's accelerator sensor granularity.
+/// platform's accelerator sensor granularity. The order is a compatibility
+/// invariant: edge-rendered JSON must stay byte-stable (see DESIGN.md,
+/// "Telemetry data plane").
+util::Json render_node_power_json(const hwsim::PowerSample& sample);
+
+/// Telemetry sample as a JSON object: get_node_power_sample rendered by
+/// render_node_power_json. Kept for edge consumers (dashboards, wire
+/// streams); internal paths should carry the typed sample instead.
 util::Json get_node_power_json(hwsim::Node& node);
 
 /// Decode a telemetry JSON object back into the neutral PowerSample form.

@@ -214,6 +214,10 @@ TEST_F(BrokerTest, DuplicateModuleLoadThrows) {
   EXPECT_THROW(
       b.load_module(std::make_shared<CountingModule>(&loads, &unloads)),
       std::invalid_argument);
+  // Unload before the counters go out of scope: the broker destructor would
+  // otherwise call unload() with dangling pointers into this stack frame.
+  b.unload_module("counting");
+  EXPECT_EQ(unloads, 1);
 }
 
 TEST_F(BrokerTest, SpawnChildInstanceOnSubset) {

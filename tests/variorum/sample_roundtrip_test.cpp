@@ -1,0 +1,132 @@
+// Property test for the typed-core/JSON-edge invariant: a PowerSample
+// rendered to Variorum JSON and parsed back must be lossless on every
+// platform — including Tioga's no-node-sensor / OAM-only telemetry and
+// synthetic samples with absent domains. The render path never formats
+// doubles through strings, so equality here is exact, not approximate.
+#include <gtest/gtest.h>
+
+#include "hwsim/arm_grace.hpp"
+#include "hwsim/cray_ex235a.hpp"
+#include "hwsim/ibm_ac922.hpp"
+#include "hwsim/intel_xeon.hpp"
+#include "util/rng.hpp"
+#include "variorum/variorum.hpp"
+
+namespace fluxpower::variorum {
+namespace {
+
+void expect_roundtrip(const hwsim::PowerSample& s) {
+  const util::Json j = render_node_power_json(s);
+  const hwsim::PowerSample r = parse_node_power_json(j);
+  EXPECT_EQ(r.hostname, s.hostname);
+  EXPECT_DOUBLE_EQ(r.timestamp_s, s.timestamp_s);
+  EXPECT_EQ(r.node_w, s.node_w);
+  EXPECT_EQ(r.node_estimate_w, s.node_estimate_w);
+  EXPECT_EQ(r.cpu_w, s.cpu_w);
+  EXPECT_EQ(r.mem_w, s.mem_w);
+  EXPECT_EQ(r.gpu_w, s.gpu_w);
+  // OAM-ness survives only when there are accelerator readings to carry
+  // it; a GPU-less sample renders no gpu/oam key at all.
+  if (!s.gpu_w.empty()) EXPECT_EQ(r.gpu_is_oam, s.gpu_is_oam);
+  // And rendering the parsed sample reproduces the exact JSON — the
+  // byte-stable-edge invariant (same keys, same insertion order).
+  EXPECT_EQ(render_node_power_json(r).dump(), j.dump());
+}
+
+template <typename NodeT, typename... Args>
+void roundtrip_platform_samples(const char* hostname, Args&&... args) {
+  sim::Simulation sim;
+  NodeT node(sim, hostname, std::forward<Args>(args)...);
+  util::Rng rng(0xfeedULL);
+  for (int i = 0; i < 50; ++i) {
+    // Vary the workload so samples cover idle through loaded shapes.
+    hwsim::LoadDemand d = node.idle_demand();
+    for (double& w : d.cpu_w) w *= 1.0 + 3.0 * rng.uniform();
+    for (double& w : d.gpu_w) w *= 1.0 + 5.0 * rng.uniform();
+    d.mem_w *= 1.0 + rng.uniform();
+    node.set_demand(d);
+    sim.run_until(sim.now() + 2.0);
+    expect_roundtrip(node.sample());
+  }
+}
+
+TEST(SampleRoundTrip, IbmAc922) {
+  roundtrip_platform_samples<hwsim::IbmAc922Node>("lassen0");
+}
+
+TEST(SampleRoundTrip, CrayEx235aOamOnly) {
+  // Tioga: no node sensor, no memory sensor, per-OAM accelerator readings.
+  sim::Simulation sim;
+  hwsim::CrayEx235aNode node(sim, "tioga0");
+  const hwsim::PowerSample s = node.sample();
+  EXPECT_FALSE(s.node_w.has_value());
+  EXPECT_FALSE(s.mem_w.has_value());
+  EXPECT_TRUE(s.node_estimate_w.has_value());
+  EXPECT_TRUE(s.gpu_is_oam);
+  EXPECT_EQ(s.gpu_w.size(), 4u);
+  expect_roundtrip(s);
+  roundtrip_platform_samples<hwsim::CrayEx235aNode>("tioga0");
+}
+
+TEST(SampleRoundTrip, IntelXeon) {
+  hwsim::IntelXeonConfig cfg;
+  cfg.gpus = 2;
+  roundtrip_platform_samples<hwsim::IntelXeonNode>("xeon0", cfg);
+}
+
+TEST(SampleRoundTrip, ArmGrace) {
+  roundtrip_platform_samples<hwsim::ArmGraceNode>("grace0");
+}
+
+TEST(SampleRoundTrip, AbsentDomainsSurvive) {
+  // Synthetic samples exercising every optional-domain combination,
+  // including the all-absent minimal sample.
+  hwsim::PowerSample minimal;
+  expect_roundtrip(minimal);
+
+  hwsim::PowerSample cpu_only;
+  cpu_only.timestamp_s = 12.5;
+  cpu_only.hostname = "bare0";
+  cpu_only.cpu_w.push_back(101.25);
+  expect_roundtrip(cpu_only);
+
+  hwsim::PowerSample estimate_only;
+  estimate_only.hostname = "est0";
+  estimate_only.node_estimate_w = 512.0;
+  expect_roundtrip(estimate_only);
+
+  hwsim::PowerSample oam_no_mem;
+  oam_no_mem.hostname = "oam0";
+  oam_no_mem.cpu_w.push_back(200.0);
+  oam_no_mem.gpu_w.push_back(450.0);
+  oam_no_mem.gpu_w.push_back(460.0);
+  oam_no_mem.gpu_is_oam = true;
+  oam_no_mem.node_estimate_w = 1110.0;
+  expect_roundtrip(oam_no_mem);
+
+  hwsim::PowerSample full;
+  full.timestamp_s = 3600.0;
+  full.hostname = "full0";
+  full.node_w = 1750.5;
+  full.cpu_w.push_back(300.0);
+  full.cpu_w.push_back(310.0);
+  full.mem_w = 120.0;
+  for (int i = 0; i < 4; ++i) full.gpu_w.push_back(250.0 + i);
+  expect_roundtrip(full);
+}
+
+TEST(SampleRoundTrip, SampleIsCompactAndTriviallyCopyable) {
+  // The data-plane contract: one sample is a small flat struct — a quarter
+  // (or less) of the legacy ~434-byte serialized JSON representation.
+  static_assert(std::is_trivially_copyable_v<hwsim::PowerSample>);
+  EXPECT_LE(sizeof(hwsim::PowerSample), 256u);
+  sim::Simulation sim;
+  hwsim::IbmAc922Node node(sim, "lassen0");
+  const std::string json = variorum::get_node_power_json(node).dump();
+  // Typed is smaller than even the *serialized* JSON form; the in-memory
+  // util::Json tree the old buffer stored is several times larger still.
+  EXPECT_LT(sizeof(hwsim::PowerSample), json.size());
+}
+
+}  // namespace
+}  // namespace fluxpower::variorum
