@@ -36,6 +36,11 @@ Scenario::Scenario(ScenarioConfig config) : config_(config) {
   lopts.report_progress = config_.report_progress;
   instance_->jobs().set_launcher(apps::make_launcher(lopts));
 
+  if (config_.faults) {
+    fault_plane_ = std::make_unique<faultsim::FaultPlane>(*config_.faults);
+    fault_plane_->attach(*instance_);
+  }
+
   if (config_.load_monitor) {
     // IBM OCC in-band reads are the slow path; every MSR-based platform
     // (AMD, Intel, ARM) samples at the cheap Tioga-like cost.

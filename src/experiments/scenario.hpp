@@ -17,6 +17,7 @@
 
 #include "apps/launcher.hpp"
 #include "apps/workload.hpp"
+#include "faultsim/fault_plane.hpp"
 #include "flux/instance.hpp"
 #include "hwsim/cluster.hpp"
 #include "manager/power_manager.hpp"
@@ -40,6 +41,12 @@ struct ScenarioConfig {
   /// Publish job.progress events from running jobs (required by
   /// manager::NodePolicy::ProgressBased).
   bool report_progress = false;
+
+  /// Deterministic fault injection for the whole stack (crashes, lossy
+  /// TBON links, sensor dropouts, cap-write failures). Unset = no fault
+  /// plane attached; the stack runs byte-identically to a build without
+  /// fault injection.
+  std::optional<faultsim::FaultPlaneConfig> faults;
 
   /// Relative sensor noise (reads only; exact meters are unaffected).
   double sensor_noise = 0.004;
@@ -117,6 +124,8 @@ class Scenario {
   sim::Simulation& sim() noexcept { return sim_; }
   hwsim::Cluster& cluster() noexcept { return cluster_; }
   flux::Instance& instance() noexcept { return *instance_; }
+  /// The attached fault plane; null when config.faults is unset.
+  faultsim::FaultPlane* fault_plane() noexcept { return fault_plane_.get(); }
 
  private:
   void record_tick();
@@ -125,6 +134,9 @@ class Scenario {
   sim::Simulation sim_;
   hwsim::Cluster cluster_;
   std::unique_ptr<flux::Instance> instance_;
+  /// Declared after instance_: the plane detaches from instance/nodes in
+  /// its destructor, which must run before they are torn down.
+  std::unique_ptr<faultsim::FaultPlane> fault_plane_;
   std::unique_ptr<sim::PeriodicTask> recorder_;
 
   struct Tracked {

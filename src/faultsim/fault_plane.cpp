@@ -1,0 +1,193 @@
+#include "faultsim/fault_plane.hpp"
+
+#include <stdexcept>
+
+namespace fluxpower::faultsim {
+
+namespace {
+/// Derive a per-component seed from the plane seed so each node (and the
+/// link stream) draws from an independent deterministic stream. Without
+/// this, one extra draw on node A would shift every later fault on node B.
+std::uint64_t substream(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t state = seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  return util::splitmix64(state);
+}
+}  // namespace
+
+FaultPlane::FaultPlane(FaultPlaneConfig config)
+    : config_(config), link_rng_(substream(config.seed, 0)) {}
+
+FaultPlane::~FaultPlane() { detach(); }
+
+void FaultPlane::attach(flux::Instance& instance) {
+  if (instance_ != nullptr) {
+    throw std::logic_error("FaultPlane::attach: already attached");
+  }
+  instance_ = &instance;
+  sim_ = &instance.sim();
+  instance.set_fault_injector(this);
+  const int n = instance.size();
+  nodes_.resize(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    NodeState& st = nodes_[static_cast<std::size_t>(r)];
+    st.rank = r;
+    st.node = instance.node(r);
+    st.rng.reseed(substream(config_.seed, static_cast<std::uint64_t>(r) + 1));
+    if (st.node != nullptr) {
+      st.node->set_fault_tap(this);
+      by_node_[st.node] = static_cast<std::size_t>(r);
+    }
+    if (config_.node_mtbf_s > 0.0 && !(config_.protect_root && r == 0)) {
+      schedule_crash(st);
+    }
+  }
+}
+
+void FaultPlane::detach() {
+  if (instance_ == nullptr) return;
+  instance_->set_fault_injector(nullptr);
+  for (NodeState& st : nodes_) {
+    if (st.node != nullptr && st.node->fault_tap() == this) {
+      st.node->set_fault_tap(nullptr);
+    }
+  }
+  // Cancel in-flight crash/reboot events so no queued lambda can touch a
+  // destroyed plane.
+  for (NodeState& st : nodes_) {
+    if (st.pending_event != sim::kInvalidEvent) {
+      sim_->cancel(st.pending_event);
+      st.pending_event = sim::kInvalidEvent;
+    }
+  }
+  instance_ = nullptr;
+  sim_ = nullptr;
+}
+
+void FaultPlane::schedule_crash(NodeState& state) {
+  const double dt = state.rng.exponential(config_.node_mtbf_s);
+  const flux::Rank rank = state.rank;
+  state.pending_event = sim_->schedule_after(dt, [this, rank] {
+    NodeState& st = nodes_[static_cast<std::size_t>(rank)];
+    st.down = true;
+    ++counters_.node_crashes;
+    st.pending_event =
+        sim_->schedule_after(config_.node_reboot_s, [this, rank] {
+          NodeState& st2 = nodes_[static_cast<std::size_t>(rank)];
+          st2.down = false;
+          // A reboot clears any stuck-sensor window: the sweep restarts
+          // fresh.
+          st2.stuck = false;
+          st2.pending_event = sim::kInvalidEvent;
+          ++counters_.node_reboots;
+          schedule_crash(st2);
+        });
+  });
+}
+
+bool FaultPlane::node_is_down(flux::Rank rank) const {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= nodes_.size()) return false;
+  return nodes_[static_cast<std::size_t>(rank)].down;
+}
+
+FaultPlane::Verdict FaultPlane::on_route(const flux::Message& msg,
+                                         flux::Rank dest) {
+  Verdict v;
+  if (node_is_down(msg.sender) || node_is_down(dest)) {
+    ++counters_.msgs_blackholed;
+    v.drop = true;
+    return v;
+  }
+  // Loopback delivery (a broker messaging itself, e.g. the client RPC to
+  // the root it is attached to) never crosses a TBON link, so link faults
+  // don't apply — and no RNG is drawn, keeping the link stream aligned
+  // with the actual network traffic.
+  if (msg.sender == dest) return v;
+  // Fixed draw order (drop, dup, delay) keeps the link stream replayable
+  // regardless of which rates are enabled... as long as all three are
+  // consulted even when a draw already decided the verdict.
+  const bool drop = config_.msg_drop_rate > 0.0 &&
+                    link_rng_.chance(config_.msg_drop_rate);
+  const bool dup = config_.msg_dup_rate > 0.0 &&
+                   link_rng_.chance(config_.msg_dup_rate);
+  const bool delay = config_.msg_delay_rate > 0.0 &&
+                     link_rng_.chance(config_.msg_delay_rate);
+  if (drop) {
+    ++counters_.msgs_dropped;
+    v.drop = true;
+    return v;
+  }
+  if (dup) {
+    ++counters_.msgs_duplicated;
+    v.duplicates = 1;
+  }
+  if (delay) {
+    ++counters_.msgs_delayed;
+    v.extra_delay_s = link_rng_.uniform(0.0, config_.msg_delay_max_s);
+  }
+  return v;
+}
+
+FaultPlane::NodeState* FaultPlane::state_for(const hwsim::Node& node) {
+  auto it = by_node_.find(&node);
+  if (it == by_node_.end()) return nullptr;
+  return &nodes_[it->second];
+}
+
+void FaultPlane::on_sample(hwsim::Node& node, hwsim::PowerSample& sample) {
+  NodeState* st = state_for(node);
+  if (st == nullptr) return;
+  if (st->down) {
+    ++counters_.sensor_dropouts;
+    sample.sensor_fault = true;
+    return;
+  }
+  const double now = sim_ != nullptr ? sim_->now() : 0.0;
+  if (st->stuck) {
+    if (now < st->stuck_until_s) {
+      // Stuck-at fault: the sweep "succeeds" but returns the frozen
+      // readings. The explicit fault flag is what makes the freeze
+      // detectable without value-comparison heuristics (which would
+      // misfire on genuinely constant workloads).
+      const double ts = sample.timestamp_s;
+      sample = st->frozen;
+      sample.timestamp_s = ts;
+      sample.sensor_fault = true;
+      ++counters_.sensor_stuck_sweeps;
+      return;
+    }
+    st->stuck = false;
+  }
+  const bool dropout = config_.sensor_dropout_rate > 0.0 &&
+                       st->rng.chance(config_.sensor_dropout_rate);
+  const bool stick = config_.sensor_stuck_rate > 0.0 &&
+                     st->rng.chance(config_.sensor_stuck_rate);
+  if (dropout) {
+    ++counters_.sensor_dropouts;
+    sample.sensor_fault = true;
+    return;
+  }
+  if (stick) {
+    st->stuck = true;
+    st->stuck_until_s = now + config_.sensor_stuck_duration_s;
+    st->frozen = sample;
+    sample.sensor_fault = true;
+    ++counters_.sensor_stuck_sweeps;
+  }
+}
+
+bool FaultPlane::fail_cap_write(hwsim::Node& node, hwsim::DomainType) {
+  NodeState* st = state_for(node);
+  if (st == nullptr) return false;
+  if (st->down) {
+    ++counters_.cap_write_failures;
+    return true;
+  }
+  if (config_.cap_write_failure_rate > 0.0 &&
+      st->rng.chance(config_.cap_write_failure_rate)) {
+    ++counters_.cap_write_failures;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace fluxpower::faultsim

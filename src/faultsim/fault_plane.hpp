@@ -1,0 +1,137 @@
+// fault_plane.hpp — deterministic, seeded fault injection for the stack.
+//
+// The paper's production argument (§V) is that job power management must
+// keep working when the machine misbehaves: node crashes mid-allocation,
+// TBON links dropping or reordering messages, sensors going dark or
+// freezing, and cap writes failing intermittently (the documented NVML
+// class). The FaultPlane reproduces that weather deterministically: every
+// fault is drawn from one seeded xoshiro stream per component, scheduled
+// through the discrete-event engine, so a scenario replays byte-identically
+// from its seed.
+//
+// It plugs into the two hook surfaces the lower layers expose —
+// flux::RouteFaultInjector (per routed message / broadcast leg) and
+// hwsim::NodeFaultTap (per sensor sweep and cap write) — and additionally
+// drives a crash/reboot schedule per rank. With every rate at zero (or with
+// no plane attached at all) the stack's behaviour is bit-for-bit identical
+// to a build without fault injection: no RNG is consulted on any hot path.
+//
+// Crash model: a crashed rank's broker is network-dead (every message to or
+// from it is dropped, including broadcast legs) and its sensors read as
+// faulted. Power draw and application progress continue — the simplification
+// models a node that lost its management plane, not its power feed, which is
+// the §V failure class (the job keeps running; the *framework* goes blind).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "flux/instance.hpp"
+#include "hwsim/node.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace fluxpower::faultsim {
+
+struct FaultPlaneConfig {
+  std::uint64_t seed = 1;
+
+  // -- TBON link faults (per routed message; per broker leg for events) ----
+  double msg_drop_rate = 0.0;
+  double msg_dup_rate = 0.0;
+  double msg_delay_rate = 0.0;
+  double msg_delay_max_s = 0.050;  ///< extra delay ~ U[0, max)
+
+  // -- Node crash/reboot schedule ------------------------------------------
+  /// Mean time between failures per rank, seconds; 0 disables crashes.
+  double node_mtbf_s = 0.0;
+  /// Downtime per crash before the broker rejoins, seconds.
+  double node_reboot_s = 30.0;
+  /// Never crash rank 0 — the root holds the manager and the TBON apex; a
+  /// dead root is a different (cluster-wide) failure study.
+  bool protect_root = true;
+
+  // -- Sensor faults (ruled once per sweep) --------------------------------
+  /// Probability a sweep errors outright (reads marked faulted).
+  double sensor_dropout_rate = 0.0;
+  /// Probability a sweep freezes: subsequent sweeps return the frozen
+  /// readings (marked faulted) until the stuck window elapses.
+  double sensor_stuck_rate = 0.0;
+  double sensor_stuck_duration_s = 60.0;
+
+  // -- Cap-write faults ----------------------------------------------------
+  /// Probability any cap write fails with CapStatus::IoError. Broader than
+  /// the AC922's NVML mode: applies to every vendor and domain.
+  double cap_write_failure_rate = 0.0;
+};
+
+/// Monotonic tallies of everything the plane injected — the denominators
+/// for reliability tables (injected faults vs. surviving coverage).
+struct FaultCounters {
+  std::uint64_t msgs_dropped = 0;      ///< random link drops
+  std::uint64_t msgs_blackholed = 0;   ///< drops because an endpoint is down
+  std::uint64_t msgs_duplicated = 0;
+  std::uint64_t msgs_delayed = 0;
+  std::uint64_t node_crashes = 0;
+  std::uint64_t node_reboots = 0;
+  std::uint64_t sensor_dropouts = 0;
+  std::uint64_t sensor_stuck_sweeps = 0;
+  std::uint64_t cap_write_failures = 0;
+};
+
+class FaultPlane final : public flux::RouteFaultInjector,
+                         public hwsim::NodeFaultTap {
+ public:
+  explicit FaultPlane(FaultPlaneConfig config);
+  ~FaultPlane() override;  ///< detaches from the instance and all nodes
+
+  FaultPlane(const FaultPlane&) = delete;
+  FaultPlane& operator=(const FaultPlane&) = delete;
+
+  /// Hook into an instance: installs the route injector, attaches the
+  /// sensor/cap tap to every broker's node, and (when node_mtbf_s > 0)
+  /// schedules the first crash per eligible rank. Call once.
+  void attach(flux::Instance& instance);
+
+  /// Detach all hooks early (the destructor also does this).
+  void detach();
+
+  bool node_is_down(flux::Rank rank) const;
+  const FaultCounters& counters() const noexcept { return counters_; }
+  const FaultPlaneConfig& config() const noexcept { return config_; }
+
+  // -- flux::RouteFaultInjector --------------------------------------------
+  Verdict on_route(const flux::Message& msg, flux::Rank dest) override;
+
+  // -- hwsim::NodeFaultTap -------------------------------------------------
+  void on_sample(hwsim::Node& node, hwsim::PowerSample& sample) override;
+  bool fail_cap_write(hwsim::Node& node, hwsim::DomainType domain) override;
+
+ private:
+  struct NodeState {
+    flux::Rank rank = -1;
+    hwsim::Node* node = nullptr;
+    util::Rng rng;  ///< private stream: faults on one node never shift another's
+    bool down = false;
+    bool stuck = false;
+    double stuck_until_s = 0.0;
+    hwsim::PowerSample frozen{};
+    /// The one in-flight crash-or-reboot event; cancelled on detach so no
+    /// queued lambda can outlive the plane.
+    sim::EventId pending_event = sim::kInvalidEvent;
+  };
+
+  void schedule_crash(NodeState& state);
+  NodeState* state_for(const hwsim::Node& node);
+
+  FaultPlaneConfig config_;
+  flux::Instance* instance_ = nullptr;
+  sim::Simulation* sim_ = nullptr;
+  util::Rng link_rng_;
+  std::vector<NodeState> nodes_;  ///< indexed by rank
+  std::map<const hwsim::Node*, std::size_t> by_node_;
+  FaultCounters counters_;
+};
+
+}  // namespace fluxpower::faultsim

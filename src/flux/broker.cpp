@@ -63,6 +63,10 @@ std::uint64_t Broker::rpc(Rank dest, const std::string& topic,
             if (it == pending_rpcs_.end()) return;  // answered in time
             ResponseHandler handler = std::move(it->second.handler);
             pending_rpcs_.erase(it);
+            timed_out_tags_.insert(tag);
+            if (timed_out_tags_.size() > kTimedOutTagCap) {
+              timed_out_tags_.erase(timed_out_tags_.begin());
+            }
             Message timeout;
             timeout.type = Message::Type::Response;
             timeout.topic = saved_topic;
@@ -193,8 +197,18 @@ void Broker::deliver(const Message& msg) {
     case Message::Type::Response: {
       auto it = pending_rpcs_.find(msg.matchtag);
       if (it == pending_rpcs_.end()) {
-        // Fire-and-forget request, a caller without a handler, or a
-        // response arriving after its timeout already fired. Error
+        // A response arriving after its timeout already synthesized
+        // ETIMEDOUT is expected under degraded links: count it silently.
+        // The matchtag was erased from pending_rpcs_ when the timeout
+        // fired, and tags are never reused, so it cannot be misdelivered
+        // to a newer handler.
+        if (auto late = timed_out_tags_.find(msg.matchtag);
+            late != timed_out_tags_.end()) {
+          ++late_responses_;
+          timed_out_tags_.erase(late);
+          return;
+        }
+        // Fire-and-forget request or a caller without a handler. Error
         // responses still get logged so misrouted RPCs are visible.
         if (msg.is_error()) {
           util::log_warning("broker " + std::to_string(rank_) +

@@ -14,6 +14,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -113,6 +114,17 @@ class Broker {
   std::uint64_t messages_sent() const noexcept { return sent_; }
   std::uint64_t messages_received() const noexcept { return received_; }
 
+  /// RPCs whose handler has not yet fired (neither response nor timeout).
+  /// Chaos tests assert this drains to zero — no leaked pending state.
+  std::size_t pending_rpc_count() const noexcept {
+    return pending_rpcs_.size();
+  }
+
+  /// Responses that arrived after their RPC's timeout already synthesized
+  /// ETIMEDOUT. Matchtags are never reused, so a late response can only be
+  /// dropped — it must never reach a newer handler.
+  std::uint64_t late_responses() const noexcept { return late_responses_; }
+
  private:
   friend class Instance;
 
@@ -125,6 +137,12 @@ class Broker {
     sim::EventId timeout_event = sim::kInvalidEvent;
   };
   std::map<std::uint64_t, PendingRpc> pending_rpcs_;
+  /// Matchtags whose timeout fired before the real response arrived.
+  /// Bounded: oldest entries are dropped past kTimedOutTagCap — tags are
+  /// monotonically increasing, so the set's minimum is always the oldest.
+  static constexpr std::size_t kTimedOutTagCap = 1024;
+  std::set<std::uint64_t> timed_out_tags_;
+  std::uint64_t late_responses_ = 0;
   UserId userid_ = kOwnerUserid;
   struct Subscription {
     std::string topic;

@@ -40,12 +40,26 @@ void Instance::route(Message msg) {
   if (journal_ != nullptr) journal_->record(sim_.now(), msg);
   if (msg.type == Message::Type::Event) {
     // Events are broadcast over the tree from the publisher. Delivery
-    // latency to a given broker is proportional to its hop distance.
+    // latency to a given broker is proportional to its hop distance. Each
+    // broker leg is a distinct set of physical links, so the fault
+    // injector rules on every leg independently.
     for (auto& b : brokers_) {
       const int hops = tbon_.hops(msg.sender, b->rank());
-      const double delay = config_.hop_latency_s * hops;
+      double delay = config_.hop_latency_s * hops;
+      int copies = 1;
+      if (fault_injector_ != nullptr) {
+        const auto v = fault_injector_->on_route(msg, b->rank());
+        if (v.drop) {
+          ++dropped_;
+          continue;
+        }
+        delay += v.extra_delay_s;
+        copies += v.duplicates;
+      }
       Broker* dest = b.get();
-      sim_.schedule_after(delay, [dest, msg] { dest->deliver(msg); });
+      for (int c = 0; c < copies; ++c) {
+        sim_.schedule_after(delay, [dest, msg] { dest->deliver(msg); });
+      }
     }
     return;
   }
@@ -53,9 +67,21 @@ void Instance::route(Message msg) {
     throw std::invalid_argument("Instance::route: bad destination rank");
   }
   const int hops = tbon_.hops(msg.sender, msg.dest);
-  const double delay = config_.hop_latency_s * std::max(1, hops);
+  double delay = config_.hop_latency_s * std::max(1, hops);
+  int copies = 1;
+  if (fault_injector_ != nullptr) {
+    const auto v = fault_injector_->on_route(msg, msg.dest);
+    if (v.drop) {
+      ++dropped_;
+      return;
+    }
+    delay += v.extra_delay_s;
+    copies += v.duplicates;
+  }
   Broker* dest = brokers_[static_cast<std::size_t>(msg.dest)].get();
-  sim_.schedule_after(delay, [dest, msg = std::move(msg)] { dest->deliver(msg); });
+  for (int c = 0; c < copies; ++c) {
+    sim_.schedule_after(delay, [dest, msg] { dest->deliver(msg); });
+  }
 }
 
 Instance& Instance::spawn_child(const std::vector<Rank>& ranks,

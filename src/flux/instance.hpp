@@ -29,6 +29,25 @@ struct InstanceConfig {
   double hop_latency_s = 100e-6;
 };
 
+/// Hook consulted for every routed message (and every per-broker leg of an
+/// event broadcast). A fault plane implements this to model lossy TBON
+/// links: drops, duplicates, and extra queueing delay. When no injector is
+/// attached the router behaves exactly as before — no RNG is consulted.
+class RouteFaultInjector {
+ public:
+  struct Verdict {
+    bool drop = false;        ///< discard the message (leg) entirely
+    int duplicates = 0;       ///< extra copies delivered after the original
+    double extra_delay_s = 0; ///< added to the TBON hop latency
+  };
+
+  virtual ~RouteFaultInjector() = default;
+
+  /// `dest` is the delivering broker's rank — for events it is the rank of
+  /// each subscriber leg, for point-to-point traffic it equals msg.dest.
+  virtual Verdict on_route(const Message& msg, Rank dest) = 0;
+};
+
 class Instance {
  public:
   /// Bootstrap an instance over the given nodes (element i becomes broker
@@ -65,6 +84,18 @@ class Instance {
   /// attachment.
   void attach_journal(MessageJournal* journal) noexcept { journal_ = journal; }
 
+  /// Attach a fault injector consulted on every routed message; nullptr
+  /// detaches. The injector must outlive the attachment.
+  void set_fault_injector(RouteFaultInjector* injector) noexcept {
+    fault_injector_ = injector;
+  }
+  RouteFaultInjector* fault_injector() const noexcept {
+    return fault_injector_;
+  }
+
+  /// Messages (or broadcast legs) discarded by the fault injector.
+  std::uint64_t messages_dropped() const noexcept { return dropped_; }
+
   /// Spawn a user-level child instance on a subset of this instance's
   /// ranks. The child gets its own brokers/scheduler/job-manager over the
   /// same physical nodes — the mechanism behind per-user policy
@@ -94,7 +125,9 @@ class Instance {
   std::unique_ptr<JobManager> job_manager_;
   std::vector<std::unique_ptr<Instance>> children_;
   MessageJournal* journal_ = nullptr;
+  RouteFaultInjector* fault_injector_ = nullptr;
   std::uint64_t routed_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace fluxpower::flux

@@ -18,7 +18,7 @@ LoadDemand ArmGraceNode::idle_demand() const {
   return d;
 }
 
-CapResult ArmGraceNode::set_socket_power_cap(int socket, double watts) {
+CapResult ArmGraceNode::do_set_socket_power_cap(int socket, double watts) {
   if (socket < 0 || socket >= config_.sockets) {
     return {CapStatus::OutOfRange, std::nullopt};
   }
@@ -51,7 +51,7 @@ Grants ArmGraceNode::compute_grants(const LoadDemand& demand) const {
   return g;
 }
 
-PowerSample ArmGraceNode::sample() {
+PowerSample ArmGraceNode::read_sensors() {
   PowerSample s;
   s.timestamp_s = sim_.now();
   s.hostname = hostname_;

@@ -32,9 +32,9 @@ class ArmGraceNode final : public Node {
   const char* vendor_name() const override { return "arm_grace"; }
 
   LoadDemand idle_demand() const override;
-  PowerSample sample() override;
+  PowerSample read_sensors() override;
 
-  CapResult set_socket_power_cap(int socket, double watts) override;
+  CapResult do_set_socket_power_cap(int socket, double watts) override;
 
   const ArmGraceConfig& config() const noexcept { return config_; }
 

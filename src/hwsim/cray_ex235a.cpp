@@ -20,7 +20,7 @@ LoadDemand CrayEx235aNode::idle_demand() const {
   return d;
 }
 
-CapResult CrayEx235aNode::set_gpu_power_cap(int gpu, double watts) {
+CapResult CrayEx235aNode::do_set_gpu_power_cap(int gpu, double watts) {
   if (gpu < 0 || gpu >= config_.gcds) {
     return {CapStatus::OutOfRange, std::nullopt};
   }
@@ -33,7 +33,7 @@ CapResult CrayEx235aNode::set_gpu_power_cap(int gpu, double watts) {
   return {applied == watts ? CapStatus::Ok : CapStatus::Clamped, applied};
 }
 
-CapResult CrayEx235aNode::set_socket_power_cap(int socket, double watts) {
+CapResult CrayEx235aNode::do_set_socket_power_cap(int socket, double watts) {
   if (socket < 0 || socket >= config_.sockets) {
     return {CapStatus::OutOfRange, std::nullopt};
   }
@@ -68,7 +68,7 @@ Grants CrayEx235aNode::compute_grants(const LoadDemand& demand) const {
   return g;
 }
 
-PowerSample CrayEx235aNode::sample() {
+PowerSample CrayEx235aNode::read_sensors() {
   PowerSample s;
   s.timestamp_s = sim_.now();
   s.hostname = hostname_;

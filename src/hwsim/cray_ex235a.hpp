@@ -46,10 +46,10 @@ class CrayEx235aNode final : public Node {
   const char* vendor_name() const override { return "amd_trento_mi250x"; }
 
   LoadDemand idle_demand() const override;
-  PowerSample sample() override;
+  PowerSample read_sensors() override;
 
-  CapResult set_gpu_power_cap(int gpu, double watts) override;
-  CapResult set_socket_power_cap(int socket, double watts) override;
+  CapResult do_set_gpu_power_cap(int gpu, double watts) override;
+  CapResult do_set_socket_power_cap(int socket, double watts) override;
 
   const CrayEx235aConfig& config() const noexcept { return config_; }
 

@@ -63,7 +63,7 @@ double IbmAc922Node::derived_gpu_cap(double node_cap_w) const {
   return kAnchors.back().gpu_cap;
 }
 
-CapResult IbmAc922Node::set_node_power_cap(double watts) {
+CapResult IbmAc922Node::do_set_node_power_cap(double watts) {
   CapStatus status = CapStatus::Ok;
   double applied = watts;
   if (watts < config_.node_soft_min_cap_w) {
@@ -89,13 +89,13 @@ CapResult IbmAc922Node::set_node_power_cap(double watts) {
   return {status, applied};
 }
 
-CapResult IbmAc922Node::clear_node_power_cap() {
+CapResult IbmAc922Node::do_clear_node_power_cap() {
   node_cap_.reset();
   refresh();
   return {CapStatus::Ok, config_.node_max_cap_w};
 }
 
-CapResult IbmAc922Node::set_gpu_power_cap(int gpu, double watts) {
+CapResult IbmAc922Node::do_set_gpu_power_cap(int gpu, double watts) {
   if (gpu < 0 || gpu >= config_.gpus) {
     return {CapStatus::OutOfRange, std::nullopt};
   }
@@ -206,7 +206,7 @@ Grants IbmAc922Node::compute_grants(const LoadDemand& demand) const {
   return g;
 }
 
-PowerSample IbmAc922Node::sample() {
+PowerSample IbmAc922Node::read_sensors() {
   PowerSample s;
   s.timestamp_s = sim_.now();
   s.hostname = hostname_;

@@ -67,11 +67,11 @@ class IbmAc922Node final : public Node {
   const char* vendor_name() const override { return "ibm_power9"; }
 
   LoadDemand idle_demand() const override;
-  PowerSample sample() override;
+  PowerSample read_sensors() override;
 
-  CapResult set_node_power_cap(double watts) override;
-  CapResult clear_node_power_cap() override;
-  CapResult set_gpu_power_cap(int gpu, double watts) override;
+  CapResult do_set_node_power_cap(double watts) override;
+  CapResult do_clear_node_power_cap() override;
+  CapResult do_set_gpu_power_cap(int gpu, double watts) override;
 
   /// IBM's conservative node-cap → per-GPU-cap derivation at PSR=100,
   /// piecewise linear through the paper's measured points. Exposed for the

@@ -20,7 +20,7 @@ LoadDemand IntelXeonNode::idle_demand() const {
   return d;
 }
 
-CapResult IntelXeonNode::set_socket_power_cap(int socket, double watts) {
+CapResult IntelXeonNode::do_set_socket_power_cap(int socket, double watts) {
   if (socket < 0 || socket >= config_.sockets) {
     return {CapStatus::OutOfRange, std::nullopt};
   }
@@ -38,7 +38,7 @@ CapResult IntelXeonNode::set_socket_power_cap(int socket, double watts) {
   return {status, applied};
 }
 
-CapResult IntelXeonNode::set_gpu_power_cap(int gpu, double watts) {
+CapResult IntelXeonNode::do_set_gpu_power_cap(int gpu, double watts) {
   if (gpu < 0 || gpu >= config_.gpus) {
     return {CapStatus::OutOfRange, std::nullopt};
   }
@@ -77,7 +77,7 @@ Grants IntelXeonNode::compute_grants(const LoadDemand& demand) const {
   return g;
 }
 
-PowerSample IntelXeonNode::sample() {
+PowerSample IntelXeonNode::read_sensors() {
   PowerSample s;
   s.timestamp_s = sim_.now();
   s.hostname = hostname_;

@@ -38,10 +38,10 @@ class IntelXeonNode final : public Node {
   const char* vendor_name() const override { return "intel_xeon"; }
 
   LoadDemand idle_demand() const override;
-  PowerSample sample() override;
+  PowerSample read_sensors() override;
 
-  CapResult set_socket_power_cap(int socket, double watts) override;
-  CapResult set_gpu_power_cap(int gpu, double watts) override;
+  CapResult do_set_socket_power_cap(int socket, double watts) override;
+  CapResult do_set_gpu_power_cap(int gpu, double watts) override;
   // set_node_power_cap intentionally not overridden: no node dial exists
   // in the hardware; node capping must go through Variorum's best-effort
   // socket distribution.

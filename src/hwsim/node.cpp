@@ -24,6 +24,7 @@ const char* cap_status_name(CapStatus status) noexcept {
     case CapStatus::OutOfRange: return "out-of-range";
     case CapStatus::Unsupported: return "unsupported";
     case CapStatus::PermissionDenied: return "permission-denied";
+    case CapStatus::IoError: return "io-error";
   }
   return "unknown";
 }
@@ -85,15 +86,57 @@ double Node::noisy(double w) {
   return std::max(0.0, w * (1.0 + rng_.normal(0.0, sensor_noise_)));
 }
 
-CapResult Node::set_node_power_cap(double /*watts*/) {
-  return {CapStatus::Unsupported, std::nullopt};
+PowerSample Node::sample() {
+  PowerSample s = read_sensors();
+  if (fault_tap_ != nullptr) fault_tap_->on_sample(*this, s);
+  return s;
+}
+
+CapResult Node::set_node_power_cap(double watts) {
+  if (fault_tap_ != nullptr &&
+      fault_tap_->fail_cap_write(*this, DomainType::Node)) {
+    ++cap_write_faults_;
+    return {CapStatus::IoError, std::nullopt};
+  }
+  return do_set_node_power_cap(watts);
 }
 
 CapResult Node::clear_node_power_cap() {
+  if (fault_tap_ != nullptr &&
+      fault_tap_->fail_cap_write(*this, DomainType::Node)) {
+    ++cap_write_faults_;
+    return {CapStatus::IoError, std::nullopt};
+  }
+  return do_clear_node_power_cap();
+}
+
+CapResult Node::set_gpu_power_cap(int gpu, double watts) {
+  if (fault_tap_ != nullptr &&
+      fault_tap_->fail_cap_write(*this, DomainType::Gpu)) {
+    ++cap_write_faults_;
+    return {CapStatus::IoError, std::nullopt};
+  }
+  return do_set_gpu_power_cap(gpu, watts);
+}
+
+CapResult Node::set_socket_power_cap(int socket, double watts) {
+  if (fault_tap_ != nullptr &&
+      fault_tap_->fail_cap_write(*this, DomainType::CpuSocket)) {
+    ++cap_write_faults_;
+    return {CapStatus::IoError, std::nullopt};
+  }
+  return do_set_socket_power_cap(socket, watts);
+}
+
+CapResult Node::do_set_node_power_cap(double /*watts*/) {
   return {CapStatus::Unsupported, std::nullopt};
 }
 
-CapResult Node::set_gpu_power_cap(int /*gpu*/, double /*watts*/) {
+CapResult Node::do_clear_node_power_cap() {
+  return {CapStatus::Unsupported, std::nullopt};
+}
+
+CapResult Node::do_set_gpu_power_cap(int /*gpu*/, double /*watts*/) {
   return {CapStatus::Unsupported, std::nullopt};
 }
 
@@ -104,7 +147,7 @@ std::optional<double> Node::gpu_power_cap(int gpu) const {
   return gpu_caps_[static_cast<std::size_t>(gpu)];
 }
 
-CapResult Node::set_socket_power_cap(int /*socket*/, double /*watts*/) {
+CapResult Node::do_set_socket_power_cap(int /*socket*/, double /*watts*/) {
   return {CapStatus::Unsupported, std::nullopt};
 }
 

@@ -18,6 +18,25 @@
 
 namespace fluxpower::hwsim {
 
+class Node;
+
+/// Fault-injection hook installed on a node (see src/faultsim). The tap sits
+/// between the public telemetry/capping API and the vendor implementation:
+/// every sensor sweep passes through on_sample (dropouts, stuck-at readings,
+/// dead sensors) and every cap write may be failed transiently. A null tap —
+/// the default — is a perfect machine and costs one pointer compare.
+class NodeFaultTap {
+ public:
+  virtual ~NodeFaultTap() = default;
+
+  /// Mutate a freshly read sample in place (clear domains, freeze values)
+  /// and set sample.sensor_fault when the sweep should read as failed.
+  virtual void on_sample(Node& node, PowerSample& sample) = 0;
+
+  /// Return true to fail the pending cap write with CapStatus::IoError.
+  virtual bool fail_cap_write(Node& node, DomainType domain) = 0;
+};
+
 class Node {
  public:
   Node(sim::Simulation& sim, std::string hostname);
@@ -88,33 +107,57 @@ class Node {
 
   /// Read the node's power sensors. Which fields are populated is
   /// vendor-specific. Sensor readings include multiplicative noise of
-  /// `sensor_noise` (relative sigma) when enabled.
-  virtual PowerSample sample() = 0;
+  /// `sensor_noise` (relative sigma) when enabled. The installed fault tap
+  /// (if any) is applied to the vendor's reading before it is returned.
+  PowerSample sample();
 
   /// Relative sensor noise sigma (0 disables). Sensors on real machines
   /// jitter at the ~0.5% level; tables integrate the exact meter instead.
   void set_sensor_noise(double sigma) { sensor_noise_ = sigma; }
   void reseed_sensor_noise(std::uint64_t seed) { rng_.reseed(seed); }
 
+  // -- Fault injection -------------------------------------------------------
+
+  /// Install (or, with nullptr, remove) the fault tap. The tap must outlive
+  /// the attachment; src/faultsim's FaultPlane detaches itself on
+  /// destruction.
+  void set_fault_tap(NodeFaultTap* tap) noexcept { fault_tap_ = tap; }
+  NodeFaultTap* fault_tap() const noexcept { return fault_tap_; }
+
+  /// Lifetime count of cap writes failed by the tap with IoError.
+  std::uint64_t cap_write_faults() const noexcept { return cap_write_faults_; }
+
   // -- Capping --------------------------------------------------------------
+  // Public entry points are non-virtual: they consult the fault tap (a
+  // faulted write returns CapStatus::IoError without reaching the firmware)
+  // and then defer to the protected vendor virtuals below.
 
   /// Node-level power cap (direct hardware support on IBM AC922 only).
-  virtual CapResult set_node_power_cap(double watts);
-  virtual CapResult clear_node_power_cap();
+  CapResult set_node_power_cap(double watts);
+  CapResult clear_node_power_cap();
   virtual std::optional<double> node_power_cap() const { return node_cap_; }
 
   /// Per-GPU power cap (NVML on Lassen; ROCm-SMI on Tioga, fused off).
-  virtual CapResult set_gpu_power_cap(int gpu, double watts);
+  CapResult set_gpu_power_cap(int gpu, double watts);
   virtual std::optional<double> gpu_power_cap(int gpu) const;
 
   /// Per-socket cap (RAPL-style; used by best-effort node capping on
   /// platforms without a node dial).
-  virtual CapResult set_socket_power_cap(int socket, double watts);
+  CapResult set_socket_power_cap(int socket, double watts);
   virtual std::optional<double> socket_power_cap(int socket) const;
 
  protected:
   /// Vendor rule: demand + caps -> granted watts per domain.
   virtual Grants compute_grants(const LoadDemand& demand) const = 0;
+
+  /// Vendor sensor sweep (see sample() for the public contract).
+  virtual PowerSample read_sensors() = 0;
+
+  /// Vendor cap implementations. Defaults report Unsupported.
+  virtual CapResult do_set_node_power_cap(double watts);
+  virtual CapResult do_clear_node_power_cap();
+  virtual CapResult do_set_gpu_power_cap(int gpu, double watts);
+  virtual CapResult do_set_socket_power_cap(int socket, double watts);
 
   /// Recompute grants from the current demand and update the energy meter.
   /// Must be called by subclasses after any cap change.
@@ -135,6 +178,8 @@ class Node {
   std::vector<std::optional<double>> socket_caps_;
   double stolen_s_ = 0.0;
   bool low_power_ = false;
+  NodeFaultTap* fault_tap_ = nullptr;
+  std::uint64_t cap_write_faults_ = 0;
 };
 
 }  // namespace fluxpower::hwsim

@@ -34,8 +34,17 @@ const char* domain_type_name(DomainType type) noexcept;
 /// the control (e.g. node-level capping on Intel/AMD); `PermissionDenied`
 /// models controls fused off for users (Tioga's early-access firmware);
 /// `Clamped` means the request was applied after clamping into the valid
-/// range, mirroring OPAL's behaviour for out-of-range soft caps.
-enum class CapStatus { Ok, Clamped, OutOfRange, Unsupported, PermissionDenied };
+/// range, mirroring OPAL's behaviour for out-of-range soft caps; `IoError`
+/// is a *transient* driver/firmware communication failure (the §V
+/// intermittent-cap-failure class) — retrying the same write may succeed.
+enum class CapStatus {
+  Ok,
+  Clamped,
+  OutOfRange,
+  Unsupported,
+  PermissionDenied,
+  IoError
+};
 
 struct CapResult {
   CapStatus status = CapStatus::Ok;
@@ -197,6 +206,11 @@ struct PowerSample {
   OptWatts mem_w;
   FixedWattsVec<kMaxGpuSensors> gpu_w;  ///< per GPU, or per OAM when gpu_is_oam
   bool gpu_is_oam = false;
+  /// The sensor sweep returned an error (dead node, dropped-out or stuck
+  /// domain). Consumers must treat the power fields as unreliable; the
+  /// monitor counts and discards such sweeps instead of buffering them.
+  /// Occupies tail padding: sizeof(PowerSample) is unchanged by this flag.
+  bool sensor_fault = false;
 
   /// Best available node power: the direct sensor when present, else the
   /// conservative estimate.

@@ -130,6 +130,35 @@ struct PowerManagerConfig {
   int emergency_consecutive = 2;
   double emergency_margin = 0.9;
 
+  /// Graceful degradation under transient cap-write failures (§V: capping
+  /// interfaces fail intermittently in production). The node-level-manager
+  /// retries a failed enforcement with capped exponential backoff
+  /// (initial, doubling, ceiling); only CapStatus::IoError counts as a
+  /// failure — Unsupported/PermissionDenied are permanent platform answers
+  /// and retrying them would be noise.
+  double cap_retry_initial_s = 1.0;
+  double cap_retry_max_s = 30.0;
+
+  /// Root-level quarantine: after this many *consecutive* failed limit
+  /// pushes to a rank (RPC error, timeout, or an ack with applied=false),
+  /// the rank is quarantined — its budget is reserved at node_peak_w (it
+  /// can no longer be trusted to enforce a cap) and the remainder is
+  /// redistributed. Pushes continue as probes; the first applied ack
+  /// lifts the quarantine. 0 disables quarantine.
+  int quarantine_threshold = 3;
+  /// Timeout for each limit-push RPC before it counts as a strike.
+  double push_timeout_s = 5.0;
+  /// While a rank is quarantined, re-push its limit at this period so
+  /// recovery (an applied ack) is detected without waiting for the next
+  /// allocation event.
+  double quarantine_probe_s = 30.0;
+  /// Root-level reconciliation: periodically re-assert every allocated
+  /// rank's current limit even when nothing changed, so a crashed rank is
+  /// *detected* (its pushes time out and accrue strikes) rather than only
+  /// noticed at the next allocation event. 0 (default) disables — the
+  /// event-driven push traffic stays exactly as before.
+  double limit_refresh_s = 0.0;
+
   FppConfig fpp;
   ProgressPolicyConfig progress;
 };

@@ -53,8 +53,10 @@ void PowerManagerModule::load(flux::Broker& broker) {
     payload["node_limit_w"] = node_limit_w_;
     payload["gpu_budget_w"] = last_gpu_budget_w_;
     payload["policy"] = node_policy_name(config_.node_policy);
+    payload["cap_retries"] = cap_retries_;
     if (hwsim::Node* n = broker_->node()) {
       payload["node_draw_w"] = n->node_draw_w();
+      payload["cap_write_failures"] = n->cap_write_faults();
     }
     broker_->respond(req, std::move(payload));
   });
@@ -169,6 +171,22 @@ void PowerManagerModule::load(flux::Broker& broker) {
       ack["bound_w"] = bound;
       broker_->respond(req, std::move(ack));
     });
+    if (config_.limit_refresh_s > 0.0) {
+      // Reconciliation loop: re-assert the current limits so a rank that
+      // went dark is detected by its timeouts, not by luck of the next
+      // allocation event.
+      refresh_task_ = std::make_unique<sim::PeriodicTask>(
+          broker.sim(), config_.limit_refresh_s, [this] {
+            for (const auto& [id, alloc] : allocations_) {
+              if (alloc.node_power_w <= 0.0) continue;
+              for (flux::Rank r : alloc.ranks) {
+                if (quarantined_.contains(r)) continue;  // probe loop owns it
+                push_node_limit(r, alloc.node_power_w);
+              }
+            }
+            return true;
+          });
+    }
     if (config_.emergency_response && config_.cluster_power_bound_w > 0.0) {
       emergency_task_ = std::make_unique<sim::PeriodicTask>(
           broker.sim(), config_.emergency_check_period_s, [this] {
@@ -243,6 +261,15 @@ void PowerManagerModule::load(flux::Broker& broker) {
 }
 
 void PowerManagerModule::unload() {
+  if (cap_retry_event_ != sim::kInvalidEvent && broker_ != nullptr) {
+    broker_->sim().cancel(cap_retry_event_);
+    cap_retry_event_ = sim::kInvalidEvent;
+  }
+  if (forced_reallocate_event_ != sim::kInvalidEvent && broker_ != nullptr) {
+    broker_->sim().cancel(forced_reallocate_event_);
+    forced_reallocate_event_ = sim::kInvalidEvent;
+  }
+  refresh_task_.reset();
   control_task_.reset();
   sample_task_.reset();
   fft_task_.reset();
@@ -307,14 +334,27 @@ void PowerManagerModule::reallocate() {
   // takes min(request, fair share) and the freed power raises the share of
   // the remaining jobs, iterating until stable.
   int total_nodes = 0;
+  int quarantined_nodes = 0;
   for (const auto& [id, alloc] : allocations_) {
     total_nodes += static_cast<int>(alloc.ranks.size());
+    for (flux::Rank r : alloc.ranks) {
+      if (quarantined_.contains(r)) ++quarantined_nodes;
+    }
   }
+
+  // A quarantined rank stopped acknowledging limit pushes, so the ledger
+  // cannot assume it enforces anything: reserve its theoretical peak out of
+  // the pool and let the healthy nodes share the remainder. (Limits keep
+  // being pushed to it as probes; recovery lifts the reservation.)
+  const double reserve = config_.node_peak_w * quarantined_nodes;
+  const double effective_bound =
+      std::max(0.0, config_.cluster_power_bound_w - reserve);
+  const int sharing_nodes = total_nodes - quarantined_nodes;
 
   std::map<flux::JobId, double> shares;
   const bool constrained =
-      config_.cluster_power_bound_w > 0.0 && total_nodes > 0 &&
-      config_.node_peak_w * total_nodes > config_.cluster_power_bound_w;
+      config_.cluster_power_bound_w > 0.0 && sharing_nodes > 0 &&
+      config_.node_peak_w * sharing_nodes > effective_bound;
   if (!constrained) {
     for (const auto& [id, alloc] : allocations_) {
       shares[id] = alloc.requested_node_power_w > 0.0
@@ -323,8 +363,8 @@ void PowerManagerModule::reallocate() {
                        : config_.node_peak_w;
     }
   } else {
-    double pool = config_.cluster_power_bound_w;
-    int pool_nodes = total_nodes;
+    double pool = effective_bound;
+    int pool_nodes = sharing_nodes;
     std::map<flux::JobId, bool> pinned;
     // Water-filling: pin jobs whose request is below the current uniform
     // share, remove them from the pool, repeat until no new pins.
@@ -387,7 +427,114 @@ void PowerManagerModule::update_idle_states() {
 void PowerManagerModule::push_node_limit(flux::Rank rank, double limit_w) {
   Json payload = Json::object();
   payload["limit_w"] = limit_w;
-  broker_->send_request(rank, kSetNodeLimitTopic, std::move(payload));
+  if (config_.quarantine_threshold <= 0) {
+    // Legacy fire-and-forget push (quarantine disabled).
+    broker_->send_request(rank, kSetNodeLimitTopic, std::move(payload));
+    return;
+  }
+  // Acknowledged push: the response (or its absence) feeds the strike
+  // counter. An RPC error, a timeout, and an ack with applied=false all
+  // mean the rank is not enforcing the limit we accounted for.
+  broker_->rpc(
+      rank, kSetNodeLimitTopic, std::move(payload),
+      [this, rank](const Message& resp) {
+        const bool applied =
+            !resp.is_error() && resp.payload.bool_or("applied", true);
+        const bool retrying =
+            !resp.is_error() && resp.payload.bool_or("retrying", false);
+        record_push_result(rank, applied, retrying);
+      },
+      config_.push_timeout_s);
+}
+
+void PowerManagerModule::record_push_result(flux::Rank rank, bool applied,
+                                            bool retrying) {
+  if (applied) {
+    push_strikes_.erase(rank);
+    if (quarantined_.erase(rank) > 0) {
+      util::log_info("power-manager: rank " + std::to_string(rank) +
+                     " recovered; lifting quarantine");
+      Json payload = Json::object();
+      payload["rank"] = rank;
+      payload["quarantined"] = false;
+      broker_->publish_event("power-manager.quarantine", std::move(payload));
+      // Return the reserved peak to the pool.
+      request_forced_reallocate();
+    }
+    return;
+  }
+  if (retrying) {
+    // The rank answered and its local backoff ladder owns the transient
+    // cap-write fault. Responsive ≠ recovered: neither a strike nor a
+    // clear, so a flaky-but-alive rank hovers without quarantine churn.
+    return;
+  }
+  if (quarantined_.contains(rank)) return;  // already reserved
+  if (++push_strikes_[rank] >= config_.quarantine_threshold) {
+    push_strikes_.erase(rank);
+    push_retry_pending_.erase(rank);
+    quarantined_.insert(rank);
+    ++quarantine_events_;
+    util::log_warning("power-manager: quarantining rank " +
+                      std::to_string(rank) +
+                      " after repeated failed limit pushes");
+    Json payload = Json::object();
+    payload["rank"] = rank;
+    payload["quarantined"] = true;
+    broker_->publish_event("power-manager.quarantine", std::move(payload));
+    // Redistribute with the rank's peak reserved out of the pool.
+    request_forced_reallocate();
+    schedule_quarantine_probe(rank);
+    return;
+  }
+  // Below threshold: re-push soon so a dead rank accrues its remaining
+  // strikes instead of waiting for the next allocation event.
+  schedule_push_retry(rank);
+}
+
+void PowerManagerModule::schedule_push_retry(flux::Rank rank) {
+  if (!push_retry_pending_.insert(rank).second) return;  // one in flight
+  broker_->sim().schedule_after(config_.push_timeout_s, [this, rank] {
+    if (broker_ == nullptr) return;
+    push_retry_pending_.erase(rank);
+    if (quarantined_.contains(rank)) return;  // probe loop owns it now
+    for (const auto& [id, alloc] : allocations_) {
+      for (flux::Rank r : alloc.ranks) {
+        if (r == rank) {
+          push_node_limit(rank, alloc.node_power_w);
+          return;
+        }
+      }
+    }
+  });
+}
+
+void PowerManagerModule::request_forced_reallocate() {
+  // Coalesce: a burst of quarantine flips (e.g. every ack of one push
+  // wave) must cause one redistribution, not a wave per ack — the
+  // uncoalesced feedback loop amplifies into an event storm.
+  if (forced_reallocate_event_ != sim::kInvalidEvent) return;
+  forced_reallocate_event_ = broker_->sim().schedule_after(0.1, [this] {
+    forced_reallocate_event_ = sim::kInvalidEvent;
+    if (broker_ == nullptr) return;
+    for (auto& [id, alloc] : allocations_) alloc.node_power_w = -1.0;
+    reallocate();
+  });
+}
+
+void PowerManagerModule::schedule_quarantine_probe(flux::Rank rank) {
+  if (config_.quarantine_probe_s <= 0.0) return;
+  broker_->sim().schedule_after(config_.quarantine_probe_s, [this, rank] {
+    if (broker_ == nullptr || !quarantined_.contains(rank)) return;
+    double share = 0.0;
+    for (const auto& [id, alloc] : allocations_) {
+      for (flux::Rank r : alloc.ranks) {
+        if (r == rank) share = alloc.node_power_w;
+      }
+    }
+    push_node_limit(rank, share);
+    schedule_quarantine_probe(rank);
+  });
 }
 
 void PowerManagerModule::handle_set_node_limit(const Message& req) {
@@ -423,9 +570,22 @@ void PowerManagerModule::handle_set_node_limit(const Message& req) {
     }
     time_since_fpp_control_s_ = 0.0;
   }
-  enforce_node_limit();
+  // A fresh limit supersedes any in-flight retry: restart the ladder.
+  if (cap_retry_event_ != sim::kInvalidEvent) {
+    broker_->sim().cancel(cap_retry_event_);
+    cap_retry_event_ = sim::kInvalidEvent;
+  }
+  cap_retry_delay_s_ = 0.0;
+  const bool applied = enforce_with_retry();
   Json ack = Json::object();
   ack["limit_w"] = node_limit_w_;
+  // applied=false with retrying=true means the caps did not land yet but
+  // the local backoff ladder is converging on them: the broker is alive
+  // and enforcing, so the root must not treat it like a dead rank. Only
+  // applied=false with no retry armed (never happens today) or an RPC
+  // timeout counts as a quarantine strike.
+  ack["applied"] = applied;
+  ack["retrying"] = cap_retry_pending();
   broker_->respond(req, std::move(ack));
 }
 
@@ -476,12 +636,17 @@ double PowerManagerModule::derive_gpu_budget_w() {
   return budget;
 }
 
-void PowerManagerModule::enforce_node_limit() {
+bool PowerManagerModule::enforce_node_limit() {
   hwsim::Node* node = broker_->node();
-  if (node == nullptr) return;
+  if (node == nullptr) return true;
+  // Only a transient driver/firmware failure warrants a retry; permanent
+  // refusals (Unsupported, PermissionDenied) are the platform's answer.
+  auto transient = [](const hwsim::CapResult& r) {
+    return r.status == hwsim::CapStatus::IoError;
+  };
   switch (config_.node_policy) {
     case NodePolicy::None:
-      return;
+      return true;
     case NodePolicy::IbmDefaultNodeCap: {
       const double cap = node_limit_w_ > 0.0 ? node_limit_w_ : config_.node_peak_w;
       const auto result = variorum::cap_best_effort_node_power_limit(*node, cap);
@@ -489,44 +654,69 @@ void PowerManagerModule::enforce_node_limit() {
         util::log_warning(std::string("power-manager: node cap failed: ") +
                           hwsim::cap_status_name(result.status));
       }
-      return;
+      return !transient(result);
     }
     case NodePolicy::ProgressBased: {
       // Budget refresh must respect the probing loop's active cap.
       const double budget = derive_gpu_budget_w();
-      if (budget <= 0.0) return;
+      if (budget <= 0.0) return true;
       const double cap =
           prog_cap_w_ > 0.0 ? std::min(prog_cap_w_, budget) : budget;
-      apply_uniform_cap(cap);
-      return;
+      return apply_uniform_cap(cap);
     }
     case NodePolicy::DirectGpuBudget: {
       const double budget = derive_gpu_budget_w();
-      if (budget <= 0.0) return;
-      apply_uniform_cap(budget);
-      return;
+      if (budget <= 0.0) return true;
+      return apply_uniform_cap(budget);
     }
     case NodePolicy::Fpp: {
       // Clamp each controller's cap to the fresh budget; the 90 s control
       // loop does the dynamic adjustment.
       const double budget = derive_gpu_budget_w();
+      bool ok = true;
       for (std::size_t i = 0; i < fpp_.size(); ++i) {
         const double cap = std::min(fpp_[i]->current_cap_w(), budget);
         if (manages_gpus()) {
-          variorum::cap_gpu_power_limit(*node, static_cast<int>(i), cap);
+          ok = ok &&
+               !transient(variorum::cap_gpu_power_limit(
+                   *node, static_cast<int>(i), cap));
         } else {
-          node->set_socket_power_cap(static_cast<int>(i), cap);
+          ok = ok &&
+               !transient(node->set_socket_power_cap(static_cast<int>(i), cap));
         }
       }
-      return;
+      return ok;
     }
   }
+  return true;
+}
+
+bool PowerManagerModule::enforce_with_retry() {
+  const bool ok = enforce_node_limit();
+  if (ok) {
+    cap_retry_delay_s_ = 0.0;  // ladder back to rest
+    return true;
+  }
+  if (cap_retry_event_ != sim::kInvalidEvent) return false;  // already armed
+  cap_retry_delay_s_ = cap_retry_delay_s_ <= 0.0
+                           ? config_.cap_retry_initial_s
+                           : std::min(config_.cap_retry_max_s,
+                                      cap_retry_delay_s_ * 2.0);
+  ++cap_retries_;
+  cap_retry_event_ =
+      broker_->sim().schedule_after(cap_retry_delay_s_, [this] {
+        cap_retry_event_ = sim::kInvalidEvent;
+        enforce_with_retry();
+      });
+  return false;
 }
 
 void PowerManagerModule::control_tick() {
   // Periodic budget refresh: non-GPU draw moves with application phases,
-  // so the derived GPU budget is re-measured continuously.
-  enforce_node_limit();
+  // so the derived GPU budget is re-measured continuously. A transient
+  // write failure arms the backoff ladder rather than waiting a full
+  // control period.
+  enforce_with_retry();
 }
 
 // ---------------------------------------------------------------------------
@@ -681,16 +871,22 @@ void PowerManagerModule::progress_control_tick() {
   apply_uniform_cap(cap);
 }
 
-void PowerManagerModule::apply_uniform_cap(double cap_w) {
+bool PowerManagerModule::apply_uniform_cap(double cap_w) {
   hwsim::Node* node = broker_->node();
-  if (node == nullptr) return;
+  if (node == nullptr) return true;
+  bool ok = true;
   if (manages_gpus()) {
-    variorum::cap_each_gpu_power_limit(*node, cap_w);
+    for (const hwsim::CapResult& r :
+         variorum::cap_each_gpu_power_limit(*node, cap_w)) {
+      ok = ok && r.status != hwsim::CapStatus::IoError;
+    }
   } else {
     for (int i = 0; i < node->socket_count(); ++i) {
-      node->set_socket_power_cap(i, cap_w);
+      const auto r = node->set_socket_power_cap(i, cap_w);
+      ok = ok && r.status != hwsim::CapStatus::IoError;
     }
   }
+  return ok;
 }
 
 }  // namespace fluxpower::manager

@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "flux/broker.hpp"
@@ -50,6 +51,13 @@ class PowerManagerModule final : public flux::Module {
   // -- Node-level introspection (tests / timeline benches) -------------------
   double node_limit_w() const noexcept { return node_limit_w_; }
   double last_gpu_budget_w() const noexcept { return last_gpu_budget_w_; }
+  /// Enforcement attempts that hit a transient IoError and were rescheduled
+  /// with backoff.
+  std::uint64_t cap_retries() const noexcept { return cap_retries_; }
+  /// True while a backoff retry is queued.
+  bool cap_retry_pending() const noexcept {
+    return cap_retry_event_ != sim::kInvalidEvent;
+  }
   const std::vector<std::unique_ptr<FppController>>& fpp_controllers() const {
     return fpp_;
   }
@@ -69,19 +77,49 @@ class PowerManagerModule final : public flux::Module {
   /// Sum of job power limits P_k (root only).
   double allocated_power_w() const;
 
+  /// Quarantined ranks (root only): nodes whose limit pushes kept failing.
+  /// Their budget is reserved at node_peak_w until a push succeeds again.
+  const std::set<flux::Rank>& quarantined() const noexcept {
+    return quarantined_;
+  }
+  /// Lifetime count of quarantine entries (a rank entering twice counts
+  /// twice) — the flap-rate denominator for reliability tables.
+  std::uint64_t quarantine_events() const noexcept {
+    return quarantine_events_;
+  }
+
  private:
   // Cluster-level-manager (root).
   void on_job_event(const flux::Message& event);
   void reallocate();
   void update_idle_states();
   void push_node_limit(flux::Rank rank, double limit_w);
+  /// Strike/clear bookkeeping for a limit-push outcome; drives quarantine.
+  /// `retrying` means the rank answered but its local backoff ladder is
+  /// still converging — responsive, so neither a strike nor a clear.
+  void record_push_result(flux::Rank rank, bool applied, bool retrying);
+  /// Arm the next recovery probe for a quarantined rank.
+  void schedule_quarantine_probe(flux::Rank rank);
+  /// Re-push a striking (but not yet quarantined) rank's share after
+  /// push_timeout_s, so an unresponsive rank accrues its strikes without
+  /// waiting for the next allocation event. One in flight per rank.
+  void schedule_push_retry(flux::Rank rank);
+  /// Coalesce forced redistributions: any burst of quarantine flips within
+  /// the damping window causes one reallocate, not one per push ack.
+  void request_forced_reallocate();
 
   // Node-level-manager (all ranks).
   void handle_set_node_limit(const flux::Message& req);
-  void enforce_node_limit();
+  /// Apply the active limit; false when any cap write failed transiently
+  /// (CapStatus::IoError) — permanent refusals are not failures.
+  bool enforce_node_limit();
+  /// enforce_node_limit plus the backoff ladder: on transient failure,
+  /// schedule a re-enforcement after the current backoff delay (doubling
+  /// up to cap_retry_max_s); on success, reset the ladder.
+  bool enforce_with_retry();
   void control_tick();
   double derive_gpu_budget_w();
-  void apply_uniform_cap(double cap_w);
+  bool apply_uniform_cap(double cap_w);
 
   /// Which device class FPP / budget enforcement manages on this node:
   /// GPUs when present, CPU sockets otherwise (device-agnostic FPP).
@@ -95,6 +133,9 @@ class PowerManagerModule final : public flux::Module {
   // Node-level state.
   double node_limit_w_ = 0.0;  ///< 0 = unconstrained
   double last_gpu_budget_w_ = 0.0;
+  double cap_retry_delay_s_ = 0.0;  ///< 0 = ladder at rest
+  sim::EventId cap_retry_event_ = sim::kInvalidEvent;
+  std::uint64_t cap_retries_ = 0;
   std::vector<std::unique_ptr<FppController>> fpp_;
   std::unique_ptr<sim::PeriodicTask> control_task_;
   std::unique_ptr<sim::PeriodicTask> sample_task_;
@@ -128,6 +169,14 @@ class PowerManagerModule final : public flux::Module {
   // Cluster-level state (root only).
   std::map<flux::JobId, JobAllocation> allocations_;
   std::vector<std::uint64_t> subscriptions_;
+  /// Consecutive failed limit pushes per rank; reset by any applied ack.
+  std::map<flux::Rank, int> push_strikes_;
+  std::set<flux::Rank> quarantined_;
+  /// Ranks with a queued strike re-push (bounds retries to one in flight).
+  std::set<flux::Rank> push_retry_pending_;
+  std::uint64_t quarantine_events_ = 0;
+  sim::EventId forced_reallocate_event_ = sim::kInvalidEvent;
+  std::unique_ptr<sim::PeriodicTask> refresh_task_;
   /// Allocation history ring: {t, bound, allocated_w, nodes, jobs} sampled
   /// every history_period_s, served via kHistoryTopic for dashboards.
   struct HistoryPoint {

@@ -62,6 +62,14 @@ double JobPowerData::average_node_energy_j() const {
   return total / static_cast<double>(nodes.size());
 }
 
+std::size_t JobPowerData::responding_nodes() const noexcept {
+  std::size_t n = 0;
+  for (const NodePowerData& node : nodes) {
+    if (!node.errored) ++n;
+  }
+  return n;
+}
+
 JobPowerData parse_job_power_payload(const util::Json& payload) {
   JobPowerData data;
   data.job_id = static_cast<flux::JobId>(payload.int_or("id", 0));
@@ -73,6 +81,10 @@ JobPowerData parse_job_power_payload(const util::Json& payload) {
     node.hostname = n.string_or("hostname", "");
     node.rank = static_cast<flux::Rank>(n.int_or("rank", -1));
     node.complete = n.bool_or("complete", false);
+    if (n.contains("error")) {
+      node.errored = true;
+      node.error = n.string_or("error", "");
+    }
     for (const util::Json& s : n.at("samples").as_array()) {
       node.samples.push_back(variorum::parse_node_power_json(s));
     }
@@ -101,6 +113,8 @@ JobPowerData parse_job_power_message(const flux::Message& resp) {
     node.hostname = entry.hostname;
     node.rank = entry.rank;
     node.complete = entry.complete;
+    node.errored = entry.errored;
+    node.error = entry.error;
     node.samples = entry.samples;
     data.nodes.push_back(std::move(node));
   }

@@ -23,6 +23,10 @@ struct NodePowerData {
   std::string hostname;
   flux::Rank rank = -1;
   bool complete = true;
+  /// The node never answered (dead broker, dropped RPC): the entry is a
+  /// placeholder with no samples and `error` holds the reason.
+  bool errored = false;
+  std::string error;
   std::vector<hwsim::PowerSample> samples;
 };
 
@@ -32,6 +36,12 @@ struct JobPowerData {
   double t_start = 0.0;
   double t_end = 0.0;
   std::vector<NodePowerData> nodes;
+
+  /// Telemetry coverage: nodes that answered / nodes requested. Under
+  /// faults the aggregation degrades to a partial dataset with an honest
+  /// denominator rather than erroring out.
+  std::size_t requested_nodes() const noexcept { return nodes.size(); }
+  std::size_t responding_nodes() const noexcept;
 
   /// Average of best-available node power over all samples of all nodes.
   double average_node_power_w() const;

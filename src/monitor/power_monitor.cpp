@@ -78,6 +78,16 @@ void PowerMonitorModule::take_sample() {
   // One typed sensor sweep, stored raw: sizeof(PowerSample) bytes, no JSON,
   // no heap allocation on the 2 s hot path.
   const hwsim::PowerSample s = variorum::get_node_power_sample(*node);
+  ++samples_taken_;
+  // The sweep burned CPU whether or not the sensors answered.
+  node->add_stolen_time(config_.sample_cost_s);
+  if (s.sensor_fault) {
+    // Faulted sweeps never enter the buffer: a dead/stuck reading in the
+    // telemetry would silently corrupt every downstream energy integral.
+    // The failure is counted instead and surfaces in status and metrics.
+    ++sensor_failures_;
+    return;
+  }
   if (config_.stream_samples) {
     // Streaming is an edge: dashboards consume the rendered JSON.
     Json event = Json::object();
@@ -86,10 +96,6 @@ void PowerMonitorModule::take_sample() {
     broker_->publish_event("power-monitor.sample", std::move(event));
   }
   buffer_->push(s);
-  ++samples_taken_;
-  // The sensor sweep runs on this node's cores and stalls the application
-  // for its duration.
-  node->add_stolen_time(config_.sample_cost_s);
 }
 
 TelemetryNodeEntry PowerMonitorModule::local_entry(const Json& window) {
@@ -167,6 +173,8 @@ std::string PowerMonitorModule::metrics_text() const {
   };
   gauge("fluxpower_monitor_samples_total", "",
         static_cast<double>(samples_taken_));
+  gauge("fluxpower_monitor_sensor_failures_total", "",
+        static_cast<double>(sensor_failures_));
   if (buffer_) {
     gauge("fluxpower_monitor_buffer_fill_ratio", "",
           static_cast<double>(buffer_->size()) /
@@ -250,13 +258,24 @@ void PowerMonitorModule::handle_get_subtree(const Message& req) {
   }
 
   flux::Broker* broker = broker_;
-  auto respond_merged = [broker](Pending& p) {
+  const std::size_t requested = wanted.size();
+  auto respond_merged = [broker, requested](Pending& p) {
+    // Coverage annotation: how many of the requested ranks actually
+    // answered. Downed subtrees yield errored placeholder entries, so the
+    // aggregate degrades with an honest denominator instead of hanging.
+    std::size_t responding = 0;
+    for (const TelemetryNodeEntry& n : p.batch.nodes) {
+      if (!n.errored) ++responding;
+    }
+    Json meta = Json::object();
+    meta["requested"] = static_cast<std::int64_t>(requested);
+    meta["responding"] = static_cast<std::int64_t>(responding);
     auto batch = std::make_shared<TelemetryBatch>(std::move(p.batch));
     if (flux::wants_typed_telemetry(p.original)) {
-      broker->respond_telemetry(p.original, Json::object(), std::move(batch));
+      broker->respond_telemetry(p.original, std::move(meta), std::move(batch));
     } else {
       broker->respond(p.original,
-                      flux::render_telemetry_payload(Json::object(), *batch));
+                      flux::render_telemetry_payload(meta, *batch));
     }
   };
 
@@ -317,6 +336,7 @@ void PowerMonitorModule::handle_status(const Message& req) {
   payload["buffer_size"] = buffer_->size();
   payload["buffer_capacity"] = buffer_->capacity();
   payload["evicted"] = buffer_->evicted();
+  payload["sensor_failures"] = sensor_failures_;
   payload["sample_period_s"] = config_.sample_period_s;
   // Byte accounting is exact now that the buffer stores flat structs.
   payload["sample_bytes"] = sizeof(hwsim::PowerSample);
@@ -342,8 +362,15 @@ void PowerMonitorModule::handle_set_config(const Message& req) {
       req.payload.bool_or("stream_samples", config_.stream_samples);
   if (capacity != config_.buffer_capacity) {
     config_.buffer_capacity = capacity;
-    buffer_ =
+    auto replacement =
         std::make_unique<util::RingBuffer<hwsim::PowerSample>>(capacity);
+    // The retained samples are discarded by the reallocation, so the new
+    // buffer must account them (and the old buffer's own evictions) as
+    // evicted — otherwise completeness reporting resets and a job window
+    // that straddles the reconfiguration reads as complete when samples
+    // were in fact lost.
+    replacement->inherit_lifetime(buffer_->total_pushed());
+    buffer_ = std::move(replacement);
   }
   if (period != config_.sample_period_s) {
     config_.sample_period_s = period;

@@ -96,6 +96,12 @@ class PowerMonitorModule final : public flux::Module {
   const PowerMonitorConfig& config() const noexcept { return config_; }
   std::uint64_t samples_taken() const noexcept { return samples_taken_; }
 
+  /// Sweeps discarded because the sensors faulted (dead node, dropout or
+  /// stuck-at reading). Every sweep lands in exactly one bucket, so
+  /// samples_taken == buffer evicted + buffer size + sensor_failures holds
+  /// at all times — the chaos suite's no-double-count invariant.
+  std::uint64_t sensor_failures() const noexcept { return sensor_failures_; }
+
   /// Prometheus-style text exposition of this node-agent's state: sample
   /// counters, buffer fill, and the newest sample's per-domain powers.
   /// What a sidecar exporter would scrape on each node.
@@ -117,6 +123,7 @@ class PowerMonitorModule final : public flux::Module {
   std::unique_ptr<util::RingBuffer<hwsim::PowerSample>> buffer_;
   std::unique_ptr<sim::PeriodicTask> sampler_;
   std::uint64_t samples_taken_ = 0;
+  std::uint64_t sensor_failures_ = 0;
   std::uint64_t archive_subscription_ = 0;
 };
 

@@ -63,6 +63,15 @@ class RingBuffer {
     // clear so completeness reporting covers the whole monitor lifetime.
   }
 
+  /// Credit pushes that happened before this buffer existed. When a
+  /// reconfiguration replaces the buffer (capacity changes are not
+  /// in-place), the replacement must inherit the predecessor's lifetime
+  /// total — its discarded samples count as evicted here — or completeness
+  /// reporting silently resets and a flushed window reads as complete.
+  void inherit_lifetime(std::uint64_t pushed_before) noexcept {
+    total_pushed_ += pushed_before;
+  }
+
   /// Visit items oldest-to-newest.
   template <typename F>
   void for_each(F&& fn) const {

@@ -1,0 +1,156 @@
+// Regression tests for RPC deadline behaviour: a response that arrives
+// after its timeout already synthesized ETIMEDOUT must be dropped and
+// counted — never delivered to the original handler a second time, and
+// never misdelivered to a newer RPC (matchtags are monotonic, not reused).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "flux/instance.hpp"
+#include "hwsim/cluster.hpp"
+
+namespace fluxpower::flux {
+namespace {
+
+class RpcTimeoutTest : public ::testing::Test {
+ protected:
+  RpcTimeoutTest() {
+    cluster_ = hwsim::make_cluster(sim_, hwsim::Platform::LassenIbmAc922, 4);
+    std::vector<hwsim::Node*> nodes;
+    for (int i = 0; i < cluster_.size(); ++i) nodes.push_back(&cluster_.node(i));
+    instance_ = std::make_unique<Instance>(sim_, std::move(nodes));
+  }
+
+  /// Register a service on `rank` that responds `delay_s` after receipt.
+  void register_slow_echo(Rank rank, double delay_s) {
+    Broker& b = instance_->broker(rank);
+    b.register_service("slow-echo", [this, rank, delay_s](const Message& req) {
+      const Message copy = req;
+      sim_.schedule_after(delay_s, [this, rank, copy] {
+        util::Json reply = util::Json::object();
+        reply["echo"] = copy.payload.string_or("msg", "");
+        instance_->broker(rank).respond(copy, std::move(reply));
+      });
+    });
+  }
+
+  sim::Simulation sim_;
+  hwsim::Cluster cluster_;
+  std::unique_ptr<Instance> instance_;
+};
+
+TEST_F(RpcTimeoutTest, LateResponseIsDroppedAndCounted) {
+  register_slow_echo(2, /*delay_s=*/2.0);
+  int calls = 0;
+  int errnum = -1;
+  instance_->root().rpc(2, "slow-echo", util::Json::object(),
+                        [&](const Message& resp) {
+                          ++calls;
+                          errnum = resp.errnum;
+                        },
+                        /*timeout_s=*/0.5);
+  sim_.run();  // runs past both the timeout (0.5 s) and the response (2 s)
+
+  // The handler fired exactly once, with the synthesized timeout error.
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(errnum, kETimedout);
+  // The late real response was recognized and silently dropped.
+  EXPECT_EQ(instance_->root().late_responses(), 1u);
+  EXPECT_EQ(instance_->root().pending_rpc_count(), 0u);
+}
+
+TEST_F(RpcTimeoutTest, ResponseBeforeDeadlineCancelsTimeout) {
+  register_slow_echo(1, /*delay_s=*/0.1);
+  int calls = 0;
+  int errnum = -1;
+  util::Json payload = util::Json::object();
+  payload["msg"] = "fast";
+  std::string got;
+  instance_->root().rpc(1, "slow-echo", std::move(payload),
+                        [&](const Message& resp) {
+                          ++calls;
+                          errnum = resp.errnum;
+                          got = resp.payload.string_or("echo", "");
+                        },
+                        /*timeout_s=*/5.0);
+  sim_.run();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(errnum, 0);
+  EXPECT_EQ(got, "fast");
+  EXPECT_EQ(instance_->root().late_responses(), 0u);
+  EXPECT_EQ(instance_->root().pending_rpc_count(), 0u);
+}
+
+TEST_F(RpcTimeoutTest, LateResponseNeverReachesNewerRpc) {
+  // The §V failure mode this guards: if matchtags were recycled after a
+  // timeout, the straggler response could be delivered to an unrelated
+  // newer RPC that happened to draw the same tag.
+  register_slow_echo(3, /*delay_s=*/3.0);
+  instance_->broker(1).register_service("echo", [this](const Message& req) {
+    util::Json reply = util::Json::object();
+    reply["echo"] = req.payload.string_or("msg", "");
+    instance_->broker(1).respond(req, std::move(reply));
+  });
+
+  util::Json stale = util::Json::object();
+  stale["msg"] = "stale";
+  int slow_calls = 0;
+  std::vector<std::uint64_t> tags;
+  tags.push_back(instance_->root().rpc(3, "slow-echo", std::move(stale),
+                                       [&](const Message&) { ++slow_calls; },
+                                       /*timeout_s=*/0.5));
+
+  // After the timeout has fired, issue a burst of fresh RPCs. Each must
+  // see exactly its own payload echoed back.
+  std::vector<std::string> echoes;
+  sim_.schedule_after(1.0, [&] {
+    for (int i = 0; i < 16; ++i) {
+      util::Json payload = util::Json::object();
+      payload["msg"] = "fresh" + std::to_string(i);
+      tags.push_back(instance_->root().rpc(
+          1, "echo", std::move(payload), [&echoes](const Message& resp) {
+            echoes.push_back(resp.payload.string_or("echo", ""));
+          }));
+    }
+  });
+  sim_.run();
+
+  EXPECT_EQ(slow_calls, 1);  // the timeout, and nothing else
+  ASSERT_EQ(echoes.size(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(echoes[static_cast<std::size_t>(i)],
+              "fresh" + std::to_string(i));
+  }
+  // Matchtags are strictly monotonic — reuse after timeout is impossible.
+  for (std::size_t i = 1; i < tags.size(); ++i) {
+    EXPECT_GT(tags[i], tags[i - 1]);
+  }
+  EXPECT_EQ(instance_->root().late_responses(), 1u);
+  EXPECT_EQ(instance_->root().pending_rpc_count(), 0u);
+}
+
+TEST_F(RpcTimeoutTest, TimedOutTagSetIsBounded) {
+  // More timed-out RPCs than the tag-set cap: the oldest tags are evicted,
+  // so their stragglers fall through to the unmatched-response path, while
+  // every tag still in the set is counted as a late response. Either way
+  // no handler fires twice and nothing leaks.
+  const int kRpcs = 1100;  // cap is 1024
+  register_slow_echo(2, /*delay_s=*/10.0);
+  int calls = 0;
+  for (int i = 0; i < kRpcs; ++i) {
+    instance_->root().rpc(2, "slow-echo", util::Json::object(),
+                          [&](const Message& resp) {
+                            ++calls;
+                            EXPECT_EQ(resp.errnum, kETimedout);
+                          },
+                          /*timeout_s=*/0.5);
+  }
+  sim_.run();
+  EXPECT_EQ(calls, kRpcs);
+  EXPECT_EQ(instance_->root().late_responses(), 1024u);
+  EXPECT_EQ(instance_->root().pending_rpc_count(), 0u);
+}
+
+}  // namespace
+}  // namespace fluxpower::flux

@@ -1,0 +1,202 @@
+// Chaos properties of the TBON telemetry reduction: across 50 random fault
+// seeds, aggregation must degrade honestly — the merged result covers
+// exactly the requested ranks (each once, errored or not), duplicated
+// messages never double-count an entry, pending RPC state always drains,
+// and the monitor's sweep accounting never loses or double-counts a sample.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "faultsim/fault_plane.hpp"
+#include "flux/instance.hpp"
+#include "hwsim/cluster.hpp"
+#include "monitor/client.hpp"
+#include "monitor/power_monitor.hpp"
+
+namespace fluxpower {
+namespace {
+
+constexpr int kNodes = 8;
+
+struct Stack {
+  sim::Simulation sim;
+  hwsim::Cluster cluster;
+  std::unique_ptr<flux::Instance> instance;
+  std::unique_ptr<faultsim::FaultPlane> plane;
+
+  explicit Stack(const faultsim::FaultPlaneConfig& faults) {
+    cluster = hwsim::make_cluster(sim, hwsim::Platform::LassenIbmAc922, kNodes);
+    std::vector<hwsim::Node*> nodes;
+    for (int i = 0; i < cluster.size(); ++i) nodes.push_back(&cluster.node(i));
+    flux::InstanceConfig icfg;
+    icfg.tbon_fanout = 2;
+    instance = std::make_unique<flux::Instance>(sim, std::move(nodes), icfg);
+    plane = std::make_unique<faultsim::FaultPlane>(faults);
+    plane->attach(*instance);
+    monitor::PowerMonitorConfig mcfg = monitor::PowerMonitorConfig::for_tioga();
+    mcfg.archive_jobs = false;
+    instance->load_module_on_all<monitor::PowerMonitorModule>(mcfg);
+  }
+
+  std::vector<flux::Rank> all_ranks() const {
+    std::vector<flux::Rank> ranks;
+    for (int r = 0; r < kNodes; ++r) ranks.push_back(r);
+    return ranks;
+  }
+};
+
+class ChaosTbon : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Duplication and delay are lossless faults: the reduction must still
+// return full coverage with exactly one entry per requested rank — a
+// duplicated response or request must never double-count.
+TEST_P(ChaosTbon, LosslessFaultsKeepFullCoverage) {
+  faultsim::FaultPlaneConfig faults;
+  faults.seed = GetParam();
+  faults.msg_dup_rate = 0.20;
+  faults.msg_delay_rate = 0.30;
+  faults.msg_delay_max_s = 0.200;
+  Stack stack(faults);
+  stack.sim.run_until(30.0);
+
+  monitor::MonitorClient client(*stack.instance);
+  const auto data = client.query_window_blocking(stack.all_ranks(), 0.0, 30.0);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->requested_nodes(), static_cast<std::size_t>(kNodes));
+  EXPECT_EQ(data->responding_nodes(), static_cast<std::size_t>(kNodes));
+  std::set<flux::Rank> seen;
+  for (const monitor::NodePowerData& n : data->nodes) {
+    EXPECT_TRUE(seen.insert(n.rank).second) << "duplicate entry for rank "
+                                            << n.rank;
+    EXPECT_FALSE(n.errored);
+    EXPECT_FALSE(n.samples.empty());
+  }
+
+  // Let in-flight duplicates and timeouts settle; no pending RPC state may
+  // survive anywhere in the tree.
+  stack.sim.run_until(stack.sim.now() + 60.0);
+  for (int r = 0; r < kNodes; ++r) {
+    EXPECT_EQ(stack.instance->broker(r).pending_rpc_count(), 0u)
+        << "leaked pending rpc on rank " << r;
+  }
+}
+
+// Full fault weather: drops, duplicates, delays, crash/reboot cycles and
+// sensor faults. Coverage may shrink, but it must stay *exact*: one entry
+// per requested rank, errored entries empty, and the per-node sweep
+// accounting must balance to the sample.
+TEST_P(ChaosTbon, LossyFaultsDegradeExactly) {
+  faultsim::FaultPlaneConfig faults;
+  faults.seed = GetParam() * 7919 + 17;
+  faults.msg_drop_rate = 0.10;
+  faults.msg_dup_rate = 0.05;
+  faults.msg_delay_rate = 0.10;
+  faults.node_mtbf_s = 120.0;
+  faults.node_reboot_s = 20.0;
+  faults.sensor_dropout_rate = 0.10;
+  faults.sensor_stuck_rate = 0.05;
+  faults.sensor_stuck_duration_s = 10.0;
+  faults.cap_write_failure_rate = 0.20;
+  Stack stack(faults);
+  stack.sim.run_until(120.0);
+
+  monitor::MonitorClient client(*stack.instance);
+  const auto data = client.query_window_blocking(stack.all_ranks(), 0.0, 120.0);
+
+  if (data.has_value()) {
+    EXPECT_EQ(data->requested_nodes(), static_cast<std::size_t>(kNodes));
+    EXPECT_LE(data->responding_nodes(), data->requested_nodes());
+    std::set<flux::Rank> seen;
+    for (const monitor::NodePowerData& n : data->nodes) {
+      EXPECT_TRUE(seen.insert(n.rank).second)
+          << "duplicate entry for rank " << n.rank;
+      if (n.errored) {
+        // An errored placeholder carries the reason and no data.
+        EXPECT_FALSE(n.error.empty());
+        EXPECT_TRUE(n.samples.empty());
+      }
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNodes));
+  }
+  // else: the root's own aggregation RPC timed out — degraded to an error,
+  // which is an acceptable (and still non-hanging) outcome under drops.
+
+  // Drain: after the weather calms (detach the plane) every timeout fires
+  // and no pending RPC state survives.
+  stack.plane->detach();
+
+  // Sweep accounting balances on every rank regardless of the weather:
+  // every sweep either entered the buffer (still there or since evicted)
+  // or was discarded as a sensor failure. Nothing lost, nothing counted
+  // twice — this is the no-double-count invariant for energy integrals.
+  // Snapshot through the status topic so all four counters come from one
+  // consistent instant (a loopback RPC, exempt from link faults anyway).
+  for (int r = 0; r < kNodes; ++r) {
+    bool got = false;
+    stack.instance->broker(r).rpc(
+        r, monitor::kStatusTopic, util::Json::object(),
+        [&got, r](const flux::Message& resp) {
+          got = true;
+          ASSERT_FALSE(resp.is_error());
+          const auto taken = resp.payload.int_or("samples_taken", -1);
+          const auto evicted = resp.payload.int_or("evicted", -1);
+          const auto size = resp.payload.int_or("buffer_size", -1);
+          const auto failures = resp.payload.int_or("sensor_failures", -1);
+          EXPECT_EQ(taken, evicted + size + failures) << "rank " << r;
+        });
+    while (!got && stack.sim.step()) {
+    }
+    EXPECT_TRUE(got) << "status rpc never answered on rank " << r;
+  }
+
+  stack.sim.run_until(stack.sim.now() + 60.0);
+  for (int r = 0; r < kNodes; ++r) {
+    EXPECT_EQ(stack.instance->broker(r).pending_rpc_count(), 0u)
+        << "leaked pending rpc on rank " << r;
+  }
+}
+
+// Replay: the same seed reproduces the identical fault schedule — every
+// counter matches between two fresh runs of the same configuration.
+TEST_P(ChaosTbon, SameSeedReplaysIdentically) {
+  faultsim::FaultPlaneConfig faults;
+  faults.seed = GetParam() * 104729 + 3;
+  faults.msg_drop_rate = 0.08;
+  faults.msg_dup_rate = 0.04;
+  faults.msg_delay_rate = 0.08;
+  faults.node_mtbf_s = 60.0;
+  faults.node_reboot_s = 10.0;
+  faults.sensor_dropout_rate = 0.10;
+  faults.sensor_stuck_rate = 0.05;
+  faults.cap_write_failure_rate = 0.15;
+
+  auto run_once = [&faults] {
+    Stack stack(faults);
+    stack.sim.run_until(90.0);
+    monitor::MonitorClient client(*stack.instance);
+    const auto data =
+        client.query_window_blocking(stack.all_ranks(), 0.0, 90.0);
+    return std::make_pair(stack.plane->counters(),
+                          data ? data->responding_nodes() : std::size_t{0});
+  };
+  const auto [c1, cov1] = run_once();
+  const auto [c2, cov2] = run_once();
+  EXPECT_EQ(c1.msgs_dropped, c2.msgs_dropped);
+  EXPECT_EQ(c1.msgs_blackholed, c2.msgs_blackholed);
+  EXPECT_EQ(c1.msgs_duplicated, c2.msgs_duplicated);
+  EXPECT_EQ(c1.msgs_delayed, c2.msgs_delayed);
+  EXPECT_EQ(c1.node_crashes, c2.node_crashes);
+  EXPECT_EQ(c1.node_reboots, c2.node_reboots);
+  EXPECT_EQ(c1.sensor_dropouts, c2.sensor_dropouts);
+  EXPECT_EQ(c1.sensor_stuck_sweeps, c2.sensor_stuck_sweeps);
+  EXPECT_EQ(c1.cap_write_failures, c2.cap_write_failures);
+  EXPECT_EQ(cov1, cov2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTbon,
+                         ::testing::Range<std::uint64_t>(1, 51));
+
+}  // namespace
+}  // namespace fluxpower

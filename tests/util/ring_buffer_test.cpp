@@ -96,6 +96,43 @@ TEST(RingBuffer, MoveOnlyFriendly) {
   EXPECT_EQ(*rb[1], 3);
 }
 
+TEST(RingBuffer, AccountingStaysConsistentAcrossWraparound) {
+  // The monitor's sweep-accounting invariant leans on this identity at
+  // every instant, including mid-wrap: total_pushed == evicted + size.
+  RingBuffer<int> rb(4);
+  for (int i = 0; i < 23; ++i) {
+    rb.push(i);
+    EXPECT_EQ(rb.total_pushed(), static_cast<std::uint64_t>(i + 1));
+    EXPECT_EQ(rb.total_pushed(), rb.evicted() + rb.size());
+    EXPECT_EQ(rb.back(), i);
+  }
+  EXPECT_EQ(rb.evicted(), 19u);
+}
+
+TEST(RingBuffer, InheritLifetimeBridgesReplacement) {
+  // set-config swaps in a fresh buffer of a new capacity; the replacement
+  // inherits the old buffer's push count so eviction accounting (and the
+  // partial-data flag derived from it) does not reset to zero.
+  RingBuffer<int> old_rb(3);
+  for (int i = 0; i < 8; ++i) old_rb.push(i);
+  ASSERT_EQ(old_rb.total_pushed(), 8u);
+
+  RingBuffer<int> fresh(5);
+  fresh.inherit_lifetime(old_rb.total_pushed());
+  // The 8 historical pushes all count as evicted: none survived the swap.
+  EXPECT_EQ(fresh.total_pushed(), 8u);
+  EXPECT_EQ(fresh.evicted(), 8u);
+  EXPECT_TRUE(fresh.empty());
+
+  // New pushes extend the inherited lifetime seamlessly, wrap included.
+  for (int i = 0; i < 7; ++i) fresh.push(100 + i);
+  EXPECT_EQ(fresh.total_pushed(), 15u);
+  EXPECT_EQ(fresh.size(), 5u);
+  EXPECT_EQ(fresh.evicted(), 10u);
+  EXPECT_EQ(fresh.total_pushed(), fresh.evicted() + fresh.size());
+  EXPECT_EQ(fresh.front(), 102);
+}
+
 // Property: after any number of pushes n, contents are exactly the last
 // min(n, capacity) values in order.
 class RingBufferProperty

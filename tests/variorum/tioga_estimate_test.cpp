@@ -1,0 +1,115 @@
+// Tioga (Cray EX235a) telemetry shape: the platform has no node or memory
+// sensor, so the sample must leave those domains *unset* (not zero) and
+// carry a node estimate that is exactly the sum of what the CPU and OAM
+// sensors reported — including their noise, so the estimate is internally
+// consistent with the per-domain fields it was built from. §II-A.
+#include <gtest/gtest.h>
+
+#include "hwsim/cray_ex235a.hpp"
+#include "sim/simulation.hpp"
+
+namespace fluxpower::hwsim {
+namespace {
+
+LoadDemand demand_at(const CrayEx235aNode& node, double cpu_w, double gcd_w) {
+  LoadDemand d;
+  d.cpu_w.assign(static_cast<std::size_t>(node.socket_count()), cpu_w);
+  d.gpu_w.assign(static_cast<std::size_t>(node.gpu_count()), gcd_w);
+  d.mem_w = 60.0;
+  return d;
+}
+
+double sum(const auto& vec) {
+  double total = 0.0;
+  for (double w : vec) total += w;
+  return total;
+}
+
+TEST(TiogaEstimate, AbsentDomainsAreUnsetNotZero) {
+  sim::Simulation sim;
+  CrayEx235aNode node(sim, "tioga1");
+  node.set_demand(demand_at(node, 200.0, 180.0));
+  const PowerSample s = node.sample();
+
+  // No node meter, no memory meter: the fields must be absent. A zero here
+  // would poison averages downstream; unset is the honest encoding.
+  EXPECT_FALSE(s.node_w.has_value());
+  EXPECT_FALSE(s.mem_w.has_value());
+  // What the platform does expose: one socket, four OAM sensors (each
+  // aggregating a GCD pair), flagged as OAM so consumers know the unit.
+  EXPECT_TRUE(s.node_estimate_w.has_value());
+  EXPECT_TRUE(s.gpu_is_oam);
+  EXPECT_EQ(s.cpu_w.size(), 1u);
+  EXPECT_EQ(s.gpu_w.size(), 4u);
+  EXPECT_EQ(node.oam_count(), 4);
+  EXPECT_EQ(node.gpu_count(), 8);
+}
+
+TEST(TiogaEstimate, EstimateIsExactSumOfReportedDomains) {
+  sim::Simulation sim;
+  CrayEx235aNode node(sim, "tioga1");
+  // Realistic jittering sensors: the estimate must still match the noisy
+  // per-domain values *exactly* (it is computed from them, not from truth).
+  node.set_sensor_noise(0.01);
+  node.reseed_sensor_noise(7);
+
+  for (double cpu_w : {45.0, 120.0, 280.0}) {
+    for (double gcd_w : {45.0, 150.0, 280.0}) {
+      node.set_demand(demand_at(node, cpu_w, gcd_w));
+      const PowerSample s = node.sample();
+      ASSERT_TRUE(s.node_estimate_w.has_value());
+      EXPECT_DOUBLE_EQ(s.node_estimate_w.value_or(0.0),
+                       sum(s.cpu_w) + sum(s.gpu_w))
+          << "cpu demand " << cpu_w << " gcd demand " << gcd_w;
+      EXPECT_FALSE(s.node_w.has_value());
+      EXPECT_FALSE(s.mem_w.has_value());
+    }
+  }
+}
+
+TEST(TiogaEstimate, ConsistencyHoldsAcrossTheCapRange) {
+  // Post-GA firmware with capping enabled: drive the OAMs and the socket
+  // through the full cap range at saturating demand; the telemetry shape
+  // and the estimate identity must hold at every operating point.
+  sim::Simulation sim;
+  CrayEx235aConfig cfg;
+  cfg.capping_enabled_for_users = true;
+  CrayEx235aNode node(sim, "tioga1", cfg);
+  node.set_demand(demand_at(node, 280.0, 280.0));
+
+  double prev_estimate = 1e12;
+  for (double cap_w : {560.0, 450.0, 350.0, 250.0, 150.0}) {
+    for (int gpu = 0; gpu < node.gpu_count(); ++gpu) {
+      const CapResult r = node.set_gpu_power_cap(gpu, cap_w);
+      ASSERT_TRUE(r.ok()) << "cap " << cap_w << " gpu " << gpu;
+    }
+    const PowerSample s = node.sample();
+    ASSERT_TRUE(s.node_estimate_w.has_value());
+    EXPECT_DOUBLE_EQ(s.node_estimate_w.value_or(0.0), sum(s.cpu_w) + sum(s.gpu_w));
+    EXPECT_FALSE(s.node_w.has_value());
+    EXPECT_FALSE(s.mem_w.has_value());
+    // Tightening the OAM caps at saturating demand can only lower draw.
+    EXPECT_LE(s.node_estimate_w.value_or(0.0), prev_estimate + 1e-9);
+    prev_estimate = s.node_estimate_w.value_or(0.0);
+  }
+}
+
+TEST(TiogaEstimate, EarlyAccessFirmwareRefusesCaps) {
+  // The early-access system fuses capping off for users: the call is
+  // denied, no cap takes effect, and the refusal is PermissionDenied (a
+  // *permanent* status — the manager must not burn retries on it).
+  sim::Simulation sim;
+  CrayEx235aNode node(sim, "tioga1");
+  node.set_demand(demand_at(node, 280.0, 280.0));
+  const double before = node.node_draw_w();
+
+  const CapResult gpu = node.set_gpu_power_cap(0, 300.0);
+  EXPECT_EQ(gpu.status, CapStatus::PermissionDenied);
+  EXPECT_FALSE(gpu.applied_watts.has_value());
+  const CapResult sock = node.set_socket_power_cap(0, 150.0);
+  EXPECT_EQ(sock.status, CapStatus::PermissionDenied);
+  EXPECT_DOUBLE_EQ(node.node_draw_w(), before);
+}
+
+}  // namespace
+}  // namespace fluxpower::hwsim
