@@ -90,12 +90,18 @@ int main() {
                 static_cast<int>(p.int_or("jobs", 0)));
   }
 
-  // Ad-hoc window query on a hostlist.
+  // Ad-hoc window query on a hostlist; hostnames resolve to broker ranks
+  // through the cluster's hostname index.
   monitor::MonitorClient client(s.instance());
   const auto hosts = flux::hostlist_decode("lassen[0-2]");
+  std::vector<int> query_ranks;
+  for (const auto& h : hosts) {
+    const int rank = s.cluster().rank_by_hostname(h);
+    if (rank >= 0) query_ranks.push_back(rank);
+  }
   std::printf("\n== ad-hoc query: %s over t=40..80 s ==\n",
               flux::hostlist_encode(hosts).c_str());
-  auto window = client.query_window_blocking({0, 1, 2}, 40.0, 80.0, 5);
+  auto window = client.query_window_blocking(query_ranks, 40.0, 80.0, 5);
   if (window) {
     for (const auto& n : window->nodes) {
       double avg = 0.0;

@@ -115,6 +115,9 @@ double AppRuntime::min_node_speed(const AppPhase& phase,
 }
 
 void AppRuntime::step() {
+  // step() only runs as this event's callback, so the id it fired under can
+  // re-arm the stored callback in place (no per-tick lambda, no allocation).
+  const sim::EventId fired = pending_;
   pending_ = sim::kInvalidEvent;
   if (!running_) return;
 
@@ -141,7 +144,7 @@ void AppRuntime::step() {
     return;
   }
   work_done_ += gained;
-  pending_ = sim_.schedule_after(options_.step_s, [this] { step(); });
+  pending_ = sim_.rearm_fired(fired, sim_.now() + options_.step_s);
 }
 
 void AppRuntime::finish() {

@@ -38,17 +38,24 @@ hwsim::Node* Instance::node(Rank rank) { return broker(rank).node(); }
 void Instance::route(Message msg) {
   ++routed_;
   if (journal_ != nullptr) journal_->record(sim_.now(), msg);
-  if (msg.type == Message::Type::Event) {
+  const bool is_event = msg.type == Message::Type::Event;
+  // One shared immutable copy per route call: delivery callbacks capture
+  // {broker, pointer} — 16 bytes, inside the event pool's inline storage —
+  // instead of a per-destination Message copy behind a heap-allocated
+  // std::function. Broadcasts to N brokers share a single copy.
+  const auto shared = std::make_shared<const Message>(std::move(msg));
+  const Message& m = *shared;
+  if (is_event) {
     // Events are broadcast over the tree from the publisher. Delivery
     // latency to a given broker is proportional to its hop distance. Each
     // broker leg is a distinct set of physical links, so the fault
     // injector rules on every leg independently.
     for (auto& b : brokers_) {
-      const int hops = tbon_.hops(msg.sender, b->rank());
+      const int hops = tbon_.hops(m.sender, b->rank());
       double delay = config_.hop_latency_s * hops;
       int copies = 1;
       if (fault_injector_ != nullptr) {
-        const auto v = fault_injector_->on_route(msg, b->rank());
+        const auto v = fault_injector_->on_route(m, b->rank());
         if (v.drop) {
           ++dropped_;
           continue;
@@ -58,19 +65,19 @@ void Instance::route(Message msg) {
       }
       Broker* dest = b.get();
       for (int c = 0; c < copies; ++c) {
-        sim_.schedule_after(delay, [dest, msg] { dest->deliver(msg); });
+        sim_.schedule_after(delay, [dest, shared] { dest->deliver(*shared); });
       }
     }
     return;
   }
-  if (msg.dest < 0 || msg.dest >= size()) {
+  if (m.dest < 0 || m.dest >= size()) {
     throw std::invalid_argument("Instance::route: bad destination rank");
   }
-  const int hops = tbon_.hops(msg.sender, msg.dest);
+  const int hops = tbon_.hops(m.sender, m.dest);
   double delay = config_.hop_latency_s * std::max(1, hops);
   int copies = 1;
   if (fault_injector_ != nullptr) {
-    const auto v = fault_injector_->on_route(msg, msg.dest);
+    const auto v = fault_injector_->on_route(m, m.dest);
     if (v.drop) {
       ++dropped_;
       return;
@@ -78,9 +85,9 @@ void Instance::route(Message msg) {
     delay += v.extra_delay_s;
     copies += v.duplicates;
   }
-  Broker* dest = brokers_[static_cast<std::size_t>(msg.dest)].get();
+  Broker* dest = brokers_[static_cast<std::size_t>(m.dest)].get();
   for (int c = 0; c < copies; ++c) {
-    sim_.schedule_after(delay, [dest, msg] { dest->deliver(msg); });
+    sim_.schedule_after(delay, [dest, shared] { dest->deliver(*shared); });
   }
 }
 

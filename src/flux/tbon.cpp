@@ -8,6 +8,15 @@ namespace fluxpower::flux {
 Tbon::Tbon(int size, int fanout) : size_(size), fanout_(fanout) {
   if (size <= 0) throw std::invalid_argument("Tbon: size must be positive");
   if (fanout <= 0) throw std::invalid_argument("Tbon: fanout must be positive");
+  parents_.resize(static_cast<std::size_t>(size));
+  levels_.resize(static_cast<std::size_t>(size));
+  parents_[0] = -1;
+  levels_[0] = 0;
+  for (Rank r = 1; r < size; ++r) {
+    const Rank p = (r - 1) / fanout_;
+    parents_[static_cast<std::size_t>(r)] = p;
+    levels_[static_cast<std::size_t>(r)] = levels_[static_cast<std::size_t>(p)] + 1;
+  }
 }
 
 void Tbon::check(Rank rank) const {
@@ -18,8 +27,7 @@ void Tbon::check(Rank rank) const {
 
 Rank Tbon::parent(Rank rank) const {
   check(rank);
-  if (rank == kRootRank) return -1;
-  return (rank - 1) / fanout_;
+  return parents_[static_cast<std::size_t>(rank)];
 }
 
 std::vector<Rank> Tbon::children(Rank rank) const {
@@ -34,12 +42,7 @@ std::vector<Rank> Tbon::children(Rank rank) const {
 
 int Tbon::level(Rank rank) const {
   check(rank);
-  int depth = 0;
-  while (rank != kRootRank) {
-    rank = (rank - 1) / fanout_;
-    ++depth;
-  }
-  return depth;
+  return levels_[static_cast<std::size_t>(rank)];
 }
 
 int Tbon::height() const {
@@ -53,20 +56,21 @@ int Tbon::hops(Rank from, Rank to) const {
   // Walk both ranks up to their lowest common ancestor.
   int hops = 0;
   Rank a = from, b = to;
-  int la = level(a), lb = level(b);
+  int la = levels_[static_cast<std::size_t>(a)];
+  int lb = levels_[static_cast<std::size_t>(b)];
   while (la > lb) {
-    a = parent(a);
+    a = parents_[static_cast<std::size_t>(a)];
     --la;
     ++hops;
   }
   while (lb > la) {
-    b = parent(b);
+    b = parents_[static_cast<std::size_t>(b)];
     --lb;
     ++hops;
   }
   while (a != b) {
-    a = parent(a);
-    b = parent(b);
+    a = parents_[static_cast<std::size_t>(a)];
+    b = parents_[static_cast<std::size_t>(b)];
     hops += 2;
   }
   return hops;

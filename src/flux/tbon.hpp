@@ -47,6 +47,11 @@ class Tbon {
   void check(Rank rank) const;
   int size_;
   int fanout_;
+  // Per-rank parent/level tables, built once at construction: hops() sits
+  // on the broadcast fan-out path (one call per destination broker per
+  // event), where recomputing levels by repeated division dominated.
+  std::vector<Rank> parents_;
+  std::vector<int> levels_;
 };
 
 }  // namespace fluxpower::flux

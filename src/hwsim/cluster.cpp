@@ -13,10 +13,14 @@ const char* platform_name(Platform platform) noexcept {
 }
 
 Node& Cluster::node_by_hostname(const std::string& hostname) {
-  for (auto& n : nodes_) {
-    if (n->hostname() == hostname) return *n;
-  }
-  throw std::out_of_range("Cluster: no node named " + hostname);
+  const int rank = rank_by_hostname(hostname);
+  if (rank < 0) throw std::out_of_range("Cluster: no node named " + hostname);
+  return *nodes_[static_cast<std::size_t>(rank)];
+}
+
+int Cluster::rank_by_hostname(const std::string& hostname) const noexcept {
+  const auto it = by_hostname_.find(hostname);
+  return it == by_hostname_.end() ? -1 : it->second;
 }
 
 double Cluster::total_draw_w() const {

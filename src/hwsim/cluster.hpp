@@ -8,6 +8,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "hwsim/arm_grace.hpp"
@@ -36,6 +37,10 @@ class Cluster {
   Cluster& operator=(Cluster&&) = default;
 
   void add_node(std::unique_ptr<Node> node) {
+    // Index maintained here so hostname lookups are O(1) on telemetry and
+    // manager paths. First registration wins on duplicate hostnames,
+    // matching the historical linear scan's behaviour.
+    by_hostname_.emplace(node->hostname(), size());
     nodes_.push_back(std::move(node));
   }
 
@@ -51,8 +56,11 @@ class Cluster {
     return const_cast<Cluster*>(this)->node(rank);
   }
 
-  /// Locate a node by hostname; throws if absent.
+  /// Locate a node by hostname via the hash index; throws if absent.
   Node& node_by_hostname(const std::string& hostname);
+
+  /// Rank of the node with the given hostname, or -1 if absent. O(1).
+  int rank_by_hostname(const std::string& hostname) const noexcept;
 
   /// Sum of instantaneous draw over all nodes (exact, not sensor-based).
   double total_draw_w() const;
@@ -65,6 +73,7 @@ class Cluster {
 
  private:
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<std::string, int> by_hostname_;
 };
 
 /// Build a homogeneous cluster of `n` nodes of the given platform, named

@@ -35,7 +35,18 @@ class RingBuffer {
   std::uint64_t total_pushed() const noexcept { return total_pushed_; }
   std::uint64_t evicted() const noexcept { return total_pushed_ - items_.size(); }
 
-  void push(T value) {
+  // const&/&& pair instead of by-value: a 200+ byte PowerSample on the 2 s
+  // sampling hot path is copied once, straight into its slot.
+  void push(const T& value) {
+    if (items_.size() < capacity_) {
+      items_.push_back(value);
+    } else {
+      items_[head_] = value;
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++total_pushed_;
+  }
+  void push(T&& value) {
     if (items_.size() < capacity_) {
       items_.push_back(std::move(value));
     } else {

@@ -415,6 +415,31 @@ TEST(Cluster, FactoryBuildsNamedNodes) {
   EXPECT_THROW(c.node(4), std::out_of_range);
 }
 
+TEST(Cluster, HostnameIndexResolvesRanks) {
+  sim::Simulation sim;
+  Cluster c = make_cluster(sim, Platform::LassenIbmAc922, 6);
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(c.rank_by_hostname("lassen" + std::to_string(r)), r);
+    EXPECT_EQ(&c.node_by_hostname("lassen" + std::to_string(r)), &c.node(r));
+  }
+  EXPECT_EQ(c.rank_by_hostname("lassen6"), -1);
+  EXPECT_EQ(c.rank_by_hostname(""), -1);
+  EXPECT_EQ(c.rank_by_hostname("LASSEN0"), -1);  // lookup is case-sensitive
+}
+
+TEST(Cluster, HostnameIndexFirstRegistrationWinsOnDuplicate) {
+  sim::Simulation sim;
+  Cluster c;
+  c.add_node(make_node(sim, Platform::LassenIbmAc922, "twin"));
+  c.add_node(make_node(sim, Platform::LassenIbmAc922, "twin"));
+  c.add_node(make_node(sim, Platform::LassenIbmAc922, "solo"));
+  ASSERT_EQ(c.size(), 3);
+  // Matches the historical linear scan: the first "twin" is returned.
+  EXPECT_EQ(c.rank_by_hostname("twin"), 0);
+  EXPECT_EQ(&c.node_by_hostname("twin"), &c.node(0));
+  EXPECT_EQ(c.rank_by_hostname("solo"), 2);
+}
+
 TEST(Cluster, FactoryRejectsNonPositive) {
   sim::Simulation sim;
   EXPECT_THROW(make_cluster(sim, Platform::LassenIbmAc922, 0),
