@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace fluxpower::faultsim {
 
 namespace {
@@ -26,6 +28,41 @@ void FaultPlane::attach(flux::Instance& instance) {
   instance_ = &instance;
   sim_ = &instance.sim();
   instance.set_fault_injector(this);
+  // Mirror the injected-fault tallies into the root broker's registry so
+  // they surface in the cluster-wide `power.metrics` exposition. Reset on
+  // attach: a fresh plane starts a fresh ledger, matching counters_.
+  obs::MetricsRegistry& reg = instance.broker(0).metrics();
+  mirror_.msgs_dropped = &reg.counter("fluxpower_faultsim_msgs_dropped_total",
+                                      "Messages dropped by link faults");
+  mirror_.msgs_blackholed =
+      &reg.counter("fluxpower_faultsim_msgs_blackholed_total",
+                   "Messages dropped because an endpoint was down");
+  mirror_.msgs_duplicated = &reg.counter(
+      "fluxpower_faultsim_msgs_duplicated_total", "Messages duplicated");
+  mirror_.msgs_delayed = &reg.counter("fluxpower_faultsim_msgs_delayed_total",
+                                      "Messages given extra delay");
+  mirror_.node_crashes = &reg.counter("fluxpower_faultsim_node_crashes_total",
+                                      "Injected node crashes");
+  mirror_.node_reboots = &reg.counter("fluxpower_faultsim_node_reboots_total",
+                                      "Node reboots after a crash");
+  mirror_.sensor_dropouts =
+      &reg.counter("fluxpower_faultsim_sensor_dropouts_total",
+                   "Sensor sweeps errored outright");
+  mirror_.sensor_stuck_sweeps =
+      &reg.counter("fluxpower_faultsim_sensor_stuck_sweeps_total",
+                   "Sensor sweeps returning frozen readings");
+  mirror_.cap_write_failures =
+      &reg.counter("fluxpower_faultsim_cap_write_failures_total",
+                   "Cap writes failed with IoError");
+  mirror_.msgs_dropped->reset();
+  mirror_.msgs_blackholed->reset();
+  mirror_.msgs_duplicated->reset();
+  mirror_.msgs_delayed->reset();
+  mirror_.node_crashes->reset();
+  mirror_.node_reboots->reset();
+  mirror_.sensor_dropouts->reset();
+  mirror_.sensor_stuck_sweeps->reset();
+  mirror_.cap_write_failures->reset();
   const int n = instance.size();
   nodes_.resize(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
@@ -70,6 +107,10 @@ void FaultPlane::schedule_crash(NodeState& state) {
     NodeState& st = nodes_[static_cast<std::size_t>(rank)];
     st.down = true;
     ++counters_.node_crashes;
+    mirror_.node_crashes->inc();
+    if (obs::TraceSink& tr = obs::process_trace(); tr.enabled()) {
+      tr.instant(sim_->now(), "node-crash", "faultsim", rank);
+    }
     st.pending_event =
         sim_->schedule_after(config_.node_reboot_s, [this, rank] {
           NodeState& st2 = nodes_[static_cast<std::size_t>(rank)];
@@ -79,6 +120,10 @@ void FaultPlane::schedule_crash(NodeState& state) {
           st2.stuck = false;
           st2.pending_event = sim::kInvalidEvent;
           ++counters_.node_reboots;
+          mirror_.node_reboots->inc();
+          if (obs::TraceSink& tr = obs::process_trace(); tr.enabled()) {
+            tr.instant(sim_->now(), "node-reboot", "faultsim", rank);
+          }
           schedule_crash(st2);
         });
   });
@@ -94,6 +139,7 @@ FaultPlane::Verdict FaultPlane::on_route(const flux::Message& msg,
   Verdict v;
   if (node_is_down(msg.sender) || node_is_down(dest)) {
     ++counters_.msgs_blackholed;
+    mirror_.msgs_blackholed->inc();
     v.drop = true;
     return v;
   }
@@ -113,15 +159,18 @@ FaultPlane::Verdict FaultPlane::on_route(const flux::Message& msg,
                      link_rng_.chance(config_.msg_delay_rate);
   if (drop) {
     ++counters_.msgs_dropped;
+    mirror_.msgs_dropped->inc();
     v.drop = true;
     return v;
   }
   if (dup) {
     ++counters_.msgs_duplicated;
+    mirror_.msgs_duplicated->inc();
     v.duplicates = 1;
   }
   if (delay) {
     ++counters_.msgs_delayed;
+    mirror_.msgs_delayed->inc();
     v.extra_delay_s = link_rng_.uniform(0.0, config_.msg_delay_max_s);
   }
   return v;
@@ -138,6 +187,7 @@ void FaultPlane::on_sample(hwsim::Node& node, hwsim::PowerSample& sample) {
   if (st == nullptr) return;
   if (st->down) {
     ++counters_.sensor_dropouts;
+    mirror_.sensor_dropouts->inc();
     sample.sensor_fault = true;
     return;
   }
@@ -153,6 +203,7 @@ void FaultPlane::on_sample(hwsim::Node& node, hwsim::PowerSample& sample) {
       sample.timestamp_s = ts;
       sample.sensor_fault = true;
       ++counters_.sensor_stuck_sweeps;
+    mirror_.sensor_stuck_sweeps->inc();
       return;
     }
     st->stuck = false;
@@ -163,6 +214,7 @@ void FaultPlane::on_sample(hwsim::Node& node, hwsim::PowerSample& sample) {
                      st->rng.chance(config_.sensor_stuck_rate);
   if (dropout) {
     ++counters_.sensor_dropouts;
+    mirror_.sensor_dropouts->inc();
     sample.sensor_fault = true;
     return;
   }
@@ -172,6 +224,7 @@ void FaultPlane::on_sample(hwsim::Node& node, hwsim::PowerSample& sample) {
     st->frozen = sample;
     sample.sensor_fault = true;
     ++counters_.sensor_stuck_sweeps;
+    mirror_.sensor_stuck_sweeps->inc();
   }
 }
 
@@ -180,11 +233,13 @@ bool FaultPlane::fail_cap_write(hwsim::Node& node, hwsim::DomainType) {
   if (st == nullptr) return false;
   if (st->down) {
     ++counters_.cap_write_failures;
+    mirror_.cap_write_failures->inc();
     return true;
   }
   if (config_.cap_write_failure_rate > 0.0 &&
       st->rng.chance(config_.cap_write_failure_rate)) {
     ++counters_.cap_write_failures;
+    mirror_.cap_write_failures->inc();
     return true;
   }
   return false;

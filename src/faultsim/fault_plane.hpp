@@ -29,6 +29,7 @@
 
 #include "flux/instance.hpp"
 #include "hwsim/node.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
 
@@ -131,7 +132,22 @@ class FaultPlane final : public flux::RouteFaultInjector,
   util::Rng link_rng_;
   std::vector<NodeState> nodes_;  ///< indexed by rank
   std::map<const hwsim::Node*, std::size_t> by_node_;
+  /// The authoritative tallies (benches read this struct directly).
   FaultCounters counters_;
+  /// Registry mirror of counters_, registered in the root broker's registry
+  /// at attach() so injected-fault denominators ride the `power.metrics`
+  /// aggregation. Null until attached; increments are mirrored 1:1.
+  struct {
+    obs::Counter* msgs_dropped = nullptr;
+    obs::Counter* msgs_blackholed = nullptr;
+    obs::Counter* msgs_duplicated = nullptr;
+    obs::Counter* msgs_delayed = nullptr;
+    obs::Counter* node_crashes = nullptr;
+    obs::Counter* node_reboots = nullptr;
+    obs::Counter* sensor_dropouts = nullptr;
+    obs::Counter* sensor_stuck_sweeps = nullptr;
+    obs::Counter* cap_write_failures = nullptr;
+  } mirror_;
 };
 
 }  // namespace fluxpower::faultsim

@@ -1,14 +1,42 @@
 #include "flux/broker.hpp"
 
+#include <array>
 #include <stdexcept>
 
 #include "flux/instance.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace fluxpower::flux {
 
+namespace {
+/// RPC latency buckets: from a single TBON hop (sub-millisecond) up to the
+/// 10 s subtree-aggregation timeout. Exactly Histogram::kMaxBuckets bounds.
+constexpr std::array<double, 16> kRpcLatencyBounds = {
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05,   0.1,     0.25,   0.5,   1.0,    2.5,   5.0,  10.0};
+}  // namespace
+
 Broker::Broker(Instance& instance, Rank rank, hwsim::Node* node)
-    : instance_(instance), rank_(rank), node_(node) {}
+    : instance_(instance), rank_(rank), node_(node) {
+  sent_ = &metrics_.counter("fluxpower_broker_messages_sent_total",
+                            "Messages sent by this broker");
+  received_ = &metrics_.counter("fluxpower_broker_messages_received_total",
+                                "Messages delivered to this broker");
+  rpc_timeouts_ =
+      &metrics_.counter("fluxpower_broker_rpc_timeouts_total",
+                        "RPCs that synthesized ETIMEDOUT before a response");
+  late_responses_ = &metrics_.counter(
+      "fluxpower_broker_rpc_late_responses_total",
+      "Responses that arrived after their RPC already timed out");
+  events_published_ = &metrics_.counter(
+      "fluxpower_broker_events_published_total",
+      "Events broadcast from this broker");
+  rpc_latency_ = &metrics_.histogram(
+      "fluxpower_broker_rpc_latency_seconds",
+      "Round-trip latency of completed RPCs issued by this broker",
+      kRpcLatencyBounds);
+}
 
 Broker::~Broker() {
   // Unload in reverse load order so dependent modules tear down first.
@@ -54,6 +82,10 @@ std::uint64_t Broker::rpc(Rank dest, const std::string& topic,
   if (on_response) {
     PendingRpc pending;
     pending.handler = std::move(on_response);
+    pending.sent_at = sim().now();
+    if (obs::TraceSink& tr = obs::process_trace(); tr.enabled()) {
+      pending.topic = tr.intern(topic);
+    }
     if (timeout_s > 0.0) {
       const std::uint64_t tag = msg.matchtag;
       const std::string saved_topic = topic;
@@ -62,10 +94,16 @@ std::uint64_t Broker::rpc(Rank dest, const std::string& topic,
             auto it = pending_rpcs_.find(tag);
             if (it == pending_rpcs_.end()) return;  // answered in time
             ResponseHandler handler = std::move(it->second.handler);
+            const char* span_topic = it->second.topic;
             pending_rpcs_.erase(it);
             timed_out_tags_.insert(tag);
             if (timed_out_tags_.size() > kTimedOutTagCap) {
               timed_out_tags_.erase(timed_out_tags_.begin());
+            }
+            rpc_timeouts_->inc();
+            if (obs::TraceSink& tr = obs::process_trace();
+                tr.enabled() && span_topic != nullptr) {
+              tr.instant(sim().now(), span_topic, "rpc-timeout", rank_);
             }
             Message timeout;
             timeout.type = Message::Type::Response;
@@ -80,7 +118,7 @@ std::uint64_t Broker::rpc(Rank dest, const std::string& topic,
     }
     pending_rpcs_[msg.matchtag] = std::move(pending);
   }
-  ++sent_;
+  sent_->inc();
   instance_.route(std::move(msg));
   return msg.matchtag;
 }
@@ -98,7 +136,7 @@ void Broker::respond(const Message& request, util::Json payload) {
   msg.dest = request.sender;
   msg.matchtag = request.matchtag;
   msg.payload = std::move(payload);
-  ++sent_;
+  sent_->inc();
   instance_.route(std::move(msg));
 }
 
@@ -112,7 +150,7 @@ void Broker::respond_telemetry(const Message& request, util::Json meta,
   msg.matchtag = request.matchtag;
   msg.payload = std::move(meta);
   msg.telemetry = std::move(batch);
-  ++sent_;
+  sent_->inc();
   instance_.route(std::move(msg));
 }
 
@@ -126,7 +164,7 @@ void Broker::respond_error(const Message& request, int errnum,
   msg.matchtag = request.matchtag;
   msg.errnum = errnum;
   msg.error_text = std::move(text);
-  ++sent_;
+  sent_->inc();
   instance_.route(std::move(msg));
 }
 
@@ -137,7 +175,8 @@ void Broker::publish_event(const std::string& topic, util::Json payload) {
   msg.sender = rank_;
   msg.dest = -1;
   msg.payload = std::move(payload);
-  ++sent_;
+  sent_->inc();
+  events_published_->inc();
   instance_.route(std::move(msg));
 }
 
@@ -183,7 +222,7 @@ Module* Broker::find_module(const std::string& name) {
 }
 
 void Broker::deliver(const Message& msg) {
-  ++received_;
+  received_->inc();
   switch (msg.type) {
     case Message::Type::Request: {
       auto it = services_.find(msg.topic);
@@ -204,7 +243,7 @@ void Broker::deliver(const Message& msg) {
         // to a newer handler.
         if (auto late = timed_out_tags_.find(msg.matchtag);
             late != timed_out_tags_.end()) {
-          ++late_responses_;
+          late_responses_->inc();
           timed_out_tags_.erase(late);
           return;
         }
@@ -221,6 +260,12 @@ void Broker::deliver(const Message& msg) {
       pending_rpcs_.erase(it);
       if (pending.timeout_event != sim::kInvalidEvent) {
         sim().cancel(pending.timeout_event);
+      }
+      const double latency = sim().now() - pending.sent_at;
+      rpc_latency_->observe(latency);
+      if (obs::TraceSink& tr = obs::process_trace();
+          tr.enabled() && pending.topic != nullptr) {
+        tr.complete(pending.sent_at, latency, pending.topic, "rpc", rank_);
       }
       pending.handler(msg);
       return;

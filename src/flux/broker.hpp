@@ -21,6 +21,7 @@
 #include "flux/message.hpp"
 #include "flux/module.hpp"
 #include "hwsim/node.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 
 namespace fluxpower::flux {
@@ -111,8 +112,12 @@ class Broker {
   void deliver(const Message& msg);
 
   /// Counters for overhead/traffic accounting (micro benches, tests).
-  std::uint64_t messages_sent() const noexcept { return sent_; }
-  std::uint64_t messages_received() const noexcept { return received_; }
+  /// Backed by this broker's metrics registry — the same values surface in
+  /// the `power.metrics` exposition as fluxpower_broker_*_total.
+  std::uint64_t messages_sent() const noexcept { return sent_->value(); }
+  std::uint64_t messages_received() const noexcept {
+    return received_->value();
+  }
 
   /// RPCs whose handler has not yet fired (neither response nor timeout).
   /// Chaos tests assert this drains to zero — no leaked pending state.
@@ -123,7 +128,15 @@ class Broker {
   /// Responses that arrived after their RPC's timeout already synthesized
   /// ETIMEDOUT. Matchtags are never reused, so a late response can only be
   /// dropped — it must never reach a newer handler.
-  std::uint64_t late_responses() const noexcept { return late_responses_; }
+  std::uint64_t late_responses() const noexcept {
+    return late_responses_->value();
+  }
+
+  /// Per-broker (= per-node) metrics registry. Modules loaded on this
+  /// broker register their instruments here; the monitor's `power.metrics`
+  /// service aggregates every broker's registry over the TBON.
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
 
  private:
   friend class Instance;
@@ -131,10 +144,16 @@ class Broker {
   Instance& instance_;
   Rank rank_;
   hwsim::Node* node_;
+  /// Declared before the Counter*/Histogram* members below: they point into
+  /// this registry and are bound in the constructor.
+  obs::MetricsRegistry metrics_;
   std::map<std::string, ServiceHandler> services_;
   struct PendingRpc {
     ResponseHandler handler;
     sim::EventId timeout_event = sim::kInvalidEvent;
+    double sent_at = 0.0;
+    /// Interned topic for the trace span; set only while tracing is on.
+    const char* topic = nullptr;
   };
   std::map<std::uint64_t, PendingRpc> pending_rpcs_;
   /// Matchtags whose timeout fired before the real response arrived.
@@ -142,7 +161,6 @@ class Broker {
   /// monotonically increasing, so the set's minimum is always the oldest.
   static constexpr std::size_t kTimedOutTagCap = 1024;
   std::set<std::uint64_t> timed_out_tags_;
-  std::uint64_t late_responses_ = 0;
   UserId userid_ = kOwnerUserid;
   struct Subscription {
     std::string topic;
@@ -152,8 +170,13 @@ class Broker {
   std::vector<std::shared_ptr<Module>> modules_;
   std::uint64_t next_matchtag_ = 1;
   std::uint64_t next_subscription_ = 1;
-  std::uint64_t sent_ = 0;
-  std::uint64_t received_ = 0;
+  // Hot-path instrument handles into metrics_ (bound once, O(1) updates).
+  obs::Counter* sent_ = nullptr;
+  obs::Counter* received_ = nullptr;
+  obs::Counter* rpc_timeouts_ = nullptr;
+  obs::Counter* late_responses_ = nullptr;
+  obs::Counter* events_published_ = nullptr;
+  obs::Histogram* rpc_latency_ = nullptr;
 };
 
 }  // namespace fluxpower::flux

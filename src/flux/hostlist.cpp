@@ -56,7 +56,12 @@ std::string hostlist_encode(const std::vector<std::string>& hostnames) {
       if (!groups.contains(prefix)) order.push_back(prefix);
       groups[prefix].push_back(suffix);
     } else {
-      literals.emplace_back(i, hostnames[i]);
+      // Literals are deduplicated like numeric suffixes (first appearance
+      // wins) so encode() canonicalises the whole list, not just ranges.
+      const bool seen =
+          std::any_of(literals.begin(), literals.end(),
+                      [&](const auto& l) { return l.second == hostnames[i]; });
+      if (!seen) literals.emplace_back(i, hostnames[i]);
     }
   }
 

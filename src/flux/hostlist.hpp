@@ -13,13 +13,32 @@
 
 namespace fluxpower::flux {
 
-/// Encode hostnames into the compact range form. Hostnames that do not fit
-/// the prefix+number pattern are emitted verbatim, comma-separated.
-/// Encoding preserves first-appearance order of prefixes; numeric ranges
-/// within a prefix are sorted ascending and deduplicated.
+/// Encode hostnames into the compact range form. The output is *canonical*:
+/// two inputs naming the same host set (as a set — order and duplicates
+/// ignored within each prefix group) encode to the same string.
+///
+/// Canonicalisation rules:
+///  - Prefix groups appear in first-appearance order; within a group,
+///    suffixes are sorted ascending and deduplicated, and maximal
+///    consecutive same-width runs become "lo-hi" ranges.
+///  - Zero-padding is part of a host's identity: "node07" and "node007"
+///    are distinct hosts and are never merged into one range
+///    ("n[9,010]" stays split because the widths differ).
+///  - Hostnames with no numeric suffix — or with a suffix longer than 18
+///    digits, which would overflow 64-bit range arithmetic — are emitted
+///    verbatim after the grouped ranges, deduplicated, in first-appearance
+///    order.
+///
+/// Idempotence contract with decode: for any input `hosts`,
+///   hostlist_encode(hostlist_decode(hostlist_encode(hosts)))
+///     == hostlist_encode(hosts)
+/// i.e. decode followed by encode is a fixed point on every encoder output.
 std::string hostlist_encode(const std::vector<std::string>& hostnames);
 
 /// Expand a compact hostlist ("a[0-2,5],b3,c[07-09]") into hostnames.
+/// Range endpoints inherit the left endpoint's zero-padding width. Decoding
+/// does not canonicalise: duplicates and ordering in `encoded` are
+/// reproduced as-is (encode is the canonicalising direction).
 /// Throws std::invalid_argument on malformed input (unbalanced brackets,
 /// reversed ranges, empty components).
 std::vector<std::string> hostlist_decode(const std::string& encoded);

@@ -21,6 +21,9 @@ double EnergyMeter::joules(sim::Time now) const {
 }
 
 void EnergyMeter::reset(sim::Time now) {
+  if (now < last_) {
+    throw std::logic_error("EnergyMeter::reset: time went backwards");
+  }
   joules_ = 0.0;
   last_ = now;
 }

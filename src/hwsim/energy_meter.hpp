@@ -22,7 +22,10 @@ class EnergyMeter {
 
   double current_watts() const noexcept { return watts_; }
 
-  /// Reset the accumulator (job-scoped metering).
+  /// Reset the accumulator (job-scoped metering). Like update()/joules(),
+  /// throws std::logic_error if `now` precedes the last recorded time — a
+  /// backwards reset would silently re-bill the rewound interval at the
+  /// current power level on the next update.
   void reset(sim::Time now);
 
  private:

@@ -1,9 +1,11 @@
 #include "manager/power_manager.hpp"
 
 #include <algorithm>
+#include <array>
 #include <span>
 
 #include "flux/instance.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "variorum/variorum.hpp"
 
@@ -11,6 +13,16 @@ namespace fluxpower::manager {
 
 using flux::Message;
 using util::Json;
+
+namespace {
+/// Backoff ladder delays double from cap_retry_initial_s (default 0.5 s) to
+/// cap_retry_max_s (default 30 s); cap-write latency spans one immediate
+/// success (0) up to a full ladder walk.
+constexpr std::array<double, 12> kCapLatencyBounds = {
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0};
+constexpr std::array<double, 8> kBackoffBounds = {0.25, 0.5, 1.0,  2.0,
+                                                 4.0,  8.0, 16.0, 32.0};
+}  // namespace
 
 const char* node_policy_name(NodePolicy policy) noexcept {
   switch (policy) {
@@ -30,6 +42,37 @@ PowerManagerModule::~PowerManagerModule() = default;
 
 void PowerManagerModule::load(flux::Broker& broker) {
   broker_ = &broker;
+
+  // Bind instruments in the broker registry; counters reset so a reloaded
+  // module starts a fresh ledger like the plain members it replaced.
+  obs::MetricsRegistry& reg = broker.metrics();
+  cap_retries_total_ =
+      &reg.counter("fluxpower_manager_cap_retries_total",
+                   "Transient cap-write failures rescheduled with backoff");
+  quarantine_events_total_ =
+      &reg.counter("fluxpower_manager_quarantine_events_total",
+                   "Ranks quarantined after repeated failed limit pushes");
+  push_strikes_total_ =
+      &reg.counter("fluxpower_manager_push_strikes_total",
+                   "Failed limit-push acknowledgements counted as strikes");
+  limit_pushes_total_ = &reg.counter("fluxpower_manager_limit_pushes_total",
+                                     "Per-node limit pushes issued");
+  cap_backoff_seconds_ =
+      &reg.histogram("fluxpower_manager_cap_backoff_seconds",
+                     "Armed backoff delays on the cap-retry ladder",
+                     kBackoffBounds);
+  cap_write_latency_ = &reg.histogram(
+      "fluxpower_manager_cap_write_latency_seconds",
+      "Time from limit arrival to successful enforcement", kCapLatencyBounds);
+  quarantined_nodes_ = &reg.gauge("fluxpower_manager_quarantined_nodes",
+                                  "Ranks currently quarantined");
+  cap_retries_total_->reset();
+  quarantine_events_total_->reset();
+  push_strikes_total_->reset();
+  limit_pushes_total_->reset();
+  cap_backoff_seconds_->reset();
+  cap_write_latency_->reset();
+  quarantined_nodes_->set(0.0);
 
   // ---- node-level-manager: every rank ----
   broker.register_service(kSetNodeLimitTopic, [this](const Message& m) {
@@ -53,7 +96,7 @@ void PowerManagerModule::load(flux::Broker& broker) {
     payload["node_limit_w"] = node_limit_w_;
     payload["gpu_budget_w"] = last_gpu_budget_w_;
     payload["policy"] = node_policy_name(config_.node_policy);
-    payload["cap_retries"] = cap_retries_;
+    payload["cap_retries"] = cap_retries();
     if (hwsim::Node* n = broker_->node()) {
       payload["node_draw_w"] = n->node_draw_w();
       payload["cap_write_failures"] = n->cap_write_faults();
@@ -425,6 +468,7 @@ void PowerManagerModule::update_idle_states() {
 }
 
 void PowerManagerModule::push_node_limit(flux::Rank rank, double limit_w) {
+  limit_pushes_total_->inc();
   Json payload = Json::object();
   payload["limit_w"] = limit_w;
   if (config_.quarantine_threshold <= 0) {
@@ -452,6 +496,11 @@ void PowerManagerModule::record_push_result(flux::Rank rank, bool applied,
   if (applied) {
     push_strikes_.erase(rank);
     if (quarantined_.erase(rank) > 0) {
+      quarantined_nodes_->set(static_cast<double>(quarantined_.size()));
+      if (obs::TraceSink& tr = obs::process_trace(); tr.enabled()) {
+        tr.instant(broker_->sim().now(), "quarantine-lift", "manager",
+                   broker_->rank(), "rank", static_cast<double>(rank));
+      }
       util::log_info("power-manager: rank " + std::to_string(rank) +
                      " recovered; lifting quarantine");
       Json payload = Json::object();
@@ -470,11 +519,17 @@ void PowerManagerModule::record_push_result(flux::Rank rank, bool applied,
     return;
   }
   if (quarantined_.contains(rank)) return;  // already reserved
+  push_strikes_total_->inc();
   if (++push_strikes_[rank] >= config_.quarantine_threshold) {
     push_strikes_.erase(rank);
     push_retry_pending_.erase(rank);
     quarantined_.insert(rank);
-    ++quarantine_events_;
+    quarantine_events_total_->inc();
+    quarantined_nodes_->set(static_cast<double>(quarantined_.size()));
+    if (obs::TraceSink& tr = obs::process_trace(); tr.enabled()) {
+      tr.instant(broker_->sim().now(), "quarantine", "manager",
+                 broker_->rank(), "rank", static_cast<double>(rank));
+    }
     util::log_warning("power-manager: quarantining rank " +
                       std::to_string(rank) +
                       " after repeated failed limit pushes");
@@ -570,12 +625,15 @@ void PowerManagerModule::handle_set_node_limit(const Message& req) {
     }
     time_since_fpp_control_s_ = 0.0;
   }
-  // A fresh limit supersedes any in-flight retry: restart the ladder.
+  // A fresh limit supersedes any in-flight retry: restart the ladder. The
+  // latency clock restarts with it — it measures this limit, not the
+  // superseded one.
   if (cap_retry_event_ != sim::kInvalidEvent) {
     broker_->sim().cancel(cap_retry_event_);
     cap_retry_event_ = sim::kInvalidEvent;
   }
   cap_retry_delay_s_ = 0.0;
+  cap_attempt_start_s_ = -1.0;
   const bool applied = enforce_with_retry();
   Json ack = Json::object();
   ack["limit_w"] = node_limit_w_;
@@ -692,9 +750,16 @@ bool PowerManagerModule::enforce_node_limit() {
 }
 
 bool PowerManagerModule::enforce_with_retry() {
+  // Latency accounting covers the whole attempt: from the first write of a
+  // fresh limit through every backoff rung until the caps finally land.
+  if (cap_attempt_start_s_ < 0.0) {
+    cap_attempt_start_s_ = broker_->sim().now();
+  }
   const bool ok = enforce_node_limit();
   if (ok) {
     cap_retry_delay_s_ = 0.0;  // ladder back to rest
+    cap_write_latency_->observe(broker_->sim().now() - cap_attempt_start_s_);
+    cap_attempt_start_s_ = -1.0;
     return true;
   }
   if (cap_retry_event_ != sim::kInvalidEvent) return false;  // already armed
@@ -702,7 +767,8 @@ bool PowerManagerModule::enforce_with_retry() {
                            ? config_.cap_retry_initial_s
                            : std::min(config_.cap_retry_max_s,
                                       cap_retry_delay_s_ * 2.0);
-  ++cap_retries_;
+  cap_retries_total_->inc();
+  cap_backoff_seconds_->observe(cap_retry_delay_s_);
   cap_retry_event_ =
       broker_->sim().schedule_after(cap_retry_delay_s_, [this] {
         cap_retry_event_ = sim::kInvalidEvent;
@@ -761,6 +827,10 @@ void PowerManagerModule::emergency_check() {
 
 void PowerManagerModule::engage_emergency() {
   emergency_active_ = true;
+  if (obs::TraceSink& tr = obs::process_trace(); tr.enabled()) {
+    tr.instant(broker_->sim().now(), "emergency-engage", "manager",
+               broker_->rank());
+  }
   util::log_warning("power-manager: EMERGENCY — measured draw exceeds the "
                     "cluster bound; pushing deep uniform limits");
   const double deep = config_.cluster_power_bound_w /
@@ -778,6 +848,10 @@ void PowerManagerModule::engage_emergency() {
 void PowerManagerModule::release_emergency() {
   emergency_active_ = false;
   emergency_strikes_ = 0;
+  if (obs::TraceSink& tr = obs::process_trace(); tr.enabled()) {
+    tr.instant(broker_->sim().now(), "emergency-release", "manager",
+               broker_->rank());
+  }
   util::log_info("power-manager: emergency cleared; restoring shares");
   // Force a fresh proportional push.
   for (auto& [id, alloc] : allocations_) alloc.node_power_w = -1.0;

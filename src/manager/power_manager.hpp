@@ -52,8 +52,11 @@ class PowerManagerModule final : public flux::Module {
   double node_limit_w() const noexcept { return node_limit_w_; }
   double last_gpu_budget_w() const noexcept { return last_gpu_budget_w_; }
   /// Enforcement attempts that hit a transient IoError and were rescheduled
-  /// with backoff.
-  std::uint64_t cap_retries() const noexcept { return cap_retries_; }
+  /// with backoff. Backed by the broker registry
+  /// (fluxpower_manager_cap_retries_total) once loaded.
+  std::uint64_t cap_retries() const noexcept {
+    return cap_retries_total_ != nullptr ? cap_retries_total_->value() : 0;
+  }
   /// True while a backoff retry is queued.
   bool cap_retry_pending() const noexcept {
     return cap_retry_event_ != sim::kInvalidEvent;
@@ -83,9 +86,12 @@ class PowerManagerModule final : public flux::Module {
     return quarantined_;
   }
   /// Lifetime count of quarantine entries (a rank entering twice counts
-  /// twice) — the flap-rate denominator for reliability tables.
+  /// twice) — the flap-rate denominator for reliability tables. Backed by
+  /// the broker registry (fluxpower_manager_quarantine_events_total).
   std::uint64_t quarantine_events() const noexcept {
-    return quarantine_events_;
+    return quarantine_events_total_ != nullptr
+               ? quarantine_events_total_->value()
+               : 0;
   }
 
  private:
@@ -135,7 +141,19 @@ class PowerManagerModule final : public flux::Module {
   double last_gpu_budget_w_ = 0.0;
   double cap_retry_delay_s_ = 0.0;  ///< 0 = ladder at rest
   sim::EventId cap_retry_event_ = sim::kInvalidEvent;
-  std::uint64_t cap_retries_ = 0;
+  /// Sim time when the current enforcement attempt (possibly a whole
+  /// backoff ladder) started; < 0 when no attempt is in flight. Feeds the
+  /// cap-write latency histogram on success.
+  double cap_attempt_start_s_ = -1.0;
+  // Instruments in the owning broker's registry (bound and reset in
+  // load(); the registry outlives the module).
+  obs::Counter* cap_retries_total_ = nullptr;
+  obs::Counter* quarantine_events_total_ = nullptr;
+  obs::Counter* push_strikes_total_ = nullptr;
+  obs::Counter* limit_pushes_total_ = nullptr;
+  obs::Histogram* cap_backoff_seconds_ = nullptr;
+  obs::Histogram* cap_write_latency_ = nullptr;
+  obs::Gauge* quarantined_nodes_ = nullptr;
   std::vector<std::unique_ptr<FppController>> fpp_;
   std::unique_ptr<sim::PeriodicTask> control_task_;
   std::unique_ptr<sim::PeriodicTask> sample_task_;
@@ -174,7 +192,6 @@ class PowerManagerModule final : public flux::Module {
   std::set<flux::Rank> quarantined_;
   /// Ranks with a queued strike re-push (bounds retries to one in flight).
   std::set<flux::Rank> push_retry_pending_;
-  std::uint64_t quarantine_events_ = 0;
   sim::EventId forced_reallocate_event_ = sim::kInvalidEvent;
   std::unique_ptr<sim::PeriodicTask> refresh_task_;
   /// Allocation history ring: {t, bound, allocated_w, nodes, jobs} sampled

@@ -1,8 +1,11 @@
 #include "monitor/power_monitor.hpp"
 
+#include <array>
+
 #include "flux/hostlist.hpp"
 #include "flux/instance.hpp"
 #include "monitor/client.hpp"
+#include "obs/trace.hpp"
 #include "variorum/variorum.hpp"
 
 namespace fluxpower::monitor {
@@ -11,6 +14,16 @@ using flux::Message;
 using flux::TelemetryBatch;
 using flux::TelemetryNodeEntry;
 using util::Json;
+
+namespace {
+/// Sweep cost is platform-bound (OCC in-band ~8 ms, MSR ~0.8 ms); the
+/// buckets straddle both defaults.
+constexpr std::array<double, 8> kSweepDurationBounds = {
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025};
+/// Nodes contributed per subtree merge: bounded by the cluster size.
+constexpr std::array<double, 11> kBatchNodesBounds = {
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+}  // namespace
 
 PowerMonitorModule::PowerMonitorModule(PowerMonitorConfig config)
     : config_(config) {}
@@ -22,6 +35,42 @@ void PowerMonitorModule::load(flux::Broker& broker) {
   buffer_ = std::make_unique<util::RingBuffer<hwsim::PowerSample>>(
       config_.buffer_capacity);
 
+  // Bind instruments in the broker registry. Counters are reset so a
+  // reloaded module starts a fresh ledger — the semantics the plain
+  // per-module counters had — keeping the ledger identity
+  // samples == evicted + size + failures intact across a reload.
+  obs::MetricsRegistry& reg = broker.metrics();
+  samples_total_ = &reg.counter("fluxpower_monitor_samples_total",
+                                "Sensor sweeps attempted by the node-agent");
+  sensor_failures_total_ =
+      &reg.counter("fluxpower_monitor_sensor_failures_total",
+                   "Sweeps discarded because the sensors faulted");
+  subtree_merges_total_ =
+      &reg.counter("fluxpower_monitor_subtree_merges_total",
+                   "TBON subtree merges performed at this broker");
+  sweep_duration_ = &reg.histogram("fluxpower_monitor_sweep_duration_seconds",
+                                   "CPU time stolen per sensor sweep",
+                                   kSweepDurationBounds);
+  subtree_batch_nodes_ = &reg.histogram(
+      "fluxpower_monitor_subtree_batch_nodes",
+      "Per-node entries in each merged subtree batch", kBatchNodesBounds);
+  tbon_level_ = &reg.gauge("fluxpower_monitor_tbon_level",
+                           "This broker's depth in the TBON (root = 0)");
+  buffer_fill_ratio_ = &reg.gauge("fluxpower_monitor_buffer_fill_ratio",
+                                  "Retained samples / buffer capacity");
+  buffer_size_ =
+      &reg.gauge("fluxpower_monitor_buffer_size", "Retained samples");
+  buffer_evicted_ = &reg.gauge("fluxpower_monitor_buffer_evicted_total",
+                               "Samples flushed from the circular buffer");
+  samples_total_->reset();
+  sensor_failures_total_->reset();
+  subtree_merges_total_->reset();
+  sweep_duration_->reset();
+  subtree_batch_nodes_->reset();
+  tbon_level_->set(
+      static_cast<double>(broker.instance().tbon().level(broker.rank())));
+  refresh_gauges();
+
   // Node-agent: stateless periodic sampling on every broker.
   broker.register_service(kGetDataTopic,
                           [this](const Message& m) { handle_get_data(m); });
@@ -31,6 +80,8 @@ void PowerMonitorModule::load(flux::Broker& broker) {
                           [this](const Message& m) { handle_status(m); });
   broker.register_service(kSetConfigTopic,
                           [this](const Message& m) { handle_set_config(m); });
+  broker.register_service(kMetricsTopic,
+                          [this](const Message& m) { handle_metrics(m); });
   sampler_ = std::make_unique<sim::PeriodicTask>(
       broker.sim(), config_.sample_period_s, [this] {
         take_sample();
@@ -60,6 +111,7 @@ void PowerMonitorModule::unload() {
     broker_->unregister_service(kGetSubtreeTopic);
     broker_->unregister_service(kStatusTopic);
     broker_->unregister_service(kSetConfigTopic);
+    broker_->unregister_service(kMetricsTopic);
     if (broker_->is_root()) {
       broker_->unregister_service(kQueryJobTopic);
       if (archive_subscription_ != 0) {
@@ -69,7 +121,26 @@ void PowerMonitorModule::unload() {
     }
     broker_ = nullptr;
   }
+  // The instruments live in the broker registry, which outlives the module;
+  // only the handles are dropped here.
+  samples_total_ = nullptr;
+  sensor_failures_total_ = nullptr;
+  subtree_merges_total_ = nullptr;
+  sweep_duration_ = nullptr;
+  subtree_batch_nodes_ = nullptr;
+  tbon_level_ = nullptr;
+  buffer_fill_ratio_ = nullptr;
+  buffer_size_ = nullptr;
+  buffer_evicted_ = nullptr;
   buffer_.reset();
+}
+
+void PowerMonitorModule::refresh_gauges() {
+  if (buffer_ == nullptr || buffer_fill_ratio_ == nullptr) return;
+  buffer_fill_ratio_->set(static_cast<double>(buffer_->size()) /
+                          static_cast<double>(buffer_->capacity()));
+  buffer_size_->set(static_cast<double>(buffer_->size()));
+  buffer_evicted_->set(static_cast<double>(buffer_->evicted()));
 }
 
 void PowerMonitorModule::take_sample() {
@@ -78,14 +149,20 @@ void PowerMonitorModule::take_sample() {
   // One typed sensor sweep, stored raw: sizeof(PowerSample) bytes, no JSON,
   // no heap allocation on the 2 s hot path.
   const hwsim::PowerSample s = variorum::get_node_power_sample(*node);
-  ++samples_taken_;
+  samples_total_->inc();
   // The sweep burned CPU whether or not the sensors answered.
   node->add_stolen_time(config_.sample_cost_s);
+  sweep_duration_->observe(config_.sample_cost_s);
+  if (obs::TraceSink& tr = obs::process_trace(); tr.enabled()) {
+    tr.complete(broker_->sim().now(), config_.sample_cost_s, "sensor-sweep",
+                "monitor", broker_->rank(), "fault",
+                s.sensor_fault ? 1.0 : 0.0);
+  }
   if (s.sensor_fault) {
     // Faulted sweeps never enter the buffer: a dead/stuck reading in the
     // telemetry would silently corrupt every downstream energy integral.
     // The failure is counted instead and surfaces in status and metrics.
-    ++sensor_failures_;
+    sensor_failures_total_->inc();
     return;
   }
   if (config_.stream_samples) {
@@ -171,10 +248,12 @@ std::string PowerMonitorModule::metrics_text() const {
                   value);
     out += line;
   };
+  // Thin view over the broker registry: same counters the `power.metrics`
+  // aggregation exposes, rendered in the module's legacy byte format.
   gauge("fluxpower_monitor_samples_total", "",
-        static_cast<double>(samples_taken_));
+        static_cast<double>(samples_taken()));
   gauge("fluxpower_monitor_sensor_failures_total", "",
-        static_cast<double>(sensor_failures_));
+        static_cast<double>(sensor_failures()));
   if (buffer_) {
     gauge("fluxpower_monitor_buffer_fill_ratio", "",
           static_cast<double>(buffer_->size()) /
@@ -259,7 +338,19 @@ void PowerMonitorModule::handle_get_subtree(const Message& req) {
 
   flux::Broker* broker = broker_;
   const std::size_t requested = wanted.size();
-  auto respond_merged = [broker, requested](Pending& p) {
+  // Instrument handles are captured by value: they point into the broker
+  // registry, which outlives the module, so a merge completing after an
+  // unload still records safely.
+  obs::Counter* merges = subtree_merges_total_;
+  obs::Histogram* batch_nodes = subtree_batch_nodes_;
+  auto respond_merged = [broker, requested, merges, batch_nodes](Pending& p) {
+    merges->inc();
+    batch_nodes->observe(static_cast<double>(p.batch.nodes.size()));
+    if (obs::TraceSink& tr = obs::process_trace(); tr.enabled()) {
+      tr.instant(broker->sim().now(), "subtree-merge", "monitor",
+                 broker->rank(), "nodes",
+                 static_cast<double>(p.batch.nodes.size()));
+    }
     // Coverage annotation: how many of the requested ranks actually
     // answered. Downed subtrees yield errored placeholder entries, so the
     // aggregate degrades with an honest denominator instead of hanging.
@@ -329,14 +420,62 @@ void PowerMonitorModule::handle_get_subtree(const Message& req) {
   }
 }
 
+void PowerMonitorModule::handle_metrics(const Message& req) {
+  // Cluster-wide metrics reduction, same TBON shape as the telemetry
+  // subtree merge: contribute the local broker registry, recurse into every
+  // child, sum counters/gauges/histogram buckets hop by hop. The aggregate
+  // therefore equals the per-node registry sums exactly — nothing is
+  // averaged, dropped or double-counted. A dark subtree degrades the
+  // `nodes` denominator instead of failing the query.
+  refresh_gauges();
+  const flux::Tbon& tbon = broker_->instance().tbon();
+  const std::vector<flux::Rank> children = tbon.children(broker_->rank());
+
+  struct Pending {
+    obs::MetricsRegistry aggregate;
+    std::int64_t nodes = 1;
+    std::size_t outstanding = 0;
+    Message original;
+  };
+  auto pending = std::make_shared<Pending>();
+  pending->original = req;
+  pending->aggregate.merge_json(broker_->metrics().to_json());
+
+  flux::Broker* broker = broker_;
+  auto respond_merged = [broker](Pending& p) {
+    Json payload = Json::object();
+    payload["nodes"] = p.nodes;
+    payload["metrics"] = p.aggregate.to_json();
+    broker->respond(p.original, std::move(payload));
+  };
+
+  if (children.empty()) {
+    respond_merged(*pending);
+    return;
+  }
+  pending->outstanding = children.size();
+  for (flux::Rank child : children) {
+    broker->rpc(
+        child, kMetricsTopic, Json::object(),
+        [pending, respond_merged](const Message& resp) {
+          if (!resp.is_error()) {
+            pending->aggregate.merge_json(resp.payload.at("metrics"));
+            pending->nodes += resp.payload.int_or("nodes", 0);
+          }
+          if (--pending->outstanding == 0) respond_merged(*pending);
+        },
+        /*timeout_s=*/10.0);
+  }
+}
+
 void PowerMonitorModule::handle_status(const Message& req) {
   Json payload = Json::object();
   payload["rank"] = broker_->rank();
-  payload["samples_taken"] = samples_taken_;
+  payload["samples_taken"] = samples_taken();
   payload["buffer_size"] = buffer_->size();
   payload["buffer_capacity"] = buffer_->capacity();
   payload["evicted"] = buffer_->evicted();
-  payload["sensor_failures"] = sensor_failures_;
+  payload["sensor_failures"] = sensor_failures();
   payload["sample_period_s"] = config_.sample_period_s;
   // Byte accounting is exact now that the buffer stores flat structs.
   payload["sample_bytes"] = sizeof(hwsim::PowerSample);

@@ -83,6 +83,10 @@ inline constexpr const char* kGetSubtreeTopic = "power-monitor.get-subtree";
 inline constexpr const char* kQueryJobTopic = "power-monitor.query-job";
 inline constexpr const char* kStatusTopic = "power-monitor.status";
 inline constexpr const char* kSetConfigTopic = "power-monitor.set-config";
+/// Cluster-wide metrics aggregation: any broker answers with its own
+/// registry merged with its TBON subtree's. Ask the root for the whole
+/// cluster; the aggregate equals the per-node registry sums exactly.
+inline constexpr const char* kMetricsTopic = "power.metrics";
 
 class PowerMonitorModule final : public flux::Module {
  public:
@@ -94,13 +98,20 @@ class PowerMonitorModule final : public flux::Module {
   void unload() override;
 
   const PowerMonitorConfig& config() const noexcept { return config_; }
-  std::uint64_t samples_taken() const noexcept { return samples_taken_; }
+  /// Backed by the broker registry (fluxpower_monitor_samples_total) once
+  /// loaded; 0 before load, like the plain counter it replaced.
+  std::uint64_t samples_taken() const noexcept {
+    return samples_total_ != nullptr ? samples_total_->value() : 0;
+  }
 
   /// Sweeps discarded because the sensors faulted (dead node, dropout or
   /// stuck-at reading). Every sweep lands in exactly one bucket, so
   /// samples_taken == buffer evicted + buffer size + sensor_failures holds
   /// at all times — the chaos suite's no-double-count invariant.
-  std::uint64_t sensor_failures() const noexcept { return sensor_failures_; }
+  std::uint64_t sensor_failures() const noexcept {
+    return sensor_failures_total_ != nullptr ? sensor_failures_total_->value()
+                                             : 0;
+  }
 
   /// Prometheus-style text exposition of this node-agent's state: sample
   /// counters, buffer fill, and the newest sample's per-domain powers.
@@ -112,18 +123,32 @@ class PowerMonitorModule final : public flux::Module {
   void handle_get_data(const flux::Message& req);
   void handle_get_subtree(const flux::Message& req);
   void handle_query_job(const flux::Message& req);
+  void handle_metrics(const flux::Message& req);
   /// Build this rank's own per-node entry for a window request.
   flux::TelemetryNodeEntry local_entry(const util::Json& window);
   void handle_status(const flux::Message& req);
   void handle_set_config(const flux::Message& req);
   void archive_job(flux::JobId id, flux::UserId userid);
+  /// Push the buffer-derived gauges into the registry. Called just-in-time
+  /// before any exposition so gauges are never stale.
+  void refresh_gauges();
 
   PowerMonitorConfig config_;
   flux::Broker* broker_ = nullptr;
   std::unique_ptr<util::RingBuffer<hwsim::PowerSample>> buffer_;
   std::unique_ptr<sim::PeriodicTask> sampler_;
-  std::uint64_t samples_taken_ = 0;
-  std::uint64_t sensor_failures_ = 0;
+  // Instruments in the owning broker's registry (bound in load(), reset
+  // there too so a reloaded module starts a fresh ledger like the plain
+  // counters it replaced). The registry outlives the module.
+  obs::Counter* samples_total_ = nullptr;
+  obs::Counter* sensor_failures_total_ = nullptr;
+  obs::Counter* subtree_merges_total_ = nullptr;
+  obs::Histogram* sweep_duration_ = nullptr;
+  obs::Histogram* subtree_batch_nodes_ = nullptr;
+  obs::Gauge* tbon_level_ = nullptr;
+  obs::Gauge* buffer_fill_ratio_ = nullptr;
+  obs::Gauge* buffer_size_ = nullptr;
+  obs::Gauge* buffer_evicted_ = nullptr;
   std::uint64_t archive_subscription_ = 0;
 };
 

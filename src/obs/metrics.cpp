@@ -1,0 +1,281 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace fluxpower::obs {
+
+namespace {
+
+/// Render a double the way Prometheus text exposition expects: integral
+/// values without a fractional part ("42"), everything else with enough
+/// digits to round-trip visually ("0.0625"). %.9g keeps sim-time-derived
+/// values byte-stable without trailing-zero noise.
+void append_number(std::string& out, double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  out += buf;
+}
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "histogram";
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::span<const double> bounds) {
+  if (bounds.size() > kMaxBuckets) {
+    throw std::invalid_argument("Histogram: too many buckets");
+  }
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (i > 0 && !(bounds[i] > bounds[i - 1])) {
+      throw std::invalid_argument("Histogram: bounds must be ascending");
+    }
+    bounds_[i] = bounds[i];
+  }
+  nbounds_ = bounds.size();
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= nbounds_; ++i) counts_[i] = 0;
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+MetricsRegistry::Metric& MetricsRegistry::get_or_create(std::string_view name,
+                                                        std::string_view help,
+                                                        Kind kind) {
+  if (auto it = index_.find(name); it != index_.end()) {
+    Metric& m = *metrics_[it->second];
+    if (m.kind != kind) {
+      throw std::logic_error("MetricsRegistry: metric '" + std::string(name) +
+                             "' re-registered with a different kind");
+    }
+    return m;
+  }
+  auto metric = std::make_unique<Metric>();
+  metric->name = std::string(name);
+  metric->help = std::string(help);
+  metric->kind = kind;
+  Metric& ref = *metric;
+  index_.emplace(ref.name, metrics_.size());
+  metrics_.push_back(std::move(metric));
+  return ref;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help) {
+  return get_or_create(name, help, Kind::Counter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  return get_or_create(name, help, Kind::Gauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help,
+                                      std::span<const double> bounds) {
+  if (auto it = index_.find(name); it != index_.end()) {
+    Metric& m = *metrics_[it->second];
+    if (m.kind != Kind::Histogram) {
+      throw std::logic_error("MetricsRegistry: metric '" + std::string(name) +
+                             "' re-registered with a different kind");
+    }
+    return m.histogram;
+  }
+  Metric& m = get_or_create(name, help, Kind::Histogram);
+  m.histogram = Histogram(bounds);
+  return m.histogram;
+}
+
+std::optional<double> MetricsRegistry::value(std::string_view name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  const Metric& m = *metrics_[it->second];
+  switch (m.kind) {
+    case Kind::Counter:
+      return static_cast<double>(m.counter.value());
+    case Kind::Gauge:
+      return m.gauge.value();
+    case Kind::Histogram:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::string MetricsRegistry::expose_text(const std::string& labels) const {
+  std::string out;
+  out.reserve(metrics_.size() * 96);
+  const std::string plain = labels.empty() ? "" : "{" + labels + "}";
+  for (const auto& mp : metrics_) {
+    const Metric& m = *mp;
+    out += "# HELP ";
+    out += m.name;
+    out += ' ';
+    out += m.help;
+    out += "\n# TYPE ";
+    out += m.name;
+    out += ' ';
+    out += kind_name(static_cast<int>(m.kind));
+    out += '\n';
+    switch (m.kind) {
+      case Kind::Counter: {
+        out += m.name;
+        out += plain;
+        out += ' ';
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, m.counter.value());
+        out += buf;
+        out += '\n';
+        break;
+      }
+      case Kind::Gauge: {
+        out += m.name;
+        out += plain;
+        out += ' ';
+        append_number(out, m.gauge.value());
+        out += '\n';
+        break;
+      }
+      case Kind::Histogram: {
+        const Histogram& h = m.histogram;
+        // Cumulative _bucket series, then _sum and _count, per the
+        // Prometheus text format.
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i <= h.bucket_count(); ++i) {
+          cum += h.count_in(i);
+          out += m.name;
+          out += "_bucket{";
+          if (!labels.empty()) {
+            out += labels;
+            out += ',';
+          }
+          out += "le=\"";
+          if (i < h.bucket_count()) {
+            append_number(out, h.bound(i));
+          } else {
+            out += "+Inf";
+          }
+          out += "\"} ";
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%" PRIu64, cum);
+          out += buf;
+          out += '\n';
+        }
+        out += m.name;
+        out += "_sum";
+        out += plain;
+        out += ' ';
+        append_number(out, h.sum());
+        out += '\n';
+        out += m.name;
+        out += "_count";
+        out += plain;
+        out += ' ';
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, h.count());
+        out += buf;
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+util::Json MetricsRegistry::to_json() const {
+  util::Json arr = util::Json::array();
+  for (const auto& mp : metrics_) {
+    const Metric& m = *mp;
+    util::Json obj = util::Json::object();
+    obj["name"] = m.name;
+    obj["type"] = kind_name(static_cast<int>(m.kind));
+    obj["help"] = m.help;
+    switch (m.kind) {
+      case Kind::Counter:
+        obj["value"] = m.counter.value();
+        break;
+      case Kind::Gauge:
+        obj["value"] = m.gauge.value();
+        break;
+      case Kind::Histogram: {
+        const Histogram& h = m.histogram;
+        util::Json bounds = util::Json::array();
+        util::Json counts = util::Json::array();
+        for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+          bounds.push_back(h.bound(i));
+        }
+        for (std::size_t i = 0; i <= h.bucket_count(); ++i) {
+          counts.push_back(h.count_in(i));
+        }
+        obj["bounds"] = std::move(bounds);
+        obj["counts"] = std::move(counts);
+        obj["sum"] = h.sum();
+        obj["count"] = h.count();
+        break;
+      }
+    }
+    arr.push_back(std::move(obj));
+  }
+  return arr;
+}
+
+void MetricsRegistry::merge_json(const util::Json& metrics_array) {
+  for (const util::Json& obj : metrics_array.as_array()) {
+    const std::string& name = obj.at("name").as_string();
+    const std::string& type = obj.at("type").as_string();
+    const std::string help = obj.string_or("help", "");
+    if (type == "counter") {
+      counter(name, help).inc(
+          static_cast<std::uint64_t>(obj.at("value").as_int()));
+    } else if (type == "gauge") {
+      gauge(name, help).add(obj.at("value").as_double());
+    } else if (type == "histogram") {
+      const util::JsonArray& bounds = obj.at("bounds").as_array();
+      const util::JsonArray& counts = obj.at("counts").as_array();
+      std::vector<double> bvec;
+      bvec.reserve(bounds.size());
+      for (const util::Json& b : bounds) bvec.push_back(b.as_double());
+      Histogram& h = histogram(name, help, bvec);
+      if (h.bucket_count() != bvec.size()) {
+        throw std::logic_error("MetricsRegistry::merge_json: histogram '" +
+                               name + "' bucket-count mismatch");
+      }
+      for (std::size_t i = 0; i < bvec.size(); ++i) {
+        if (h.bound(i) != bvec[i]) {
+          throw std::logic_error("MetricsRegistry::merge_json: histogram '" +
+                                 name + "' bound mismatch");
+        }
+      }
+      if (counts.size() != bvec.size() + 1) {
+        throw std::logic_error("MetricsRegistry::merge_json: histogram '" +
+                               name + "' counts length mismatch");
+      }
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        h.counts_[i] += static_cast<std::uint64_t>(counts[i].as_int());
+      }
+      h.count_ += static_cast<std::uint64_t>(obj.at("count").as_int());
+      h.sum_ += obj.at("sum").as_double();
+    } else {
+      throw std::logic_error("MetricsRegistry::merge_json: unknown type '" +
+                             type + "'");
+    }
+  }
+}
+
+MetricsRegistry& process_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace fluxpower::obs

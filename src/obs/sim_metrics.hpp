@@ -1,0 +1,33 @@
+// sim_metrics.hpp — export discrete-event-engine introspection as gauges.
+//
+// The engine is process-scope (one Simulation drives every broker), so its
+// occupancy numbers belong in the process registry, not in any per-broker
+// registry — keeping the `power.metrics` TBON aggregate exactly equal to
+// the per-node registry sums. Tools and bench runners call this just before
+// dumping the process registry.
+//
+// Header-only by design: fp_obs itself does not link against fp_sim; only
+// translation units that already see both libraries pay the include.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "sim/simulation.hpp"
+
+namespace fluxpower::obs {
+
+inline void export_engine_gauges(const sim::Simulation& sim,
+                                 MetricsRegistry& reg) {
+  reg.gauge("fluxpower_sim_pending_events", "Events live in the engine")
+      .set(static_cast<double>(sim.pending()));
+  reg.gauge("fluxpower_sim_pool_chunks",
+            "Chunks in the engine's pooled callback allocator")
+      .set(static_cast<double>(sim.pool_chunks()));
+  reg.gauge("fluxpower_sim_events_executed_total",
+            "Events executed since construction")
+      .set(static_cast<double>(sim.events_executed()));
+  reg.gauge("fluxpower_sim_callback_heap_allocs_total",
+            "Callbacks that spilled out of the inline event storage")
+      .set(static_cast<double>(sim.callback_heap_allocs()));
+}
+
+}  // namespace fluxpower::obs

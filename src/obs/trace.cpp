@@ -1,0 +1,46 @@
+#include "obs/trace.hpp"
+
+namespace fluxpower::obs {
+
+const char* TraceSink::intern(std::string_view s) {
+  auto it = interned_.find(s);
+  if (it == interned_.end()) {
+    it = interned_.emplace(std::string(s)).first;
+  }
+  return it->c_str();
+}
+
+util::Json TraceSink::to_chrome_json() const {
+  util::Json events = util::Json::array();
+  ring_.for_each([&events](const TraceEvent& e) {
+    util::Json obj = util::Json::object();
+    obj["name"] = e.name;
+    obj["cat"] = e.cat;
+    obj["ph"] = std::string(1, e.phase);
+    // Chrome trace timestamps are microseconds. Sim time is seconds; the
+    // conversion is exact enough for display and, being a pure function of
+    // sim time, deterministic across runs.
+    obj["ts"] = e.ts_s * 1e6;
+    if (e.phase == 'X') obj["dur"] = e.dur_s * 1e6;
+    obj["pid"] = 0;
+    obj["tid"] = e.tid;
+    if (e.phase == 'i') obj["s"] = "t";  // thread-scoped instant
+    if (e.arg_name != nullptr) {
+      util::Json args = util::Json::object();
+      args[e.arg_name] = e.arg_value;
+      obj["args"] = std::move(args);
+    }
+    events.push_back(std::move(obj));
+  });
+  util::Json root = util::Json::object();
+  root["traceEvents"] = std::move(events);
+  root["displayTimeUnit"] = "ms";
+  return root;
+}
+
+TraceSink& process_trace() {
+  static TraceSink sink;
+  return sink;
+}
+
+}  // namespace fluxpower::obs

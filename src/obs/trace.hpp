@@ -1,0 +1,103 @@
+// trace.hpp — sim-time structured trace-event sink (observability plane).
+//
+// Records spans ('X', complete events with a duration) and instants ('i')
+// stamped with simulation time, in a bounded ring so a long chaos run cannot
+// grow memory without limit. Export is Chrome trace-event JSON
+// (https://ui.perfetto.dev loads it directly; see README).
+//
+// Determinism and cost rules:
+//   * Timestamps are sim-time only — never wall clock — so two identical
+//     runs produce byte-identical trace output.
+//   * The sink is disabled by default. Every record call checks enabled()
+//     first and returns immediately; instrumented code paths pay one
+//     predictable branch when tracing is off, and bench stdout is
+//     unaffected either way (traces only ever go to files).
+//   * record calls do not allocate: names/categories are `const char*`
+//     string literals, or strings interned once via intern().
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace fluxpower::obs {
+
+/// One trace record. `phase` follows the Chrome trace-event phases we emit:
+/// 'X' (complete: ts + dur) and 'i' (instant). `tid` is the flux rank (or 0
+/// for process-scope events) so Perfetto renders one row per node.
+struct TraceEvent {
+  double ts_s = 0.0;
+  double dur_s = 0.0;
+  std::int32_t tid = 0;
+  char phase = 'i';
+  const char* name = "";
+  const char* cat = "";
+  /// Optional single numeric argument (shown in Perfetto's detail pane).
+  const char* arg_name = nullptr;
+  double arg_value = 0.0;
+};
+
+/// Bounded trace ring. When full, the oldest events are overwritten and
+/// counted as dropped — matching the monitor's sample-buffer semantics.
+class TraceSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  explicit TraceSink(std::size_t capacity = kDefaultCapacity)
+      : ring_(capacity) {}
+
+  bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+
+  /// Record an instant event at sim-time `ts_s`. No-op while disabled.
+  void instant(double ts_s, const char* name, const char* cat,
+               std::int32_t tid = 0, const char* arg_name = nullptr,
+               double arg_value = 0.0) {
+    if (!enabled_) return;
+    ring_.push(TraceEvent{ts_s, 0.0, tid, 'i', name, cat, arg_name,
+                          arg_value});
+  }
+
+  /// Record a complete span [ts_s, ts_s + dur_s]. No-op while disabled.
+  void complete(double ts_s, double dur_s, const char* name, const char* cat,
+                std::int32_t tid = 0, const char* arg_name = nullptr,
+                double arg_value = 0.0) {
+    if (!enabled_) return;
+    ring_.push(TraceEvent{ts_s, dur_s, tid, 'X', name, cat, arg_name,
+                          arg_value});
+  }
+
+  /// Intern a dynamic string (e.g. an RPC topic assembled at runtime) so
+  /// record calls can keep passing `const char*` without per-event copies.
+  /// The returned pointer is stable for the sink's lifetime.
+  const char* intern(std::string_view s);
+
+  std::size_t size() const noexcept { return ring_.size(); }
+  std::uint64_t dropped() const noexcept { return ring_.evicted(); }
+  const TraceEvent& operator[](std::size_t i) const { return ring_[i]; }
+
+  /// Discard buffered events (interned strings and enabled state survive).
+  void clear() noexcept { ring_.clear(); }
+
+  /// Chrome trace-event JSON:
+  ///   {"traceEvents":[{"name","cat","ph","ts","dur"?,"pid","tid",
+  ///                    "s"?,"args"?}], "displayTimeUnit":"ms"}
+  /// `ts`/`dur` are microseconds of sim time.
+  util::Json to_chrome_json() const;
+
+ private:
+  util::RingBuffer<TraceEvent> ring_;
+  /// std::set gives pointer-stable node-based storage for interned names.
+  std::set<std::string, std::less<>> interned_;
+  bool enabled_ = false;
+};
+
+/// The process-wide trace sink, shared by all instrumented layers. Disabled
+/// until a tool/bench explicitly enables it.
+TraceSink& process_trace();
+
+}  // namespace fluxpower::obs

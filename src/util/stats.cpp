@@ -20,12 +20,14 @@ double sum(std::span<const double> xs) {
 }
 
 double mean(std::span<const double> xs) {
-  if (xs.empty()) return 0.0;
+  if (xs.empty()) throw std::invalid_argument("mean: empty input");
   return sum(xs) / static_cast<double>(xs.size());
 }
 
 double variance(std::span<const double> xs) {
-  if (xs.size() < 2) return 0.0;
+  if (xs.size() < 2) {
+    throw std::invalid_argument("variance: need at least 2 samples");
+  }
   const double m = mean(xs);
   double acc = 0.0;
   for (double x : xs) acc += (x - m) * (x - m);

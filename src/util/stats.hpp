@@ -12,6 +12,12 @@
 
 namespace fluxpower::util {
 
+/// Empty-input contract: every reduction that has no defined value on its
+/// degenerate input throws std::invalid_argument instead of silently
+/// returning 0.0 — a mean of 0.0 is a plausible power reading, so the old
+/// behaviour could masquerade as data. mean/min_of/max_of/quantile/median
+/// throw on empty; variance/stddev (sample, n-1) throw for fewer than 2
+/// samples. sum() of an empty span is genuinely 0 and stays 0.
 double mean(std::span<const double> xs);
 double variance(std::span<const double> xs);   // sample variance (n-1)
 double stddev(std::span<const double> xs);
@@ -39,6 +45,7 @@ double percent_change(double a, double b);
 
 /// Coefficient of variation in percent (stddev / mean * 100); the paper uses
 /// >20% run-to-run variation as the threshold for flagging noisy configs.
+/// Inherits the contract above: throws for fewer than 2 samples.
 double coefficient_of_variation_pct(std::span<const double> xs);
 
 /// Trapezoidal integration of a sampled signal: y values at the given

@@ -47,6 +47,35 @@ TEST(Hostlist, EncodeNonNumericVerbatim) {
   EXPECT_EQ(hostlist_encode({"login-a", "n1", "n2"}), "n[1-2],login-a");
 }
 
+// Canonicalisation applies to literal hostnames too: duplicates collapse
+// just as numeric suffixes do (previously only ranges were deduplicated).
+TEST(Hostlist, EncodeDeduplicatesLiterals) {
+  EXPECT_EQ(hostlist_encode({"login-a", "login-a"}), "login-a");
+  EXPECT_EQ(hostlist_encode({"login-a", "n1", "login-a", "n1"}),
+            "n1,login-a");
+}
+
+// node07 and node007 are distinct hosts: same value, different padding.
+// Duplicates of each still collapse.
+TEST(Hostlist, EncodeMixedWidthDuplicates) {
+  EXPECT_EQ(hostlist_encode({"node07", "node007", "node07", "node007"}),
+            "node[07,007]");
+  EXPECT_EQ(hostlist_decode("node[07,007]"),
+            (std::vector<std::string>{"node07", "node007"}));
+}
+
+// Suffixes beyond 18 digits would overflow 64-bit range arithmetic; they
+// fall back to verbatim literals and must still round-trip and deduplicate.
+TEST(Hostlist, EncodeOverlongSuffixIsLiteral) {
+  const std::string big = "n9999999999999999999";  // 19 digits
+  EXPECT_EQ(hostlist_encode({big, big}), big);
+  EXPECT_EQ(hostlist_encode({big, "n1", "n2"}), "n[1-2]," + big);
+  EXPECT_EQ(hostlist_decode("n[1-2]," + big),
+            (std::vector<std::string>{"n1", "n2", big}));
+  EXPECT_EQ(hostlist_encode(hostlist_decode("n[1-2]," + big)),
+            "n[1-2]," + big);
+}
+
 TEST(Hostlist, DecodeSimple) {
   EXPECT_EQ(hostlist_decode("lassen[0-2]"),
             (std::vector<std::string>{"lassen0", "lassen1", "lassen2"}));
@@ -89,7 +118,25 @@ TEST_P(HostlistRoundTrip, DecodeEncodeIsStable) {
   const int count = static_cast<int>(rng.uniform_int(1, 40));
   for (int i = 0; i < count; ++i) {
     const char* prefix = prefixes[rng.uniform_int(0, 2)];
-    hosts.push_back(prefix + std::to_string(rng.uniform_int(0, 99)));
+    // Mixed-width suffixes ("node07" vs "node007"), explicit duplicates,
+    // literal fallbacks (no suffix / >18-digit suffix) all mix freely.
+    const int shape = static_cast<int>(rng.uniform_int(0, 9));
+    if (shape == 0) {
+      hosts.push_back(std::string(prefix) + "-login");
+    } else if (shape == 1) {
+      hosts.push_back(std::string(prefix) + "9999999999999999999");
+    } else {
+      std::string num = std::to_string(rng.uniform_int(0, 99));
+      const int width = static_cast<int>(rng.uniform_int(1, 3));
+      while (static_cast<int>(num.size()) < width) {
+        num.insert(num.begin(), '0');
+      }
+      hosts.push_back(prefix + num);
+    }
+    if (!hosts.empty() && rng.uniform_int(0, 3) == 0) {
+      hosts.push_back(hosts[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(hosts.size()) - 1))]);
+    }
   }
   const std::string encoded = hostlist_encode(hosts);
   const auto decoded = hostlist_decode(encoded);

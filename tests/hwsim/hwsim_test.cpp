@@ -39,6 +39,12 @@ TEST(EnergyMeter, BackwardsTimeThrows) {
   m.update(5.0, 10.0);
   EXPECT_THROW(m.update(4.0, 10.0), std::logic_error);
   EXPECT_THROW(m.joules(4.0), std::logic_error);
+  // reset() shares the monotonicity contract: rewinding the clock would
+  // re-bill the rewound interval at the current wattage on the next update.
+  EXPECT_THROW(m.reset(4.0), std::logic_error);
+  m.reset(5.0);  // equal time is fine
+  m.reset(6.0);
+  EXPECT_DOUBLE_EQ(m.joules(7.0), 10.0);
 }
 
 // ---------------------------------------------------------------------------

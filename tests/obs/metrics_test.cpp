@@ -1,0 +1,164 @@
+// Tests for obs/metrics: registry semantics, exposition bytes, TBON merge.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+namespace fluxpower::obs {
+namespace {
+
+TEST(Counter, IncAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(Histogram, BucketsObservationsAtUpperBound) {
+  const std::array<double, 3> bounds{1.0, 2.0, 5.0};
+  Histogram h(bounds);
+  h.observe(0.5);  // le=1
+  h.observe(1.0);  // le=1 (bound is inclusive)
+  h.observe(1.5);  // le=2
+  h.observe(9.0);  // +Inf
+  EXPECT_EQ(h.bucket_count(), 3u);
+  EXPECT_EQ(h.count_in(0), 2u);
+  EXPECT_EQ(h.count_in(1), 1u);
+  EXPECT_EQ(h.count_in(2), 0u);
+  EXPECT_EQ(h.count_in(3), 1u);  // +Inf
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 12.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  const std::array<double, 2> descending{2.0, 1.0};
+  EXPECT_THROW(Histogram{std::span<const double>(descending)},
+               std::invalid_argument);
+  const std::vector<double> too_many(Histogram::kMaxBuckets + 1, 1.0);
+  EXPECT_THROW(Histogram{std::span<const double>(too_many)},
+               std::invalid_argument);
+}
+
+TEST(Registry, GetOrCreateReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("fluxpower_test_total", "help");
+  Counter& b = reg.counter("fluxpower_test_total", "help");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("fluxpower_test_total", "help");
+  EXPECT_THROW(reg.gauge("fluxpower_test_total", "help"), std::logic_error);
+}
+
+TEST(Registry, ValueLookup) {
+  MetricsRegistry reg;
+  reg.counter("c", "h").inc(3);
+  reg.gauge("g", "h").set(1.5);
+  const std::array<double, 1> bounds{1.0};
+  reg.histogram("h", "h", bounds);
+  EXPECT_EQ(reg.value("c"), 3.0);
+  EXPECT_EQ(reg.value("g"), 1.5);
+  EXPECT_FALSE(reg.value("h").has_value());   // histograms are not scalars
+  EXPECT_FALSE(reg.value("nope").has_value());
+}
+
+// Golden exposition: exact bytes, registration order, cumulative buckets.
+TEST(Registry, GoldenExposition) {
+  MetricsRegistry reg;
+  reg.counter("fluxpower_x_events_total", "Events seen").inc(7);
+  reg.gauge("fluxpower_x_fill_ratio", "Buffer fill").set(0.25);
+  const std::array<double, 2> bounds{0.001, 0.01};
+  Histogram& h = reg.histogram("fluxpower_x_latency_seconds", "Latency",
+                               bounds);
+  h.observe(0.0005);
+  h.observe(0.002);
+  h.observe(5.0);
+  const std::string expected =
+      "# HELP fluxpower_x_events_total Events seen\n"
+      "# TYPE fluxpower_x_events_total counter\n"
+      "fluxpower_x_events_total 7\n"
+      "# HELP fluxpower_x_fill_ratio Buffer fill\n"
+      "# TYPE fluxpower_x_fill_ratio gauge\n"
+      "fluxpower_x_fill_ratio 0.25\n"
+      "# HELP fluxpower_x_latency_seconds Latency\n"
+      "# TYPE fluxpower_x_latency_seconds histogram\n"
+      "fluxpower_x_latency_seconds_bucket{le=\"0.001\"} 1\n"
+      "fluxpower_x_latency_seconds_bucket{le=\"0.01\"} 2\n"
+      "fluxpower_x_latency_seconds_bucket{le=\"+Inf\"} 3\n"
+      "fluxpower_x_latency_seconds_sum 5.0025\n"
+      "fluxpower_x_latency_seconds_count 3\n";
+  EXPECT_EQ(reg.expose_text(), expected);
+}
+
+TEST(Registry, ExpositionSplicesLabels) {
+  MetricsRegistry reg;
+  reg.counter("fluxpower_x_total", "h").inc(1);
+  const std::string text = reg.expose_text("host=\"lassen0\"");
+  EXPECT_NE(text.find("fluxpower_x_total{host=\"lassen0\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(Registry, MergeJsonSumsEverything) {
+  const std::array<double, 2> bounds{1.0, 2.0};
+  MetricsRegistry a;
+  a.counter("c", "h").inc(3);
+  a.gauge("g", "h").set(0.5);
+  Histogram& ha = a.histogram("hist", "h", bounds);
+  ha.observe(0.5);
+  ha.observe(10.0);
+
+  MetricsRegistry agg;
+  agg.merge_json(a.to_json());
+  agg.merge_json(a.to_json());  // merge twice: everything doubles
+  EXPECT_EQ(agg.value("c"), 6.0);
+  EXPECT_EQ(agg.value("g"), 1.0);
+  // The merged registry's exposition equals a registry holding the sums.
+  MetricsRegistry expected;
+  expected.counter("c", "h").inc(6);
+  expected.gauge("g", "h").set(1.0);
+  Histogram& he = expected.histogram("hist", "h", bounds);
+  he.observe(0.5);
+  he.observe(0.5);
+  he.observe(10.0);
+  he.observe(10.0);
+  EXPECT_EQ(agg.expose_text(), expected.expose_text());
+}
+
+TEST(Registry, MergeJsonRejectsBoundMismatch) {
+  const std::array<double, 2> bounds_a{1.0, 2.0};
+  const std::array<double, 2> bounds_b{1.0, 3.0};
+  MetricsRegistry a, b;
+  a.histogram("hist", "h", bounds_a);
+  b.histogram("hist", "h", bounds_b);
+  MetricsRegistry agg;
+  agg.merge_json(a.to_json());
+  EXPECT_THROW(agg.merge_json(b.to_json()), std::logic_error);
+}
+
+// Large and fractional values survive the JSON trip exactly enough for
+// counters (integral) and render without scientific noise in exposition.
+TEST(Registry, NumberFormatting) {
+  MetricsRegistry reg;
+  reg.counter("big_total", "h").inc(1234567890123ull);
+  const std::string text = reg.expose_text();
+  EXPECT_NE(text.find("big_total 1234567890123\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fluxpower::obs

@@ -1,0 +1,175 @@
+// End-to-end observability plane: the cluster-wide `power.metrics` sweep
+// must equal the per-node registry sums exactly, the monitor's ledger
+// identity must be checkable from exposed metrics alone, and two identical
+// runs must produce byte-identical metrics and trace output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "experiments/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace fluxpower {
+namespace {
+
+struct SweepResult {
+  obs::MetricsRegistry aggregate;
+  std::int64_t nodes = 0;
+  bool ok = false;
+};
+
+/// Issue the `power.metrics` RPC at the root and drain until it completes.
+void sweep_metrics(experiments::Scenario& scenario, SweepResult& out) {
+  flux::Broker& root = scenario.instance().broker(0);
+  root.rpc(0, monitor::kMetricsTopic, util::Json::object(),
+           [&out](const flux::Message& resp) {
+             if (resp.is_error()) return;
+             out.aggregate.merge_json(resp.payload.at("metrics"));
+             out.nodes = resp.payload.int_or("nodes", 0);
+             out.ok = true;
+           },
+           /*timeout_s=*/30.0);
+  scenario.sim().run_until(scenario.sim().now() + 1.0);
+}
+
+/// Advance just past a sample tick so the sweep window [now, now+1s] holds
+/// no monitor activity: per-node monitor metrics are quiescent and the
+/// aggregate can be compared against post-sweep registry sums exactly.
+void advance_to_quiet_window(experiments::Scenario& scenario,
+                             double period_s) {
+  const double now = scenario.sim().now();
+  scenario.sim().run_until(std::floor(now / period_s) * period_s +
+                           period_s + 0.25);
+}
+
+/// Keep only the lines of a Prometheus exposition that belong to metrics
+/// with the given prefix (HELP/TYPE/sample/bucket lines alike).
+std::string filter_exposition(const std::string& text,
+                              const std::string& prefix) {
+  std::istringstream in(text);
+  std::string line, out;
+  while (std::getline(in, line)) {
+    if (line.find(prefix) != std::string::npos) out += line + "\n";
+  }
+  return out;
+}
+
+TEST(ObservabilityStack, ClusterAggregateMatchesPerNodeSumsAt128Nodes) {
+  experiments::ScenarioConfig cfg;
+  cfg.nodes = 128;
+  cfg.tbon_fanout = 4;
+  cfg.load_monitor = true;
+  cfg.load_manager = false;  // nothing else may run during the sweep window
+  auto mc = monitor::PowerMonitorConfig::for_lassen();
+  mc.buffer_capacity = 64;  // small: forces evictions, exercises the ledger
+  cfg.monitor = mc;
+  experiments::Scenario scenario(cfg);
+  scenario.submit({.kind = apps::AppKind::Gemm,
+                   .nnodes = 32,
+                   .work_scale = 0.05,
+                   .submit_time_s = 0.0});
+  scenario.run(600.0);
+  // Keep sampling well past one buffer's worth (64 slots x 2 s) so the
+  // per-node rings wrap and the evicted term of the ledger is non-zero.
+  scenario.sim().run_until(scenario.sim().now() + 160.0);
+  advance_to_quiet_window(scenario, mc.sample_period_s);
+
+  SweepResult sweep;
+  sweep_metrics(scenario, sweep);
+  ASSERT_TRUE(sweep.ok);
+  EXPECT_EQ(sweep.nodes, 128);
+
+  // Sum every per-node registry by the same merge the TBON performs.
+  obs::MetricsRegistry expected;
+  for (int r = 0; r < 128; ++r) {
+    expected.merge_json(scenario.instance().broker(r).metrics().to_json());
+  }
+  // Monitor metrics were quiescent during the sweep, so the aggregate must
+  // equal the per-node sums byte-for-byte — histograms included.
+  const std::string got =
+      filter_exposition(sweep.aggregate.expose_text(), "fluxpower_monitor_");
+  const std::string want =
+      filter_exposition(expected.expose_text(), "fluxpower_monitor_");
+  ASSERT_FALSE(want.empty());
+  EXPECT_EQ(got, want);
+  // And the run must actually have produced telemetry to aggregate.
+  EXPECT_GT(sweep.aggregate.value("fluxpower_monitor_samples_total"), 0.0);
+  EXPECT_GT(sweep.aggregate.value("fluxpower_monitor_buffer_evicted_total"),
+            0.0);
+}
+
+TEST(ObservabilityStack, LedgerIdentityHoldsInAggregatedMetrics) {
+  experiments::ScenarioConfig cfg;
+  cfg.nodes = 32;
+  cfg.tbon_fanout = 2;
+  cfg.load_monitor = true;
+  cfg.load_manager = false;
+  auto mc = monitor::PowerMonitorConfig::for_lassen();
+  mc.buffer_capacity = 16;
+  cfg.monitor = mc;
+  // Sensor dropouts make sensor_failures_total a live term in the identity.
+  faultsim::FaultPlaneConfig faults;
+  faults.sensor_dropout_rate = 0.2;
+  cfg.faults = faults;
+  experiments::Scenario scenario(cfg);
+  scenario.run(1.0);
+  scenario.sim().run_until(120.0);
+  advance_to_quiet_window(scenario, mc.sample_period_s);
+
+  SweepResult sweep;
+  sweep_metrics(scenario, sweep);
+  ASSERT_TRUE(sweep.ok);
+  const double samples =
+      sweep.aggregate.value("fluxpower_monitor_samples_total").value();
+  const double evicted =
+      sweep.aggregate.value("fluxpower_monitor_buffer_evicted_total").value();
+  const double size =
+      sweep.aggregate.value("fluxpower_monitor_buffer_size").value();
+  const double failures =
+      sweep.aggregate.value("fluxpower_monitor_sensor_failures_total").value();
+  EXPECT_GT(samples, 0.0);
+  EXPECT_GT(failures, 0.0);  // the fault plane really fired
+  EXPECT_GT(evicted, 0.0);   // the ring really wrapped
+  EXPECT_EQ(samples, evicted + size + failures);
+}
+
+TEST(ObservabilityStack, TwoIdenticalRunsAreByteIdentical) {
+  auto run_once = [](std::string& metrics_out, std::string& trace_out) {
+    obs::process_trace().clear();
+    obs::process_trace().set_enabled(true);
+    experiments::ScenarioConfig cfg;
+    cfg.nodes = 16;
+    cfg.tbon_fanout = 2;
+    cfg.load_monitor = true;
+    cfg.load_manager = true;
+    faultsim::FaultPlaneConfig faults;
+    faults.sensor_dropout_rate = 0.1;
+    cfg.faults = faults;
+    experiments::Scenario scenario(cfg);
+    scenario.submit({.kind = apps::AppKind::Gemm,
+                     .nnodes = 8,
+                     .work_scale = 0.05,
+                     .submit_time_s = 0.0});
+    scenario.run(600.0);
+    SweepResult sweep;
+    sweep_metrics(scenario, sweep);
+    ASSERT_TRUE(sweep.ok);
+    metrics_out = sweep.aggregate.expose_text();
+    trace_out = obs::process_trace().to_chrome_json().dump();
+    obs::process_trace().set_enabled(false);
+  };
+  std::string metrics_a, trace_a, metrics_b, trace_b;
+  run_once(metrics_a, trace_a);
+  run_once(metrics_b, trace_b);
+  EXPECT_FALSE(metrics_a.empty());
+  EXPECT_GT(trace_a.size(), 100u);
+  EXPECT_EQ(metrics_a, metrics_b);
+  EXPECT_EQ(trace_a, trace_b);
+}
+
+}  // namespace
+}  // namespace fluxpower

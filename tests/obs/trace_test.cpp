@@ -1,0 +1,94 @@
+// Tests for obs/trace: bounded sink semantics and Chrome trace-event JSON.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+
+namespace fluxpower::obs {
+namespace {
+
+TEST(TraceSink, DisabledByDefaultAndRecordsNothing) {
+  TraceSink sink(8);
+  EXPECT_FALSE(sink.enabled());
+  sink.instant(1.0, "ev", "cat");
+  sink.complete(1.0, 0.5, "span", "cat");
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(TraceSink, RecordsWhenEnabled) {
+  TraceSink sink(8);
+  sink.set_enabled(true);
+  sink.instant(1.0, "ev", "cat", 3, "rank", 3.0);
+  sink.complete(2.0, 0.5, "span", "rpc", 1);
+  ASSERT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink[0].phase, 'i');
+  EXPECT_EQ(sink[0].tid, 3);
+  EXPECT_STREQ(sink[0].arg_name, "rank");
+  EXPECT_EQ(sink[1].phase, 'X');
+  EXPECT_DOUBLE_EQ(sink[1].dur_s, 0.5);
+}
+
+TEST(TraceSink, RingBoundsMemoryAndCountsDrops) {
+  TraceSink sink(4);
+  sink.set_enabled(true);
+  for (int i = 0; i < 10; ++i) sink.instant(i, "ev", "cat");
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  // Oldest were evicted: the survivors are 6..9.
+  EXPECT_DOUBLE_EQ(sink[0].ts_s, 6.0);
+}
+
+TEST(TraceSink, InternIsStableAndDeduplicated) {
+  TraceSink sink(4);
+  const char* a = sink.intern("power.telemetry");
+  const char* b = sink.intern(std::string("power.") + "telemetry");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "power.telemetry");
+}
+
+TEST(TraceSink, ClearKeepsEnabledAndInterned) {
+  TraceSink sink(4);
+  sink.set_enabled(true);
+  const char* name = sink.intern("topic");
+  sink.instant(1.0, name, "cat");
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_TRUE(sink.enabled());
+  EXPECT_EQ(sink.intern("topic"), name);
+}
+
+// Golden JSON: exact bytes for one instant and one span, and schema checks
+// through util::Json so a Chrome/Perfetto loader sees what it expects.
+TEST(TraceSink, ChromeJsonGolden) {
+  TraceSink sink(8);
+  sink.set_enabled(true);
+  sink.complete(0.001, 0.0005, "rpc.call", "rpc", 2);
+  sink.instant(1.5, "quarantine", "manager", 0, "rank", 7.0);
+  const util::Json doc = sink.to_chrome_json();
+  const std::string dumped = doc.dump();
+  EXPECT_EQ(dumped,
+            "{\"traceEvents\":["
+            "{\"name\":\"rpc.call\",\"cat\":\"rpc\",\"ph\":\"X\","
+            "\"ts\":1000,\"dur\":500,\"pid\":0,\"tid\":2},"
+            "{\"name\":\"quarantine\",\"cat\":\"manager\",\"ph\":\"i\","
+            "\"ts\":1500000,\"pid\":0,\"tid\":0,\"s\":\"t\","
+            "\"args\":{\"rank\":7}}"
+            "],\"displayTimeUnit\":\"ms\"}");
+
+  // Schema: re-parse and walk the structure.
+  const util::Json parsed = util::Json::parse(dumped);
+  const auto& events = parsed.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  for (const auto& ev : events) {
+    EXPECT_FALSE(ev.at("name").as_string().empty());
+    EXPECT_FALSE(ev.at("cat").as_string().empty());
+    const std::string ph = ev.at("ph").as_string();
+    EXPECT_TRUE(ph == "X" || ph == "i");
+    if (ph == "X") EXPECT_GE(ev.at("dur").as_double(), 0.0);
+    if (ph == "i") EXPECT_EQ(ev.at("s").as_string(), "t");
+  }
+}
+
+}  // namespace
+}  // namespace fluxpower::obs

@@ -11,8 +11,13 @@ namespace {
 TEST(Stats, MeanBasics) {
   std::vector<double> xs{1, 2, 3, 4};
   EXPECT_DOUBLE_EQ(mean(xs), 2.5);
-  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
   EXPECT_DOUBLE_EQ(mean(std::vector<double>{7.0}), 7.0);
+}
+
+// A mean of 0.0 is a plausible power value; an empty input must not be able
+// to fake one.
+TEST(Stats, MeanThrowsOnEmpty) {
+  EXPECT_THROW(mean(std::vector<double>{}), std::invalid_argument);
 }
 
 TEST(Stats, SumIsAccurateForManySmallTerms) {
@@ -26,7 +31,16 @@ TEST(Stats, VarianceAndStddev) {
   std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
   EXPECT_NEAR(variance(xs), 4.5714285714, 1e-9);  // sample variance
   EXPECT_NEAR(stddev(xs), 2.13809, 1e-4);
-  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+}
+
+// Sample variance divides by n-1: undefined below two samples.
+TEST(Stats, VarianceThrowsBelowTwoSamples) {
+  EXPECT_THROW(variance(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(variance(std::vector<double>{3.0}), std::invalid_argument);
+  EXPECT_THROW(stddev(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(stddev(std::vector<double>{3.0}), std::invalid_argument);
+  EXPECT_THROW(coefficient_of_variation_pct(std::vector<double>{3.0}),
+               std::invalid_argument);
 }
 
 TEST(Stats, MinMax) {
