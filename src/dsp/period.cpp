@@ -73,9 +73,14 @@ std::vector<double> autocorrelation(std::span<const double> xs) {
 
 namespace {
 
-std::optional<PeriodEstimate> find_period_periodogram(
-    std::span<const double> samples, double dt_s, bool windowed) {
-  std::vector<double> x(samples.begin(), samples.end());
+// Internal estimators take the signal by value: the copying entry point
+// passes a fresh vector, the consuming entry point moves the caller's
+// buffer in — either way the arithmetic below sees the same values in the
+// same order, so the two paths are bit-identical.
+std::optional<PeriodEstimate> find_period_periodogram(std::vector<double> x,
+                                                      double dt_s,
+                                                      bool windowed) {
+  const std::size_t n_samples = x.size();
   remove_linear_trend(x);
 
   double energy = 0.0;
@@ -94,7 +99,7 @@ std::optional<PeriodEstimate> find_period_periodogram(
 
   // Dominant non-DC bin. Skip bins whose period exceeds the observation
   // window: they are untrustworthy extrapolations of leakage.
-  const double window_s = static_cast<double>(samples.size()) * dt_s;
+  const double window_s = static_cast<double>(n_samples) * dt_s;
   const double df = 1.0 / (static_cast<double>(padded) * dt_s);
   std::size_t best = 0;
   double best_val = 0.0;
@@ -130,7 +135,7 @@ std::optional<PeriodEstimate> find_period_periodogram(
   // Significance: spectral mass inside the peak's main lobe. Zero-padding
   // by `pad_factor` widens every lobe proportionally, and the Hann window's
   // main lobe spans 4 unpadded bins.
-  const std::size_t pad_factor = padded / samples.size();
+  const std::size_t pad_factor = padded / n_samples;
   const std::size_t half_width = 2 * pad_factor;
   double neighborhood = 0.0;
   const std::size_t lo = best > half_width ? best - half_width : 1;
@@ -140,16 +145,15 @@ std::optional<PeriodEstimate> find_period_periodogram(
   return est;
 }
 
-std::optional<PeriodEstimate> find_period_welch(std::span<const double> samples,
+std::optional<PeriodEstimate> find_period_welch(std::vector<double> detrended,
                                                 double dt_s) {
   // Half-length segments, 50% overlap -> 3 segments; average their padded
   // Hann periodograms, then pick the dominant bin like the single-window
   // estimator.
-  const std::size_t n = samples.size();
+  const std::size_t n = detrended.size();
   const std::size_t seg = n / 2;
-  if (seg < 4) return find_period_periodogram(samples, dt_s, true);
+  if (seg < 4) return find_period_periodogram(std::move(detrended), dt_s, true);
 
-  std::vector<double> detrended(samples.begin(), samples.end());
   remove_linear_trend(detrended);
   double energy = 0.0;
   for (double v : detrended) energy += v * v;
@@ -207,9 +211,23 @@ std::optional<PeriodEstimate> find_period_welch(std::span<const double> samples,
   return est;
 }
 
-std::optional<PeriodEstimate> find_period_acf(std::span<const double> samples,
+std::optional<PeriodEstimate> find_period_acf(std::vector<double> x,
                                               double dt_s) {
-  const std::vector<double> acf = autocorrelation(samples);
+  // Same arithmetic as autocorrelation(), with `x` as the detrend scratch.
+  remove_mean(x);
+  const std::size_t nx = x.size();
+  std::vector<double> acf(nx, 0.0);
+  for (std::size_t lag = 0; lag < nx; ++lag) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + lag < nx; ++i) {
+      acc += x[i] * x[i + lag];
+    }
+    acf[lag] = acc / static_cast<double>(nx - lag);
+  }
+  if (!acf.empty() && acf[0] > 0.0) {
+    const double norm = acf[0];
+    for (double& v : acf) v /= norm;
+  }
   if (acf.size() < 4) return std::nullopt;
 
   // First local maximum after the zero-lag peak with positive correlation.
@@ -232,23 +250,36 @@ std::optional<PeriodEstimate> find_period_acf(std::span<const double> samples,
   return est;
 }
 
+std::optional<PeriodEstimate> find_period_impl(std::vector<double> x,
+                                               double dt_s,
+                                               PeriodMethod method) {
+  if (dt_s <= 0.0) throw std::invalid_argument("find_period: dt must be > 0");
+  if (x.size() < 4) return std::nullopt;
+  switch (method) {
+    case PeriodMethod::HannPeriodogram:
+      return find_period_periodogram(std::move(x), dt_s, /*windowed=*/true);
+    case PeriodMethod::RawPeriodogram:
+      return find_period_periodogram(std::move(x), dt_s, /*windowed=*/false);
+    case PeriodMethod::Autocorrelation:
+      return find_period_acf(std::move(x), dt_s);
+    case PeriodMethod::WelchPeriodogram:
+      return find_period_welch(std::move(x), dt_s);
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::optional<PeriodEstimate> find_period(std::span<const double> samples,
                                           double dt_s, PeriodMethod method) {
-  if (dt_s <= 0.0) throw std::invalid_argument("find_period: dt must be > 0");
-  if (samples.size() < 4) return std::nullopt;
-  switch (method) {
-    case PeriodMethod::HannPeriodogram:
-      return find_period_periodogram(samples, dt_s, /*windowed=*/true);
-    case PeriodMethod::RawPeriodogram:
-      return find_period_periodogram(samples, dt_s, /*windowed=*/false);
-    case PeriodMethod::Autocorrelation:
-      return find_period_acf(samples, dt_s);
-    case PeriodMethod::WelchPeriodogram:
-      return find_period_welch(samples, dt_s);
-  }
-  return std::nullopt;
+  return find_period_impl(std::vector<double>(samples.begin(), samples.end()),
+                          dt_s, method);
+}
+
+std::optional<PeriodEstimate> find_period_consume(std::vector<double>& samples,
+                                                  double dt_s,
+                                                  PeriodMethod method) {
+  return find_period_impl(std::move(samples), dt_s, method);
 }
 
 }  // namespace fluxpower::dsp

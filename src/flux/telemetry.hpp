@@ -10,6 +10,7 @@
 // formats and experiment outputs are unchanged.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +33,18 @@ struct TelemetryNodeEntry {
   bool errored = false;
   std::string error;
   std::vector<hwsim::PowerSample> samples;
+
+  // --- Incremental-aggregation meta (intra-tree hops only; never rendered
+  // --- into the edge JSON, which stays byte-identical to the legacy shape).
+  /// When true, `samples` holds only readings newer than the requester's
+  /// watermark for this rank, and the source-buffer meta below lets the
+  /// requester keep an exact mirror (replica) of the source ring: prune to
+  /// front_ts_s, append the delta, carry the eviction ledger through.
+  bool delta = false;
+  bool source_empty = false;      ///< source buffer held no samples
+  double front_ts_s = 0.0;        ///< oldest retained timestamp at source
+  std::uint64_t source_evicted = 0;   ///< source lifetime eviction count
+  std::uint32_t source_capacity = 0;  ///< source ring capacity
 };
 
 /// A merged set of per-node entries travelling up the TBON. Held by

@@ -68,7 +68,13 @@ double FppController::get_gpu_cap(double t_cur,
 }
 
 double FppController::control(double gpu_power_lim_w) {
-  update_period();  // final estimate over the full window
+  // Final estimate over the full window. The buffer is reset right below
+  // (Algorithm 1 line 42), so the estimator may consume it as scratch
+  // instead of copying — bit-identical to the periodic update_period()
+  // path on the same signal.
+  const auto est = dsp::find_period_consume(buffer_, config_.sample_period_s,
+                                            config_.period_method);
+  if (est) period_ = est->period_s;
   const double ceiling = std::min(config_.max_gpu_cap_w, gpu_power_lim_w);
   const double t_cur = period_.value_or(t_prev_);
 

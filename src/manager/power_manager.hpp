@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "flux/broker.hpp"
@@ -30,6 +31,11 @@
 namespace fluxpower::manager {
 
 inline constexpr const char* kSetNodeLimitTopic = "power-manager.set-node-limit";
+/// Coalesced cap fan-out: one request per TBON child carrying the whole
+/// subtree's {rank: watts} map under "limits"; the response aggregates the
+/// per-rank {applied, retrying} acks under "acks".
+inline constexpr const char* kSetNodeLimitBatchTopic =
+    "power-manager.set-limits-batch";
 inline constexpr const char* kClusterStatusTopic = "power-manager.cluster-status";
 inline constexpr const char* kNodeStatusTopic = "power-manager.node-status";
 inline constexpr const char* kSetClusterBoundTopic =
@@ -100,6 +106,11 @@ class PowerManagerModule final : public flux::Module {
   void reallocate();
   void update_idle_states();
   void push_node_limit(flux::Rank rank, double limit_w);
+  /// Coalesced wave push: one set-limits-batch RPC per TBON child covering
+  /// its whole subtree, acks fed rank-by-rank into the same strike/clear
+  /// bookkeeping as the per-rank path. Root only; used by reallocate,
+  /// limit refresh and emergency when `batch_limit_pushes` is on.
+  void push_node_limits_batch(const std::map<flux::Rank, double>& limits);
   /// Strike/clear bookkeeping for a limit-push outcome; drives quarantine.
   /// `retrying` means the rank answered but its local backoff ladder is
   /// still converging — responsive, so neither a strike nor a clear.
@@ -116,6 +127,12 @@ class PowerManagerModule final : public flux::Module {
 
   // Node-level-manager (all ranks).
   void handle_set_node_limit(const flux::Message& req);
+  /// Recursive half of the coalesced fan-out: apply the own-rank limit,
+  /// split the remainder among child subtrees, merge the ack maps upward.
+  void handle_set_limits_batch(const flux::Message& req);
+  /// Accept a pushed limit and start enforcement; returns {applied,
+  /// retrying} exactly as the set-node-limit ack reports them.
+  std::pair<bool, bool> apply_node_limit(double limit_w);
   /// Apply the active limit; false when any cap write failed transiently
   /// (CapStatus::IoError) — permanent refusals are not failures.
   bool enforce_node_limit();

@@ -1,6 +1,7 @@
 #include "monitor/power_monitor.hpp"
 
 #include <array>
+#include <limits>
 
 #include "flux/hostlist.hpp"
 #include "flux/instance.hpp"
@@ -23,6 +24,97 @@ constexpr std::array<double, 8> kSweepDurationBounds = {
 /// Nodes contributed per subtree merge: bounded by the cluster size.
 constexpr std::array<double, 11> kBatchNodesBounds = {
     1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+/// Samples per upward delta batch: a steady-state delta is a handful of
+/// samples per node; a resync re-ships whole buffers.
+constexpr std::array<double, 9> kDeltaBatchBounds = {
+    1, 4, 16, 64, 256, 1024, 4096, 16384, 65536};
+
+/// Copy the in-window samples of a columnar store into `entry`, decimating
+/// uniformly when the requester bounded the transfer. Shared between the
+/// node-agent's own entry and the delta root's replica materialization so
+/// the two paths are arithmetic-identical — the byte-for-byte equivalence
+/// of delta and full aggregation rests on it.
+void fill_windowed_samples(const ColumnarSampleStore& store, double start,
+                           double end, std::size_t max_samples,
+                           TelemetryNodeEntry& entry) {
+  // Columnar store: the in-window samples are a contiguous logical range
+  // found by binary search over the timestamp column — no full-buffer scan.
+  const auto [lo, hi] = store.window_range(start, end);
+  const std::size_t in_window = hi - lo;
+  if (max_samples > 1 && in_window > max_samples) {
+    entry.decimated = true;
+    const double stride = static_cast<double>(in_window - 1) /
+                          static_cast<double>(max_samples - 1);
+    std::size_t previous = static_cast<std::size_t>(-1);
+    for (std::size_t k = 0; k < max_samples; ++k) {
+      const auto idx = static_cast<std::size_t>(k * stride + 0.5);
+      if (idx == previous) continue;
+      previous = idx;
+      entry.samples.push_back(store.get(lo + std::min(idx, in_window - 1)));
+    }
+  } else {
+    entry.samples.reserve(in_window);
+    for (std::size_t i = lo; i < hi; ++i) {
+      entry.samples.push_back(store.get(i));
+    }
+  }
+}
+
+using ReplicaMap = std::map<flux::Rank, TelemetryReplica>;
+
+/// Fold one delta entry into the requester's replica of the source ring:
+/// recreate on capacity change (the source was reconfigured — a resync),
+/// prune to the source's retained front, append strictly-newer samples.
+/// The timestamp filter makes the apply idempotent under duplicated or
+/// reordered responses.
+void apply_delta_entry(ReplicaMap& replicas, const TelemetryNodeEntry& e,
+                       obs::Counter* resyncs) {
+  TelemetryReplica& rep = replicas[e.rank];
+  const std::size_t cap = e.source_capacity > 0 ? e.source_capacity : 1;
+  if (rep.store == nullptr || rep.store->capacity() != cap) {
+    if (rep.store != nullptr) resyncs->inc();
+    rep.store = std::make_unique<ColumnarSampleStore>(cap);
+    rep.watermark_ts = kNoWatermark;
+  }
+  rep.hostname = e.hostname;
+  rep.source_empty = e.source_empty;
+  rep.front_ts_s = e.front_ts_s;
+  rep.source_evicted = e.source_evicted;
+  if (e.source_empty) {
+    // Source holds nothing (fresh buffer after a capacity change, or a
+    // rebooted node): mirror that exactly and restart the watermark.
+    rep.store->clear();
+    rep.watermark_ts = kNoWatermark;
+    return;
+  }
+  rep.store->prune_front(e.front_ts_s);
+  for (const hwsim::PowerSample& s : e.samples) {
+    if (s.timestamp_s > rep.watermark_ts) {
+      rep.store->push(s);
+      rep.watermark_ts = s.timestamp_s;
+    }
+  }
+}
+
+/// Materialize the final windowed per-node entry from a replica — the exact
+/// entry the source node-agent would have produced at its handle time, with
+/// completeness judged from the *source's* ledger (the replica's own
+/// eviction count says nothing about what the source flushed).
+TelemetryNodeEntry entry_from_replica(const TelemetryReplica& rep,
+                                      flux::Rank rank, double start,
+                                      double end, std::size_t max_samples) {
+  TelemetryNodeEntry entry;
+  fill_windowed_samples(*rep.store, start, end, max_samples, entry);
+  entry.complete = true;
+  if (rep.source_empty) {
+    entry.complete = false;
+  } else if (rep.source_evicted > 0 && rep.front_ts_s > start) {
+    entry.complete = false;
+  }
+  entry.hostname = rep.hostname;
+  entry.rank = rank;
+  return entry;
+}
 }  // namespace
 
 PowerMonitorModule::PowerMonitorModule(PowerMonitorConfig config)
@@ -32,8 +124,10 @@ PowerMonitorModule::~PowerMonitorModule() = default;
 
 void PowerMonitorModule::load(flux::Broker& broker) {
   broker_ = &broker;
-  buffer_ = std::make_unique<util::RingBuffer<hwsim::PowerSample>>(
-      config_.buffer_capacity);
+  buffer_ = std::make_unique<ColumnarSampleStore>(config_.buffer_capacity);
+  // Fresh replica map: a module (re)load forgets every mirror, so the first
+  // delta query after a reload re-ships full buffers — a natural resync.
+  replicas_ = std::make_shared<ReplicaMap>();
 
   // Bind instruments in the broker registry. Counters are reset so a
   // reloaded module starts a fresh ledger — the semantics the plain
@@ -48,12 +142,25 @@ void PowerMonitorModule::load(flux::Broker& broker) {
   subtree_merges_total_ =
       &reg.counter("fluxpower_monitor_subtree_merges_total",
                    "TBON subtree merges performed at this broker");
+  merge_bytes_total_ = &reg.counter(
+      "fluxpower_monitor_merge_bytes_total",
+      "Telemetry sample bytes shipped upward in subtree responses");
+  delta_resyncs_total_ = &reg.counter(
+      "fluxpower_monitor_delta_resyncs_total",
+      "Replica mirrors dropped or rebuilt, forcing a full re-ship");
   sweep_duration_ = &reg.histogram("fluxpower_monitor_sweep_duration_seconds",
                                    "CPU time stolen per sensor sweep",
                                    kSweepDurationBounds);
   subtree_batch_nodes_ = &reg.histogram(
       "fluxpower_monitor_subtree_batch_nodes",
       "Per-node entries in each merged subtree batch", kBatchNodesBounds);
+  delta_batch_samples_ = &reg.histogram(
+      "fluxpower_monitor_delta_batch_samples",
+      "Samples per upward delta batch (steady state: a handful per node)",
+      kDeltaBatchBounds);
+  delta_watermark_lag_ =
+      &reg.gauge("fluxpower_monitor_delta_watermark_lag_seconds",
+                 "Age of the oldest replica watermark at the last delta apply");
   tbon_level_ = &reg.gauge("fluxpower_monitor_tbon_level",
                            "This broker's depth in the TBON (root = 0)");
   buffer_fill_ratio_ = &reg.gauge("fluxpower_monitor_buffer_fill_ratio",
@@ -65,8 +172,11 @@ void PowerMonitorModule::load(flux::Broker& broker) {
   samples_total_->reset();
   sensor_failures_total_->reset();
   subtree_merges_total_->reset();
+  merge_bytes_total_->reset();
+  delta_resyncs_total_->reset();
   sweep_duration_->reset();
   subtree_batch_nodes_->reset();
+  delta_batch_samples_->reset();
   tbon_level_->set(
       static_cast<double>(broker.instance().tbon().level(broker.rank())));
   refresh_gauges();
@@ -126,13 +236,20 @@ void PowerMonitorModule::unload() {
   samples_total_ = nullptr;
   sensor_failures_total_ = nullptr;
   subtree_merges_total_ = nullptr;
+  merge_bytes_total_ = nullptr;
+  delta_resyncs_total_ = nullptr;
   sweep_duration_ = nullptr;
   subtree_batch_nodes_ = nullptr;
+  delta_batch_samples_ = nullptr;
+  delta_watermark_lag_ = nullptr;
   tbon_level_ = nullptr;
   buffer_fill_ratio_ = nullptr;
   buffer_size_ = nullptr;
   buffer_evicted_ = nullptr;
   buffer_.reset();
+  // In-flight merge callbacks hold their own shared_ptr to the map; this
+  // only drops the module's reference.
+  replicas_.reset();
 }
 
 void PowerMonitorModule::refresh_gauges() {
@@ -184,28 +301,8 @@ TelemetryNodeEntry PowerMonitorModule::local_entry(const Json& window) {
   const auto max_samples =
       static_cast<std::size_t>(window.int_or("max_samples", 0));
 
-  std::vector<const hwsim::PowerSample*> in_window;
-  buffer_->for_each([&](const hwsim::PowerSample& s) {
-    if (s.timestamp_s >= start && s.timestamp_s <= end) {
-      in_window.push_back(&s);
-    }
-  });
   TelemetryNodeEntry entry;
-  if (max_samples > 1 && in_window.size() > max_samples) {
-    entry.decimated = true;
-    const double stride = static_cast<double>(in_window.size() - 1) /
-                          static_cast<double>(max_samples - 1);
-    std::size_t previous = static_cast<std::size_t>(-1);
-    for (std::size_t k = 0; k < max_samples; ++k) {
-      const auto idx = static_cast<std::size_t>(k * stride + 0.5);
-      if (idx == previous) continue;
-      previous = idx;
-      entry.samples.push_back(*in_window[std::min(idx, in_window.size() - 1)]);
-    }
-  } else {
-    entry.samples.reserve(in_window.size());
-    for (const hwsim::PowerSample* s : in_window) entry.samples.push_back(*s);
-  }
+  fill_windowed_samples(*buffer_, start, end, max_samples, entry);
 
   // The dataset is partial if the buffer has already flushed samples that
   // fell inside the requested window: detectable when the oldest retained
@@ -213,13 +310,38 @@ TelemetryNodeEntry PowerMonitorModule::local_entry(const Json& window) {
   entry.complete = true;
   if (buffer_->empty()) {
     entry.complete = false;
-  } else if (buffer_->evicted() > 0 && buffer_->front().timestamp_s > start) {
+  } else if (buffer_->evicted() > 0 && buffer_->timestamp_at(0) > start) {
     entry.complete = false;
   }
 
   entry.hostname =
       broker_->node() != nullptr ? broker_->node()->hostname() : "";
   entry.rank = broker_->rank();
+  return entry;
+}
+
+TelemetryNodeEntry PowerMonitorModule::local_delta_entry(double since_ts) {
+  TelemetryNodeEntry entry;
+  entry.delta = true;
+  entry.rank = broker_->rank();
+  entry.hostname =
+      broker_->node() != nullptr ? broker_->node()->hostname() : "";
+  entry.source_empty = buffer_->empty();
+  entry.front_ts_s = buffer_->empty() ? 0.0 : buffer_->timestamp_at(0);
+  entry.source_evicted = buffer_->evicted();
+  entry.source_capacity = static_cast<std::uint32_t>(buffer_->capacity());
+  if (!buffer_->empty()) {
+    // Every retained sample strictly newer than the watermark — not
+    // window-filtered: the delta keeps the requester's mirror exact so the
+    // window (and any decimation) can be applied there.
+    auto [lo, hi] = buffer_->window_range(
+        since_ts, std::numeric_limits<double>::infinity());
+    while (lo < hi && buffer_->timestamp_at(lo) <= since_ts) ++lo;
+    entry.samples.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      entry.samples.push_back(buffer_->get(i));
+    }
+  }
   return entry;
 }
 
@@ -264,7 +386,7 @@ std::string PowerMonitorModule::metrics_text() const {
       // Per-domain gauges in the Variorum key order (node, sockets, mem,
       // accelerators) so the exposition is byte-stable with the old
       // JSON-backed implementation.
-      const hwsim::PowerSample& s = buffer_->back();
+      const hwsim::PowerSample s = buffer_->back();
       if (s.node_w) {
         gauge("fluxpower_node_power_watts", "domain=\"node\"", *s.node_w);
       } else if (s.node_estimate_w) {
@@ -299,6 +421,22 @@ void PowerMonitorModule::handle_get_subtree(const Message& req) {
   // child batches arrive by pointer and entries are concatenated without
   // touching JSON; only the reply to a legacy (non-typed) requester is
   // rendered.
+  //
+  // Aggregation protocol is request-driven on interior hops and
+  // config-driven at the query root:
+  //  * a request carrying "since" (rank -> watermark timestamp) is a delta
+  //    hop: contribute a handle-time delta snapshot of the local buffer,
+  //    forward each child its subset of the watermarks, and pass child
+  //    entries through untouched;
+  //  * a request without "since" at a broker with delta aggregation on
+  //    makes this broker the *delta root*: it issues watermarks from its
+  //    replica mirrors, folds the returning deltas into them, and
+  //    materializes the final windowed entries — byte-identical to the
+  //    full re-merge because a replica equals the source buffer at its
+  //    handle time;
+  //  * otherwise: classic full re-merge (the ablation and the fallback).
+  // The RPC pattern (one request + one response per child per query) is the
+  // same in all three shapes, so fault-injection schedules do not shift.
   const flux::Tbon& tbon = broker_->instance().tbon();
   std::vector<flux::Rank> wanted;
   if (req.payload.contains("ranks")) {
@@ -309,6 +447,8 @@ void PowerMonitorModule::handle_get_subtree(const Message& req) {
   auto wants = [&wanted](flux::Rank r) {
     return std::find(wanted.begin(), wanted.end(), r) != wanted.end();
   };
+  const bool delta_hop = req.payload.contains("since");
+  const bool delta_root = !delta_hop && config_.delta_aggregation;
 
   struct Pending {
     TelemetryBatch batch;
@@ -318,7 +458,19 @@ void PowerMonitorModule::handle_get_subtree(const Message& req) {
   auto pending = std::make_shared<Pending>();
   pending->original = req;
   if (wants(broker_->rank())) {
-    pending->batch.nodes.push_back(local_entry(req.payload));
+    if (delta_hop) {
+      double since = kNoWatermark;
+      const Json& in = req.payload.at("since");
+      if (const std::string key = std::to_string(broker_->rank());
+          in.contains(key)) {
+        since = in.at(key).as_double();
+      }
+      pending->batch.nodes.push_back(local_delta_entry(since));
+    } else {
+      // Full mode and delta root alike: the local entry is built in final
+      // form at handle time — there is no upward hop to save bytes on.
+      pending->batch.nodes.push_back(local_entry(req.payload));
+    }
   }
 
   // Partition the remaining wanted ranks among child subtrees.
@@ -343,9 +495,22 @@ void PowerMonitorModule::handle_get_subtree(const Message& req) {
   // unload still records safely.
   obs::Counter* merges = subtree_merges_total_;
   obs::Histogram* batch_nodes = subtree_batch_nodes_;
-  auto respond_merged = [broker, requested, merges, batch_nodes](Pending& p) {
+  obs::Counter* merge_bytes = merge_bytes_total_;
+  obs::Histogram* delta_batch = delta_batch_samples_;
+  auto respond_merged = [broker, requested, merges, batch_nodes, merge_bytes,
+                         delta_batch, delta_hop](Pending& p) {
     merges->inc();
     batch_nodes->observe(static_cast<double>(p.batch.nodes.size()));
+    // Payload accounting: samples shipped in this upward response. Counted
+    // in every mode so full-vs-delta byte savings read directly off the
+    // registry (the typed batch travels by pointer; this is the hop's
+    // logical wire weight).
+    std::size_t shipped = 0;
+    for (const TelemetryNodeEntry& n : p.batch.nodes) {
+      shipped += n.samples.size();
+    }
+    merge_bytes->inc(shipped * sizeof(hwsim::PowerSample));
+    if (delta_hop) delta_batch->observe(static_cast<double>(shipped));
     if (obs::TraceSink& tr = obs::process_trace(); tr.enabled()) {
       tr.instant(broker->sim().now(), "subtree-merge", "monitor",
                  broker->rank(), "nodes",
@@ -375,28 +540,122 @@ void PowerMonitorModule::handle_get_subtree(const Message& req) {
     return;
   }
 
+  // Window parameters as the children will see them — the delta root
+  // materializes replica entries against these exact values, matching what
+  // each node-agent would have windowed itself in full mode.
+  const double win_start = req.payload.number_or("start", 0.0);
+  const double win_end = req.payload.number_or("end", broker->sim().now());
+  const auto win_max =
+      static_cast<std::size_t>(req.payload.int_or("max_samples", 0));
+
   pending->outstanding = child_requests.size();
   for (ChildRequest& cr : child_requests) {
     Json sub = Json::object();
-    sub["start"] = req.payload.number_or("start", 0.0);
-    sub["end"] = req.payload.number_or("end", broker->sim().now());
+    sub["start"] = win_start;
+    sub["end"] = win_end;
     if (req.payload.contains("max_samples")) {
       sub["max_samples"] = req.payload.int_or("max_samples", 0);
     }
     Json ranks = Json::array();
     for (flux::Rank r : cr.subset) ranks.push_back(r);
     sub["ranks"] = std::move(ranks);
+    if (delta_hop || delta_root) {
+      // Per-rank watermarks for this child's subset. An interior hop
+      // forwards the root's values verbatim (so returning deltas are
+      // already relative to the root's mirrors and pass through unmerged);
+      // the root issues them from its replicas. A rank with no mirror has
+      // no key — the source ships everything it retains.
+      Json since = Json::object();
+      if (delta_hop) {
+        const Json& in = req.payload.at("since");
+        for (flux::Rank r : cr.subset) {
+          if (const std::string key = std::to_string(r); in.contains(key)) {
+            since[key] = in.at(key).as_double();
+          }
+        }
+      } else {
+        for (flux::Rank r : cr.subset) {
+          const auto it = replicas_->find(r);
+          if (it != replicas_->end() && it->second.store != nullptr &&
+              it->second.watermark_ts > kNoWatermark) {
+            since[std::to_string(r)] = it->second.watermark_ts;
+          }
+        }
+      }
+      sub["since"] = std::move(since);
+    }
     // Internal hop: always ask the child for the typed batch.
     flux::request_typed_telemetry(sub);
 
     const std::vector<flux::Rank> subset = cr.subset;
+    if (!delta_root) {
+      // Full re-merge and interior delta hops share one shape: child
+      // entries are concatenated verbatim (full entries are final; delta
+      // entries are relative to the root's watermarks already).
+      broker->rpc(
+          cr.child, kGetSubtreeTopic, std::move(sub),
+          [pending, subset, respond_merged](const Message& resp) {
+            if (resp.is_error()) {
+              // A whole subtree went dark: emit partial entries for each of
+              // its requested ranks so aggregation degrades, not fails.
+              for (flux::Rank r : subset) {
+                TelemetryNodeEntry entry;
+                entry.rank = r;
+                entry.complete = false;
+                entry.errored = true;
+                entry.error = resp.error_text;
+                pending->batch.nodes.push_back(std::move(entry));
+              }
+            } else if (resp.telemetry) {
+              for (const TelemetryNodeEntry& n : resp.telemetry->nodes) {
+                pending->batch.nodes.push_back(n);
+              }
+            } else {
+              // Legacy child speaking JSON: parse back to typed here.
+              for (const Json& n : resp.payload.at("nodes").as_array()) {
+                pending->batch.nodes.push_back(flux::parse_telemetry_entry(n));
+              }
+            }
+            if (--pending->outstanding == 0) respond_merged(*pending);
+          },
+          /*timeout_s=*/10.0);
+      continue;
+    }
+
+    // Delta root: fold returning deltas into the replica mirrors and
+    // materialize final entries. The replica shared_ptr and registry
+    // instruments outlive the module, so a late response stays safe.
+    std::shared_ptr<ReplicaMap> replicas = replicas_;
+    obs::Counter* resyncs = delta_resyncs_total_;
+    obs::Gauge* lag = delta_watermark_lag_;
     broker->rpc(
         cr.child, kGetSubtreeTopic, std::move(sub),
-        [pending, subset, respond_merged](const Message& resp) {
+        [pending, subset, respond_merged, replicas, resyncs, lag, broker,
+         win_start, win_end, win_max](const Message& resp) {
+          auto fold = [&](const TelemetryNodeEntry& n) {
+            if (n.errored || !n.delta) {
+              // Errored placeholder from a dark subtree, or a legacy child
+              // speaking the full protocol: pass the entry through verbatim
+              // and drop the mirror — the next query resyncs from scratch.
+              if (replicas->erase(n.rank) > 0) resyncs->inc();
+              pending->batch.nodes.push_back(n);
+              return;
+            }
+            apply_delta_entry(*replicas, n, resyncs);
+            const TelemetryReplica& rep = replicas->at(n.rank);
+            if (rep.watermark_ts > kNoWatermark) {
+              lag->set(broker->sim().now() - rep.watermark_ts);
+            }
+            // Materialize immediately: the replica mirrors the source at
+            // *this* query's handle time right now; deferring to the final
+            // serve would let an overlapping (duplicated) query advance the
+            // mirror underneath this one.
+            pending->batch.nodes.push_back(
+                entry_from_replica(rep, n.rank, win_start, win_end, win_max));
+          };
           if (resp.is_error()) {
-            // A whole subtree went dark: emit partial entries for each of
-            // its requested ranks so aggregation degrades, not fails.
             for (flux::Rank r : subset) {
+              if (replicas->erase(r) > 0) resyncs->inc();
               TelemetryNodeEntry entry;
               entry.rank = r;
               entry.complete = false;
@@ -405,13 +664,10 @@ void PowerMonitorModule::handle_get_subtree(const Message& req) {
               pending->batch.nodes.push_back(std::move(entry));
             }
           } else if (resp.telemetry) {
-            for (const TelemetryNodeEntry& n : resp.telemetry->nodes) {
-              pending->batch.nodes.push_back(n);
-            }
+            for (const TelemetryNodeEntry& n : resp.telemetry->nodes) fold(n);
           } else {
-            // Legacy child speaking JSON: parse back to typed at this edge.
             for (const Json& n : resp.payload.at("nodes").as_array()) {
-              pending->batch.nodes.push_back(flux::parse_telemetry_entry(n));
+              fold(flux::parse_telemetry_entry(n));
             }
           }
           if (--pending->outstanding == 0) respond_merged(*pending);
@@ -501,8 +757,7 @@ void PowerMonitorModule::handle_set_config(const Message& req) {
       req.payload.bool_or("stream_samples", config_.stream_samples);
   if (capacity != config_.buffer_capacity) {
     config_.buffer_capacity = capacity;
-    auto replacement =
-        std::make_unique<util::RingBuffer<hwsim::PowerSample>>(capacity);
+    auto replacement = std::make_unique<ColumnarSampleStore>(capacity);
     // The retained samples are discarded by the reallocation, so the new
     // buffer must account them (and the old buffer's own evictions) as
     // evicted — otherwise completeness reporting resets and a job window

@@ -234,5 +234,50 @@ TEST_P(PhaseSweep, PhaseDoesNotMoveEstimate) {
 INSTANTIATE_TEST_SUITE_P(Phases, PhaseSweep,
                          ::testing::Values(0.0, 0.5, 1.0, 2.0, 3.1, 4.7, 6.0));
 
+// The consuming (zero-copy) entry point must be bit-identical to the
+// copying one for every estimator on deterministic seed traces — the copy
+// was the only difference between the two paths.
+TEST(FindPeriodConsume, BitIdenticalToCopyingPath) {
+  util::Rng rng(20240907);
+  for (int seed = 0; seed < 8; ++seed) {
+    // Noisy mixed trace: sine + square + white noise, like a real phase
+    // signal riding on sensor noise.
+    const double period = 6.0 + 3.0 * seed;
+    std::vector<double> xs = sine(period, 2.0, 90.0 + 10.0 * seed, 500.0,
+                                  120.0, 0.3 * seed);
+    const std::vector<double> sq = square(period * 0.5, 2.0, 90.0 + 10.0 * seed);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      xs[i] += 0.2 * sq[std::min(i, sq.size() - 1)] + rng.uniform(-8.0, 8.0);
+    }
+    for (const PeriodMethod method :
+         {PeriodMethod::HannPeriodogram, PeriodMethod::RawPeriodogram,
+          PeriodMethod::Autocorrelation, PeriodMethod::WelchPeriodogram}) {
+      const auto copied = find_period(xs, 2.0, method);
+      std::vector<double> scratch = xs;  // consumed below
+      const auto consumed = find_period_consume(scratch, 2.0, method);
+      ASSERT_EQ(copied.has_value(), consumed.has_value())
+          << "seed " << seed << " method " << static_cast<int>(method);
+      if (!copied) continue;
+      EXPECT_EQ(copied->period_s, consumed->period_s);
+      EXPECT_EQ(copied->frequency_hz, consumed->frequency_hz);
+      EXPECT_EQ(copied->significance, consumed->significance);
+    }
+  }
+}
+
+TEST(FindPeriodConsume, DegenerateInputs) {
+  std::vector<double> tiny{1.0, 2.0, 3.0};
+  EXPECT_FALSE(find_period_consume(tiny, 2.0).has_value());
+  std::vector<double> flat(64, 500.0);
+  EXPECT_FALSE(find_period_consume(flat, 2.0).has_value());
+  std::vector<double> ok(64, 500.0);
+  for (std::size_t i = 0; i < ok.size(); ++i) {
+    ok[i] += 50.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) /
+                             8.0);
+  }
+  EXPECT_THROW(static_cast<void>(find_period_consume(ok, 0.0)),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace fluxpower::dsp

@@ -1,0 +1,178 @@
+// Batched cap fan-out (power-manager.set-limits-batch): one coalesced RPC
+// per TBON child per push wave must land exactly the limits the per-rank
+// path lands, feed the same strike/quarantine bookkeeping through the
+// aggregated acks, and cut the root's fan-out and the wave's hop-weighted
+// traffic.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/launcher.hpp"
+#include "flux/instance.hpp"
+#include "flux/journal.hpp"
+#include "hwsim/cluster.hpp"
+#include "manager/power_manager.hpp"
+
+namespace fluxpower::manager {
+namespace {
+
+using hwsim::Platform;
+
+constexpr int kNodes = 8;
+
+/// A full scheduler+manager stack; two of these run side by side so the
+/// batched and per-rank push paths can be compared on identical workloads.
+struct Stack {
+  explicit Stack(PowerManagerConfig cfg) {
+    cluster = hwsim::make_cluster(sim, Platform::LassenIbmAc922, kNodes);
+    std::vector<hwsim::Node*> ptrs;
+    for (int i = 0; i < kNodes; ++i) ptrs.push_back(&cluster.node(i));
+    instance = std::make_unique<flux::Instance>(sim, std::move(ptrs));
+    apps::LauncherOptions lopts;
+    lopts.platform = Platform::LassenIbmAc922;
+    instance->jobs().set_launcher(apps::make_launcher(lopts));
+    instance->attach_journal(&journal);
+    instance->load_module_on_all<PowerManagerModule>(cfg);
+  }
+
+  PowerManagerModule* module(int rank) {
+    return dynamic_cast<PowerManagerModule*>(
+        instance->broker(rank).find_module("power-manager"));
+  }
+
+  flux::JobId submit(const char* app, int nnodes, double work_scale) {
+    flux::JobSpec spec;
+    spec.name = app;
+    spec.app = app;
+    spec.nnodes = nnodes;
+    spec.attributes = util::Json::object();
+    spec.attributes["work_scale"] = work_scale;
+    return instance->jobs().submit(spec);
+  }
+
+  /// Hop-weighted cap-push traffic: each set-node-limit(-batch) request or
+  /// response costs its TBON path length — the wave's network load.
+  std::uint64_t push_hops() const {
+    std::uint64_t hops = 0;
+    const flux::Tbon& tbon = instance->tbon();
+    for (std::size_t i = 0; i < journal.size(); ++i) {
+      const flux::Message& m = journal.entry(i).msg;
+      if (m.topic != kSetNodeLimitTopic && m.topic != kSetNodeLimitBatchTopic)
+        continue;
+      hops += static_cast<std::uint64_t>(
+          std::max(1, tbon.hops(m.sender, m.dest)));
+    }
+    return hops;
+  }
+
+  /// Cap-push messages the root itself sends to other ranks — the fan-out
+  /// the TBON coalescing is meant to bound.
+  std::uint64_t root_fan_out() const {
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < journal.size(); ++i) {
+      const flux::Message& m = journal.entry(i).msg;
+      if (m.topic != kSetNodeLimitTopic && m.topic != kSetNodeLimitBatchTopic)
+        continue;
+      if (m.sender == flux::kRootRank && m.dest != flux::kRootRank &&
+          m.type == flux::Message::Type::Request) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  sim::Simulation sim;
+  hwsim::Cluster cluster;
+  flux::MessageJournal journal;
+  std::unique_ptr<flux::Instance> instance;
+};
+
+PowerManagerConfig base_config() {
+  PowerManagerConfig cfg;
+  cfg.cluster_power_bound_w = 9600.0;
+  cfg.node_policy = NodePolicy::DirectGpuBudget;
+  return cfg;
+}
+
+TEST(BatchPush, BatchedWaveLandsSameLimitsAsPerRank) {
+  PowerManagerConfig per_rank = base_config();
+  PowerManagerConfig batched = base_config();
+  batched.batch_limit_pushes = true;
+  Stack a(per_rank);
+  Stack b(batched);
+  for (Stack* s : {&a, &b}) {
+    s->submit("gemm", 6, 2.0);
+    s->submit("quicksilver", 2, 27.5);
+    s->sim.run_until(15.0);
+  }
+  // Identical proportional-sharing outcome at every node-level-manager.
+  for (int r = 0; r < kNodes; ++r) {
+    EXPECT_DOUBLE_EQ(a.module(r)->node_limit_w(), 1200.0) << "rank " << r;
+    EXPECT_DOUBLE_EQ(b.module(r)->node_limit_w(), 1200.0) << "rank " << r;
+  }
+  ASSERT_EQ(a.module(0)->allocations().size(),
+            b.module(0)->allocations().size());
+  for (const auto& [id, alloc] : a.module(0)->allocations()) {
+    const auto& other = b.module(0)->allocations().at(id);
+    EXPECT_DOUBLE_EQ(alloc.node_power_w, other.node_power_w);
+    EXPECT_DOUBLE_EQ(alloc.job_power_w, other.job_power_w);
+    EXPECT_EQ(alloc.ranks, other.ranks);
+  }
+  EXPECT_EQ(a.module(0)->quarantined().size(), 0u);
+  EXPECT_EQ(b.module(0)->quarantined().size(), 0u);
+}
+
+TEST(BatchPush, CoalescingCutsRootFanOutAndHopTraffic) {
+  PowerManagerConfig per_rank = base_config();
+  PowerManagerConfig batched = base_config();
+  batched.batch_limit_pushes = true;
+  Stack a(per_rank);
+  Stack b(batched);
+  for (Stack* s : {&a, &b}) {
+    s->submit("gemm", 8, 2.0);  // full-cluster wave
+    s->sim.run_until(10.0);
+  }
+  // Per-rank: the root opens one RPC per node (8 with fanout 2 over 8
+  // ranks). Batched: one self-request plus one per child subtree.
+  EXPECT_GT(a.root_fan_out(), b.root_fan_out());
+  EXPECT_LE(b.root_fan_out(),
+            static_cast<std::uint64_t>(
+                b.instance->tbon().children(flux::kRootRank).size()));
+  // Hop-weighted, the coalesced wave is strictly cheaper: every batched
+  // message crosses exactly one tree edge, while per-rank pushes pay the
+  // full root-to-leaf depth both ways.
+  EXPECT_LT(b.push_hops(), a.push_hops());
+  // And the limits still landed everywhere.
+  for (int r = 0; r < kNodes; ++r) {
+    EXPECT_GT(b.module(r)->node_limit_w(), 0.0) << "rank " << r;
+    EXPECT_DOUBLE_EQ(a.module(r)->node_limit_w(), b.module(r)->node_limit_w())
+        << "rank " << r;
+  }
+}
+
+TEST(BatchPush, DeadRankStrikesAndQuarantinesThroughAggregatedAcks) {
+  PowerManagerConfig cfg = base_config();
+  cfg.batch_limit_pushes = true;
+  cfg.quarantine_threshold = 2;
+  cfg.push_timeout_s = 1.0;
+  cfg.limit_refresh_s = 3.0;
+  Stack s(cfg);
+  s.submit("gemm", 8, 4.0);
+  s.sim.run_until(10.0);
+  ASSERT_EQ(s.module(0)->quarantined().size(), 0u);
+
+  // Kill a leaf's node-level-manager: its leg of the batch errors, the
+  // parent synthesizes a failed ack, and the root's strike counter must
+  // see it exactly as it would a per-rank RPC timeout.
+  const flux::Rank victim = 7;
+  s.instance->broker(victim).unload_module("power-manager");
+  s.sim.run_until(40.0);
+  EXPECT_TRUE(s.module(0)->quarantined().contains(victim));
+  EXPECT_GE(s.module(0)->quarantine_events(), 1u);
+  // Only the dead rank is quarantined — sibling subtree legs kept working.
+  EXPECT_EQ(s.module(0)->quarantined().size(), 1u);
+}
+
+}  // namespace
+}  // namespace fluxpower::manager
