@@ -1,6 +1,8 @@
 #include "experiments/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace fluxpower::experiments {
@@ -98,7 +100,7 @@ Scenario::Scenario(ScenarioConfig config) : config_(config) {
 Scenario::~Scenario() = default;
 
 flux::JobId Scenario::submit(const JobRequest& request) {
-  if (ran_) throw std::logic_error("Scenario::submit after run()");
+  if (ran_ || started_) throw std::logic_error("Scenario::submit after run()");
   // JobIds are predicted from submission order; that only holds when
   // requests arrive in nondecreasing submit-time order (events at equal
   // times are FIFO).
@@ -174,15 +176,37 @@ void Scenario::record_tick() {
   }
 }
 
-ScenarioResult Scenario::run(double max_time_s) {
-  if (ran_) throw std::logic_error("Scenario::run called twice");
-  ran_ = true;
-
+void Scenario::advance_until(double horizon_s, double max_time_s) {
+  if (ran_) throw std::logic_error("Scenario::advance_until after run()");
+  started_ = true;
   const int expected = static_cast<int>(tracked_.size());
   // Advance until all jobs are done, stepping the recorder-driven queue.
+  // The stop conditions are evaluated before each event in the same order
+  // as the pre-phased run() loop; the only addition is the horizon check,
+  // which with horizon_s = +inf degenerates to step()'s own empty-queue
+  // return — so run() == advance_until(+inf) + finish(), event for event.
   while (completed_ < expected && sim_.now() < max_time_s) {
+    if (sim_.next_event_time() > horizon_s) break;
     if (!sim_.step()) break;
   }
+  // Idle time still elapses up to the horizon (a snapshot taken in a lull
+  // must record the lull's clock, not the last event's).
+  if (std::isfinite(horizon_s) && sim_.now() < horizon_s &&
+      completed_ < expected && horizon_s <= max_time_s) {
+    sim_.run_until(horizon_s);
+  }
+}
+
+ScenarioResult Scenario::run(double max_time_s) {
+  if (ran_) throw std::logic_error("Scenario::run called twice");
+  advance_until(std::numeric_limits<double>::infinity(), max_time_s);
+  return finish(max_time_s);
+}
+
+ScenarioResult Scenario::finish(double max_time_s) {
+  if (ran_) throw std::logic_error("Scenario::finish called twice");
+  advance_until(std::numeric_limits<double>::infinity(), max_time_s);
+  ran_ = true;
 
   ScenarioResult result;
   result.timelines = std::move(timelines_);

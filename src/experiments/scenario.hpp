@@ -118,8 +118,37 @@ class Scenario {
   flux::JobId submit(const JobRequest& request);
 
   /// Run until every submitted job completes (or max_time_s elapses) and
-  /// collect results. May be called once.
+  /// collect results. May be called once. Equivalent to advance_until(+inf,
+  /// max_time_s) followed by finish(max_time_s): the loop condition is
+  /// checked before every event, so phased execution stops on exactly the
+  /// same event as a straight run — the byte-identity the twin's
+  /// snapshot-equivalence suite asserts.
   ScenarioResult run(double max_time_s = 86400.0);
+
+  /// Phased execution (digital twin): execute events with time <= horizon_s,
+  /// stopping early when all jobs completed or max_time_s is reached —
+  /// exactly where run() would have stopped. May be called repeatedly with
+  /// nondecreasing horizons; submissions are frozen after the first call.
+  void advance_until(double horizon_s, double max_time_s = 86400.0);
+
+  /// Complete the run (advance to job completion / max_time_s) and collect
+  /// results. May be called once; terminal like run().
+  ScenarioResult finish(double max_time_s = 86400.0);
+
+  /// True once the run loop's stop condition held (all jobs done, queue
+  /// empty, or max_time_s reached) during an advance/finish/run.
+  bool all_jobs_done() const noexcept {
+    return completed_ >= static_cast<int>(tracked_.size());
+  }
+  int completed_jobs() const noexcept { return completed_; }
+  std::size_t submitted_jobs() const noexcept { return tracked_.size(); }
+  const ScenarioConfig& config() const noexcept { return config_; }
+  /// Recorder output so far (twin codec: derived-but-reported state — two
+  /// runs must agree on every recorded point or stdout diverges).
+  const std::vector<std::pair<double, double>>& cluster_timeline_so_far()
+      const noexcept {
+    return cluster_timeline_;
+  }
 
   sim::Simulation& sim() noexcept { return sim_; }
   hwsim::Cluster& cluster() noexcept { return cluster_; }
@@ -151,7 +180,8 @@ class Scenario {
   std::vector<std::pair<double, double>> cluster_timeline_;
   std::map<flux::JobId, double> job_energy_j_;
   int completed_ = 0;
-  bool ran_ = false;
+  bool ran_ = false;      ///< terminal collection happened (run/finish)
+  bool started_ = false;  ///< first advance happened; submissions frozen
 };
 
 /// Convenience: run one job alone on a fresh cluster and return its result

@@ -129,6 +129,58 @@ void FaultPlane::schedule_crash(NodeState& state) {
   });
 }
 
+void FaultPlane::force_crash(flux::Rank rank, double down_s) {
+  if (instance_ == nullptr) {
+    throw std::logic_error("FaultPlane::force_crash: not attached");
+  }
+  if (rank < 0 || static_cast<std::size_t>(rank) >= nodes_.size()) {
+    throw std::out_of_range("FaultPlane::force_crash: unknown rank");
+  }
+  NodeState& st = nodes_[static_cast<std::size_t>(rank)];
+  if (st.pending_event != sim::kInvalidEvent) {
+    sim_->cancel(st.pending_event);
+    st.pending_event = sim::kInvalidEvent;
+  }
+  const double reboot_s = down_s >= 0.0 ? down_s : config_.node_reboot_s;
+  st.down = true;
+  ++counters_.node_crashes;
+  mirror_.node_crashes->inc();
+  if (obs::TraceSink& tr = obs::process_trace(); tr.enabled()) {
+    tr.instant(sim_->now(), "node-crash", "faultsim", rank);
+  }
+  st.pending_event = sim_->schedule_after(reboot_s, [this, rank] {
+    NodeState& st2 = nodes_[static_cast<std::size_t>(rank)];
+    st2.down = false;
+    st2.stuck = false;
+    st2.pending_event = sim::kInvalidEvent;
+    ++counters_.node_reboots;
+    mirror_.node_reboots->inc();
+    if (obs::TraceSink& tr = obs::process_trace(); tr.enabled()) {
+      tr.instant(sim_->now(), "node-reboot", "faultsim", rank);
+    }
+    // Resume the seeded schedule only if the rank had one to begin with.
+    if (config_.node_mtbf_s > 0.0 && !(config_.protect_root && rank == 0)) {
+      schedule_crash(st2);
+    }
+  });
+}
+
+FaultPlane::NodeFaultStatus FaultPlane::node_status(flux::Rank rank) const {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= nodes_.size()) {
+    throw std::out_of_range("FaultPlane::node_status: unknown rank");
+  }
+  const NodeState& st = nodes_[static_cast<std::size_t>(rank)];
+  return NodeFaultStatus{st.down, st.stuck, st.stuck_until_s,
+                         st.pending_event != sim::kInvalidEvent};
+}
+
+const util::Rng& FaultPlane::node_rng(flux::Rank rank) const {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= nodes_.size()) {
+    throw std::out_of_range("FaultPlane::node_rng: unknown rank");
+  }
+  return nodes_[static_cast<std::size_t>(rank)].rng;
+}
+
 bool FaultPlane::node_is_down(flux::Rank rank) const {
   if (rank < 0 || static_cast<std::size_t>(rank) >= nodes_.size()) return false;
   return nodes_[static_cast<std::size_t>(rank)].down;

@@ -102,6 +102,28 @@ class FaultPlane final : public flux::RouteFaultInjector,
   const FaultCounters& counters() const noexcept { return counters_; }
   const FaultPlaneConfig& config() const noexcept { return config_; }
 
+  /// Crash rank `rank` immediately (counted as a node crash), rebooting
+  /// after `down_s` seconds (default: the configured reboot time). The
+  /// what-if engine's "node X dies at t" perturbation; overrides any
+  /// pending scheduled crash for the rank. No RNG is consulted, so the
+  /// seeded fault schedule of every *other* rank is unshifted.
+  void force_crash(flux::Rank rank, double down_s = -1.0);
+
+  // -- Twin-codec introspection ---------------------------------------------
+  /// Externally visible per-rank fault state (down/stuck flags and the
+  /// stuck window) — serialized by the snapshot probe.
+  struct NodeFaultStatus {
+    bool down = false;
+    bool stuck = false;
+    double stuck_until_s = 0.0;
+    bool crash_pending = false;  ///< a crash-or-reboot event is in flight
+  };
+  NodeFaultStatus node_status(flux::Rank rank) const;
+  /// Substream positions: the link stream and each rank's private stream.
+  const util::Rng& link_rng() const noexcept { return link_rng_; }
+  const util::Rng& node_rng(flux::Rank rank) const;
+  int attached_nodes() const noexcept { return static_cast<int>(nodes_.size()); }
+
   // -- flux::RouteFaultInjector --------------------------------------------
   Verdict on_route(const flux::Message& msg, flux::Rank dest) override;
 

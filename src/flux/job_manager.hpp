@@ -61,6 +61,9 @@ class JobManager {
   std::vector<JobId> all_jobs() const;
   int running_count() const;
 
+  /// Next JobId to be assigned (twin codec: id allocation is sim state).
+  JobId next_id() const noexcept { return next_id_; }
+
   /// Called by the scheduler when an allocation is granted.
   void start_job(JobId id, std::vector<Rank> ranks);
 

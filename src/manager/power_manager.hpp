@@ -100,6 +100,21 @@ class PowerManagerModule final : public flux::Module {
                : 0;
   }
 
+  // -- Twin-codec introspection ----------------------------------------------
+  /// Consecutive failed limit pushes per rank (root only).
+  const std::map<flux::Rank, int>& push_strikes() const noexcept {
+    return push_strikes_;
+  }
+  /// Node-level backoff-ladder position (0 = at rest).
+  double cap_retry_delay_s() const noexcept { return cap_retry_delay_s_; }
+  int emergency_strike_count() const noexcept { return emergency_strikes_; }
+  /// FPP control-loop phase (twin codec: the rotation position decides
+  /// which controller probes next under stagger_probes).
+  std::size_t fpp_control_round() const noexcept { return fpp_control_round_; }
+  double time_since_fpp_control_s() const noexcept {
+    return time_since_fpp_control_s_;
+  }
+
  private:
   // Cluster-level-manager (root).
   void on_job_event(const flux::Message& event);

@@ -154,6 +154,15 @@ class PowerMonitorModule final : public flux::Module {
   /// What a sidecar exporter would scrape on each node.
   std::string metrics_text() const;
 
+  // -- Twin-codec introspection ---------------------------------------------
+  /// The node-agent's columnar sample ring (null before load()).
+  const ColumnarSampleStore* store() const noexcept { return buffer_.get(); }
+  /// Delta-aggregation replica mirrors + watermarks (null before load();
+  /// empty at brokers that never rooted a delta query).
+  const std::map<flux::Rank, TelemetryReplica>* replica_map() const noexcept {
+    return replicas_.get();
+  }
+
  private:
   void take_sample();
   void handle_get_data(const flux::Message& req);

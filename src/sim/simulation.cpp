@@ -125,6 +125,7 @@ void Simulation::rebase(Time t) {
   }
   wheel_base_ = base;
   cursor_ = 0;
+  ++rebases_;
   while (!far_.empty()) {
     const Entry& top = far_.top();
     if (!entry_live(top)) {
@@ -290,6 +291,11 @@ void Simulation::run_until(Time t) {
     fire(e);
   }
   if (now_ < t) now_ = t;
+}
+
+Time Simulation::next_event_time() {
+  const Entry* top = peek_next();
+  return top == nullptr ? std::numeric_limits<Time>::infinity() : top->time;
 }
 
 PeriodicTask::PeriodicTask(Simulation& sim, Time period,

@@ -197,6 +197,14 @@ class Simulation {
   /// Run events with time <= t, then set now() to t even if idle.
   void run_until(Time t);
 
+  /// Absolute time of the next live event without executing it, or
+  /// +infinity when the queue is empty. Shares run_until's front
+  /// normalization (tombstones dropped, wheel cursor advanced, epoch
+  /// rebased) — a pure queue reshaping that cannot change the (time, seq)
+  /// firing order. The digital twin's phased runner uses this to stop a
+  /// scenario exactly at a snapshot horizon.
+  Time next_event_time();
+
   /// Number of live (scheduled, not fired, not cancelled) events.
   /// Tombstoned queue entries are never counted.
   std::size_t pending() const noexcept { return live_; }
@@ -211,6 +219,16 @@ class Simulation {
   }
   /// Slab chunks allocated by the event pool (kChunkSlots slots each).
   std::size_t pool_chunks() const noexcept { return chunks_.size(); }
+  /// Monotone insertion-sequence counter — the tie-break half of the
+  /// (time, seq) total order. Two runs that agree on now(), pending() and
+  /// seq_counter() have scheduled exactly the same number of events in the
+  /// same causal positions; the twin codec digests it for that reason.
+  std::uint64_t seq_counter() const noexcept { return next_seq_; }
+  /// Timer-wheel epoch state (digested by the twin codec; a replayed run
+  /// must land on the identical epoch or far-heap contents could differ).
+  Time wheel_epoch_base() const noexcept { return wheel_base_; }
+  int wheel_cursor() const noexcept { return cursor_; }
+  std::uint64_t wheel_rebases() const noexcept { return rebases_; }
 
   static constexpr std::size_t kChunkSlots = 256;
   static constexpr double kBucketWidth = 0.25;   // seconds per wheel bucket
@@ -291,6 +309,7 @@ class Simulation {
   std::uint64_t executed_ = 0;
   std::size_t live_ = 0;
   std::uint64_t callback_heap_allocs_ = 0;
+  std::uint64_t rebases_ = 0;  ///< epoch rebases over the engine's lifetime
 
   // Event pool: chunked slabs so slots never move while callbacks run.
   std::vector<std::unique_ptr<EventSlot[]>> chunks_;

@@ -1,0 +1,78 @@
+#include "twin/fork.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "faultsim/fault_plane.hpp"
+#include "manager/power_manager.hpp"
+
+namespace fluxpower::twin {
+
+namespace {
+
+void apply_budget(TwinSession& session, double bound_w) {
+  // The owner-only set-cluster-bound service lives on the root broker; the
+  // root sends the RPC to itself so the change flows through the same
+  // message path an operator's tool would use.
+  flux::Broker& root = session.scenario().instance().root();
+  util::Json payload = util::Json::object();
+  payload["bound_w"] = bound_w;
+  root.rpc(flux::kRootRank, manager::kSetClusterBoundTopic, std::move(payload),
+           [](const flux::Message&) {});
+}
+
+void apply(TwinSession& session, const Perturbation& p) {
+  switch (p.kind) {
+    case Perturbation::Kind::BudgetSet:
+      apply_budget(session, p.value);
+      break;
+    case Perturbation::Kind::BudgetScale:
+      apply_budget(session,
+                   session.spec().scenario.manager.cluster_power_bound_w *
+                       p.value);
+      break;
+    case Perturbation::Kind::NodeKill: {
+      faultsim::FaultPlane* plane = session.scenario().fault_plane();
+      if (plane == nullptr) {
+        throw std::logic_error(
+            "TwinFork: NodeKill requires a fault plane (materialize injects "
+            "one; do not bypass it)");
+      }
+      plane->force_crash(p.rank, p.down_s);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<TwinSession> TwinFork::materialize() const {
+  const bool needs_plane = std::any_of(
+      overlay_.begin(), overlay_.end(), [](const Perturbation& p) {
+        return p.kind == Perturbation::Kind::NodeKill;
+      });
+
+  std::unique_ptr<TwinSession> session;
+  if (needs_plane && !base_->spec().scenario.faults.has_value()) {
+    // Zero-rate plane: attaches the crash/sensor/link hooks but draws no
+    // randomness and schedules nothing, so every stored section replays
+    // byte-identically; only force_crash drives it.
+    TwinSpec spec = base_->spec();
+    spec.scenario.faults = faultsim::FaultPlaneConfig{};
+    session = base_->restore_with_spec(spec);
+  } else {
+    session = base_->restore();
+  }
+
+  // Schedule after the fast-forward (see header): clamp into the future.
+  sim::Simulation& sim = session->scenario().sim();
+  TwinSession* raw = session.get();
+  for (const Perturbation& p : overlay_) {
+    const double t = std::max(p.at_s, sim.now());
+    const Perturbation copy = p;
+    sim.schedule_at(t, [raw, copy] { apply(*raw, copy); });
+  }
+  return session;
+}
+
+}  // namespace fluxpower::twin

@@ -1,0 +1,71 @@
+// fork.hpp — copy-on-write forks of a snapshot, with perturbation overlays.
+//
+// A TwinFork is a cheap handle: a shared_ptr to the immutable base Snapshot
+// plus a private overlay of perturbations to inject. Creating or copying a
+// fork is O(overlay) — no simulation state is touched — so a server can
+// mint thousands of forks per second and hand them to workers. The
+// expensive part, materialize(), builds a private live session from the
+// shared snapshot (verified replay restore) and schedules the overlay into
+// it; from that point the fork's divergent future is entirely its own, and
+// the base Snapshot (and every sibling fork) is untouched by construction —
+// forks never share mutable state, which is what the fork-isolation suite
+// proves under TSan.
+//
+// Perturbations are scheduled only AFTER the restore fast-forward: an event
+// scheduled up front would consume an engine sequence number, shift the
+// (time, seq) order of the replayed prefix, and break the restore's
+// byte-for-byte verification.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "flux/message.hpp"
+#include "twin/snapshot.hpp"
+
+namespace fluxpower::twin {
+
+/// One what-if intervention, applied at sim time `at_s` (clamped up to the
+/// snapshot time — the twin cannot rewrite the past it restored).
+struct Perturbation {
+  enum class Kind {
+    BudgetSet,    ///< set the cluster power bound to `value` watts
+    BudgetScale,  ///< scale the spec's configured bound by `value`
+    NodeKill,     ///< crash rank `rank` for `down_s` seconds
+  };
+  Kind kind = Kind::BudgetSet;
+  double at_s = 0.0;
+  double value = 0.0;     ///< watts (BudgetSet) or factor (BudgetScale)
+  flux::Rank rank = 0;    ///< NodeKill target
+  double down_s = -1.0;   ///< NodeKill downtime; <0 = config reboot time
+};
+
+class TwinFork {
+ public:
+  explicit TwinFork(std::shared_ptr<const Snapshot> base)
+      : base_(std::move(base)) {}
+
+  /// O(1) child fork sharing the same base; the overlay is copied.
+  TwinFork fork() const { return *this; }
+
+  TwinFork& add(const Perturbation& p) {
+    overlay_.push_back(p);
+    return *this;
+  }
+  const std::vector<Perturbation>& overlay() const noexcept {
+    return overlay_;
+  }
+  const Snapshot& base() const noexcept { return *base_; }
+
+  /// Build a private live session: verified replay restore of the base,
+  /// then the overlay scheduled into the restored engine. NodeKill against
+  /// a faultless spec transparently injects an inert zero-rate fault plane
+  /// (see Snapshot::restore_with_spec).
+  std::unique_ptr<TwinSession> materialize() const;
+
+ private:
+  std::shared_ptr<const Snapshot> base_;
+  std::vector<Perturbation> overlay_;
+};
+
+}  // namespace fluxpower::twin

@@ -1,0 +1,372 @@
+#include "twin/probe.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "faultsim/fault_plane.hpp"
+#include "flux/job_manager.hpp"
+#include "manager/power_manager.hpp"
+#include "monitor/power_monitor.hpp"
+
+namespace fluxpower::twin {
+
+namespace {
+
+void put_rng(ByteWriter& w, const util::Rng& rng) {
+  const util::Rng::State st = rng.state();
+  for (std::uint64_t word : st.s) w.u64(word);
+}
+
+void put_opt_watts(ByteWriter& w, const hwsim::OptWatts& v) {
+  w.boolean(v.present);
+  w.f64(v.watts);
+}
+
+template <std::size_t N>
+void put_watts_vec(ByteWriter& w, const hwsim::FixedWattsVec<N>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (double x : v) w.f64(x);
+}
+
+void put_sample(ByteWriter& w, const hwsim::PowerSample& s) {
+  w.f64(s.timestamp_s);
+  w.str(s.hostname.view());
+  put_opt_watts(w, s.node_w);
+  put_opt_watts(w, s.node_estimate_w);
+  put_watts_vec(w, s.cpu_w);
+  put_opt_watts(w, s.mem_w);
+  put_watts_vec(w, s.gpu_w);
+  w.boolean(s.gpu_is_oam);
+  w.boolean(s.sensor_fault);
+}
+
+void put_store(ByteWriter& w, const monitor::ColumnarSampleStore& store) {
+  w.u64(store.capacity());
+  w.u64(store.total_pushed());
+  w.u64(store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) put_sample(w, store.get(i));
+}
+
+// -- Section encoders --------------------------------------------------------
+
+void encode_sim(ByteWriter& w, experiments::Scenario& sc) {
+  sim::Simulation& sim = sc.sim();
+  w.f64(sim.now());
+  w.u64(sim.seq_counter());
+  w.u64(static_cast<std::uint64_t>(sim.pending()));
+  w.u64(sim.events_executed());
+  w.f64(sim.wheel_epoch_base());
+  w.u32(static_cast<std::uint32_t>(sim.wheel_cursor()));
+  w.u64(sim.wheel_rebases());
+  w.u64(sim.callback_heap_allocs());
+  w.u64(static_cast<std::uint64_t>(sim.pool_chunks()));
+}
+
+void encode_hw(ByteWriter& w, experiments::Scenario& sc) {
+  hwsim::Cluster& cluster = sc.cluster();
+  w.u32(static_cast<std::uint32_t>(cluster.size()));
+  for (int i = 0; i < cluster.size(); ++i) {
+    hwsim::Node& node = cluster.node(i);
+    w.str(node.hostname());
+    const hwsim::LoadDemand& d = node.demand();
+    w.u32(static_cast<std::uint32_t>(d.cpu_w.size()));
+    for (double x : d.cpu_w) w.f64(x);
+    w.u32(static_cast<std::uint32_t>(d.gpu_w.size()));
+    for (double x : d.gpu_w) w.f64(x);
+    w.f64(d.mem_w);
+    const hwsim::Grants& g = node.grants();
+    w.u32(static_cast<std::uint32_t>(g.cpu_w.size()));
+    for (double x : g.cpu_w) w.f64(x);
+    w.u32(static_cast<std::uint32_t>(g.gpu_w.size()));
+    for (double x : g.gpu_w) w.f64(x);
+    w.f64(g.mem_w);
+    w.f64(g.base_w);
+    w.f64(node.energy_joules());
+    w.boolean(node.low_power_state());
+    w.f64(node.stolen_time());
+    const std::optional<double> node_cap = node.node_power_cap();
+    w.boolean(node_cap.has_value());
+    w.f64(node_cap.value_or(0.0));
+    w.u32(static_cast<std::uint32_t>(node.gpu_count()));
+    for (int gpu = 0; gpu < node.gpu_count(); ++gpu) {
+      const std::optional<double> cap = node.gpu_power_cap(gpu);
+      w.boolean(cap.has_value());
+      w.f64(cap.value_or(0.0));
+    }
+    w.u32(static_cast<std::uint32_t>(node.socket_count()));
+    for (int socket = 0; socket < node.socket_count(); ++socket) {
+      const std::optional<double> cap = node.socket_power_cap(socket);
+      w.boolean(cap.has_value());
+      w.f64(cap.value_or(0.0));
+    }
+    w.u64(node.cap_write_faults());
+    put_rng(w, node.sensor_rng());
+  }
+}
+
+void encode_flux(ByteWriter& w, experiments::Scenario& sc) {
+  flux::Instance& inst = sc.instance();
+  w.u64(inst.messages_routed());
+  w.u64(inst.messages_dropped());
+  w.u32(static_cast<std::uint32_t>(inst.size()));
+  for (int rank = 0; rank < inst.size(); ++rank) {
+    flux::Broker& b = inst.broker(rank);
+    w.u64(b.messages_sent());
+    w.u64(b.messages_received());
+    w.u64(static_cast<std::uint64_t>(b.pending_rpc_count()));
+    w.u64(b.late_responses());
+  }
+}
+
+void encode_jobs(ByteWriter& w, experiments::Scenario& sc) {
+  flux::JobManager& jm = sc.instance().jobs();
+  w.u64(jm.next_id());
+  std::vector<flux::JobId> ids = jm.all_jobs();
+  std::sort(ids.begin(), ids.end());
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (flux::JobId id : ids) {
+    const flux::Job& job = jm.job(id);
+    w.u64(job.id);
+    w.str(job.spec.name);
+    w.str(job.spec.app);
+    w.u32(static_cast<std::uint32_t>(job.spec.nnodes));
+    w.u32(static_cast<std::uint32_t>(job.spec.tasks_per_node));
+    w.u32(static_cast<std::uint32_t>(job.state));
+    w.u32(static_cast<std::uint32_t>(job.ranks.size()));
+    for (flux::Rank r : job.ranks) w.u32(static_cast<std::uint32_t>(r));
+    w.f64(job.t_submit);
+    w.f64(job.t_start);
+    w.f64(job.t_end);
+  }
+}
+
+void encode_mon(ByteWriter& w, experiments::Scenario& sc) {
+  flux::Instance& inst = sc.instance();
+  w.u32(static_cast<std::uint32_t>(inst.size()));
+  for (int rank = 0; rank < inst.size(); ++rank) {
+    auto* mod = dynamic_cast<monitor::PowerMonitorModule*>(
+        inst.broker(rank).find_module("power-monitor"));
+    w.boolean(mod != nullptr);
+    if (mod == nullptr) continue;
+    w.u64(mod->samples_taken());
+    w.u64(mod->sensor_failures());
+    const monitor::ColumnarSampleStore* store = mod->store();
+    w.boolean(store != nullptr);
+    if (store != nullptr) put_store(w, *store);
+    // Delta-aggregation replica mirrors: watermark meta + mirrored content.
+    // std::map keys by rank, so iteration order is canonical.
+    const auto* replicas = mod->replica_map();
+    w.boolean(replicas != nullptr);
+    if (replicas == nullptr) continue;
+    w.u32(static_cast<std::uint32_t>(replicas->size()));
+    for (const auto& [src_rank, replica] : *replicas) {
+      w.u32(static_cast<std::uint32_t>(src_rank));
+      w.f64(replica.watermark_ts);
+      w.str(replica.hostname);
+      w.boolean(replica.source_empty);
+      w.f64(replica.front_ts_s);
+      w.u64(replica.source_evicted);
+      w.boolean(replica.store != nullptr);
+      if (replica.store != nullptr) put_store(w, *replica.store);
+    }
+  }
+}
+
+void encode_mgr(ByteWriter& w, experiments::Scenario& sc) {
+  flux::Instance& inst = sc.instance();
+  w.u32(static_cast<std::uint32_t>(inst.size()));
+  for (int rank = 0; rank < inst.size(); ++rank) {
+    auto* mod = dynamic_cast<manager::PowerManagerModule*>(
+        inst.broker(rank).find_module("power-manager"));
+    w.boolean(mod != nullptr);
+    if (mod == nullptr) continue;
+    // Node-level enforcement state (every rank).
+    w.f64(mod->node_limit_w());
+    w.f64(mod->last_gpu_budget_w());
+    w.u64(mod->cap_retries());
+    w.boolean(mod->cap_retry_pending());
+    w.f64(mod->cap_retry_delay_s());
+    w.u64(static_cast<std::uint64_t>(mod->fpp_control_round()));
+    w.f64(mod->time_since_fpp_control_s());
+    w.f64(mod->progress_rate());
+    w.f64(mod->progress_cap_w());
+    w.boolean(mod->progress_holding());
+    // Cluster-level ledgers (populated on the root only; empty elsewhere).
+    const auto& allocations = mod->allocations();
+    w.u32(static_cast<std::uint32_t>(allocations.size()));
+    for (const auto& [job_id, alloc] : allocations) {
+      w.u64(job_id);
+      w.u32(static_cast<std::uint32_t>(alloc.ranks.size()));
+      for (flux::Rank r : alloc.ranks) w.u32(static_cast<std::uint32_t>(r));
+      w.f64(alloc.job_power_w);
+      w.f64(alloc.node_power_w);
+      w.f64(alloc.requested_node_power_w);
+    }
+    const auto& strikes = mod->push_strikes();
+    w.u32(static_cast<std::uint32_t>(strikes.size()));
+    for (const auto& [r, count] : strikes) {
+      w.u32(static_cast<std::uint32_t>(r));
+      w.u32(static_cast<std::uint32_t>(count));
+    }
+    const auto& quarantined = mod->quarantined();
+    w.u32(static_cast<std::uint32_t>(quarantined.size()));
+    for (flux::Rank r : quarantined) w.u32(static_cast<std::uint32_t>(r));
+    w.u64(mod->quarantine_events());
+    w.boolean(mod->emergency_active());
+    w.u32(static_cast<std::uint32_t>(mod->emergency_strike_count()));
+  }
+}
+
+void encode_fault(ByteWriter& w, experiments::Scenario& sc) {
+  faultsim::FaultPlane& plane = *sc.fault_plane();
+  const faultsim::FaultCounters& c = plane.counters();
+  w.u64(c.msgs_dropped);
+  w.u64(c.msgs_blackholed);
+  w.u64(c.msgs_duplicated);
+  w.u64(c.msgs_delayed);
+  w.u64(c.node_crashes);
+  w.u64(c.node_reboots);
+  w.u64(c.sensor_dropouts);
+  w.u64(c.sensor_stuck_sweeps);
+  w.u64(c.cap_write_failures);
+  put_rng(w, plane.link_rng());
+  const int n = plane.attached_nodes();
+  w.u32(static_cast<std::uint32_t>(n));
+  for (int rank = 0; rank < n; ++rank) {
+    const faultsim::FaultPlane::NodeFaultStatus st = plane.node_status(rank);
+    w.boolean(st.down);
+    w.boolean(st.stuck);
+    w.f64(st.stuck_until_s);
+    w.boolean(st.crash_pending);
+    put_rng(w, plane.node_rng(rank));
+  }
+}
+
+void encode_scen(ByteWriter& w, experiments::Scenario& sc) {
+  w.u32(static_cast<std::uint32_t>(sc.completed_jobs()));
+  w.u64(static_cast<std::uint64_t>(sc.submitted_jobs()));
+  w.boolean(sc.all_jobs_done());
+  const auto& timeline = sc.cluster_timeline_so_far();
+  w.u32(static_cast<std::uint32_t>(timeline.size()));
+  for (const auto& [t, watts] : timeline) {
+    w.f64(t);
+    w.f64(watts);
+  }
+}
+
+StateSection make_section(std::uint32_t tag, ByteWriter&& w) {
+  StateSection s;
+  s.tag = tag;
+  s.bytes = std::move(w).take();
+  s.digest = Digest64::of(s.bytes);
+  return s;
+}
+
+template <typename EncodeFn>
+void add_section(StateImage& image, std::uint32_t tag,
+                 experiments::Scenario& sc, EncodeFn encode) {
+  ByteWriter w;
+  encode(w, sc);
+  image.sections.push_back(make_section(tag, std::move(w)));
+}
+
+}  // namespace
+
+const StateSection* StateImage::find(std::uint32_t tag) const noexcept {
+  for (const StateSection& s : sections) {
+    if (s.tag == tag) return &s;
+  }
+  return nullptr;
+}
+
+std::uint64_t StateImage::digest() const noexcept {
+  Digest64 d;
+  for (const StateSection& s : sections) {
+    d.update(&s.tag, sizeof(s.tag));
+    d.update(&s.digest, sizeof(s.digest));
+  }
+  return d.value();
+}
+
+void StateImage::encode(ByteWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(sections.size()));
+  for (const StateSection& s : sections) {
+    w.u32(s.tag);
+    w.u32(s.version);
+    w.u64(static_cast<std::uint64_t>(s.bytes.size()));
+    w.bytes(s.bytes);
+    w.u64(s.digest);
+  }
+}
+
+StateImage StateImage::decode(ByteReader& r) {
+  StateImage image;
+  const std::uint32_t n = r.u32();
+  image.sections.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    StateSection s;
+    s.tag = r.u32();
+    s.version = r.u32();
+    if (s.version != kSectionVersion) {
+      throw CodecError("StateImage: section " + fourcc_name(s.tag) +
+                       " has unsupported version " + std::to_string(s.version));
+    }
+    const std::uint64_t len = r.u64();
+    const auto raw = r.raw(static_cast<std::size_t>(len));
+    s.bytes.assign(raw.begin(), raw.end());
+    s.digest = r.u64();
+    if (s.digest != Digest64::of(s.bytes)) {
+      throw CodecError("StateImage: section " + fourcc_name(s.tag) +
+                       " digest does not match its payload (corrupt bytes)");
+    }
+    image.sections.push_back(std::move(s));
+  }
+  return image;
+}
+
+StateImage capture_state(experiments::Scenario& scenario) {
+  StateImage image;
+  add_section(image, kTagSim, scenario, encode_sim);
+  add_section(image, kTagHw, scenario, encode_hw);
+  add_section(image, kTagFlux, scenario, encode_flux);
+  add_section(image, kTagJobs, scenario, encode_jobs);
+  add_section(image, kTagMon, scenario, encode_mon);
+  add_section(image, kTagMgr, scenario, encode_mgr);
+  if (scenario.fault_plane() != nullptr) {
+    add_section(image, kTagFault, scenario, encode_fault);
+  }
+  add_section(image, kTagScen, scenario, encode_scen);
+  return image;
+}
+
+std::string describe_divergence(const StateImage& lhs, const StateImage& rhs,
+                                const std::string& lhs_label,
+                                const std::string& rhs_label) {
+  std::string out;
+  for (const StateSection& a : lhs.sections) {
+    const StateSection* b = rhs.find(a.tag);
+    if (b == nullptr) {
+      out += "section " + fourcc_name(a.tag) + ": present in " + lhs_label +
+             ", missing in " + rhs_label + "\n";
+      continue;
+    }
+    if (a.digest == b->digest) continue;
+    std::size_t offset = 0;
+    const std::size_t common = std::min(a.bytes.size(), b->bytes.size());
+    while (offset < common && a.bytes[offset] == b->bytes[offset]) ++offset;
+    out += "section " + fourcc_name(a.tag) + ": digests differ (" + lhs_label +
+           " " + std::to_string(a.bytes.size()) + "B vs " + rhs_label + " " +
+           std::to_string(b->bytes.size()) + "B, first byte mismatch at offset " +
+           std::to_string(offset) + ")\n";
+  }
+  for (const StateSection& b : rhs.sections) {
+    if (lhs.find(b.tag) == nullptr) {
+      out += "section " + fourcc_name(b.tag) + ": present in " + rhs_label +
+             ", missing in " + lhs_label + "\n";
+    }
+  }
+  if (out.empty()) out = "images are identical\n";
+  return out;
+}
+
+}  // namespace fluxpower::twin

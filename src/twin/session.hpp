@@ -1,0 +1,41 @@
+// session.hpp — a live twin: one spec materialized into a running scenario.
+//
+// TwinSession pairs a TwinSpec with the Scenario it built, so snapshot
+// capture and fork materialization always know the genome of the state they
+// hold. Sessions are single-threaded like the engine beneath them; the twin
+// server gives each worker its own session.
+#pragma once
+
+#include <memory>
+
+#include "experiments/scenario.hpp"
+#include "twin/spec.hpp"
+
+namespace fluxpower::twin {
+
+class TwinSession {
+ public:
+  /// Build the scenario and submit every job from the spec. The simulation
+  /// has not executed anything yet (now() == 0).
+  explicit TwinSession(TwinSpec spec)
+      : spec_(std::move(spec)), scenario_(spec_.materialize()) {}
+
+  /// Execute events up to `t` (same stop conditions as Scenario::run — all
+  /// jobs done or the spec horizon ends the run earlier).
+  void advance_to(double t) { scenario_->advance_until(t, spec_.max_time_s); }
+
+  /// Run to completion and collect results. Terminal.
+  experiments::ScenarioResult finish() {
+    return scenario_->finish(spec_.max_time_s);
+  }
+
+  double now() const noexcept { return scenario_->sim().now(); }
+  const TwinSpec& spec() const noexcept { return spec_; }
+  experiments::Scenario& scenario() noexcept { return *scenario_; }
+
+ private:
+  TwinSpec spec_;
+  std::unique_ptr<experiments::Scenario> scenario_;
+};
+
+}  // namespace fluxpower::twin

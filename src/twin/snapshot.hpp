@@ -1,0 +1,87 @@
+// snapshot.hpp — deterministic snapshot/restore for the digital twin.
+//
+// A Snapshot is {spec, time, state image}: the scenario's genome, the
+// instant it was captured, and the framed per-layer serialization of
+// everything observable at that instant (see probe.hpp).
+//
+// Restore is REPLAY-BASED AND CODEC-VERIFIED, not memcpy-based. The event
+// engine's queue holds type-erased closures over live object graphs, which
+// no byte codec can rehydrate; but the whole stack is deterministic, so
+// rebuilding the scenario from its spec and fast-forwarding to the capture
+// time reaches the *same* state — and the probe proves it, byte for byte,
+// against the stored image before restore() returns. A restore that drifts
+// by even one bit in any section throws SnapshotMismatch with a per-section
+// diff instead of handing back a subtly different twin. The stored image is
+// therefore load-bearing: it is the tripwire that converts "we believe the
+// sim is deterministic" into a checked invariant at every restore.
+//
+// encode()/decode() give snapshots a stable wire form ('FPTW' magic,
+// container version, spec, image) so they can be persisted or shipped;
+// decode() re-verifies every section digest against its payload.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "twin/probe.hpp"
+#include "twin/session.hpp"
+#include "twin/spec.hpp"
+
+namespace fluxpower::twin {
+
+/// Snapshot container magic + version (independent of spec/section versions).
+inline constexpr std::uint32_t kSnapshotMagic = fourcc('F', 'P', 'T', 'W');
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// A replayed scenario failed byte-for-byte verification against the stored
+/// image — the determinism contract is broken (or the snapshot came from a
+/// different build). The message carries the per-section divergence.
+class SnapshotMismatch : public std::runtime_error {
+ public:
+  explicit SnapshotMismatch(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class Snapshot {
+ public:
+  /// Capture the session's current state. The session remains live and
+  /// unmodified (the probe is read-only).
+  static Snapshot capture(TwinSession& session);
+
+  const TwinSpec& spec() const noexcept { return spec_; }
+  double time() const noexcept { return t_snapshot_; }
+  const StateImage& image() const noexcept { return image_; }
+  /// Fingerprint over section digests — cheap state identity.
+  std::uint64_t state_digest() const noexcept { return image_.digest(); }
+
+  /// Rebuild a live session at time(): materialize the spec, fast-forward,
+  /// and verify every captured section byte-for-byte. Throws
+  /// SnapshotMismatch on any divergence.
+  std::unique_ptr<TwinSession> restore() const;
+
+  /// Restore under a *modified* spec (the fork engine's NodeKill support
+  /// injects an inert zero-rate fault plane into faultless specs so
+  /// force_crash has a plane to drive; a zero-rate plane consults no RNG
+  /// and leaves every other section byte-identical). Sections present in
+  /// the stored image are verified as usual; sections the override adds
+  /// (FLT for a newly attached plane) have no stored counterpart and are
+  /// skipped.
+  std::unique_ptr<TwinSession> restore_with_spec(
+      const TwinSpec& spec_override) const;
+
+  // -- Wire form -------------------------------------------------------------
+  std::vector<std::uint8_t> encode() const;
+  static Snapshot decode(std::span<const std::uint8_t> bytes);
+
+ private:
+  Snapshot() = default;
+
+  TwinSpec spec_;
+  double t_snapshot_ = 0.0;
+  StateImage image_;
+};
+
+}  // namespace fluxpower::twin

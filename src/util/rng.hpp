@@ -74,6 +74,20 @@ class Rng {
   /// Exponential with given mean (inter-arrival modelling).
   double exponential(double mean);
 
+  /// The full 256-bit generator state, exposed for the digital twin's
+  /// state codec: a substream's position *is* sim state (two runs agreeing
+  /// on every stream position will draw identical futures).
+  struct State {
+    std::uint64_t s[4] = {};
+    bool operator==(const State&) const = default;
+  };
+  State state() const noexcept {
+    return State{{state_[0], state_[1], state_[2], state_[3]}};
+  }
+  void set_state(const State& st) noexcept {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

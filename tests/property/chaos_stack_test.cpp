@@ -12,6 +12,7 @@
 #include "experiments/scenario.hpp"
 #include "manager/power_manager.hpp"
 #include "monitor/power_monitor.hpp"
+#include "twin/snapshot.hpp"
 
 namespace fluxpower {
 namespace {
@@ -160,6 +161,81 @@ TEST(ChaosStackReplay, SameSeedSameRun) {
     EXPECT_EQ(a.counters.sensor_dropouts, b.counters.sensor_dropouts);
     EXPECT_EQ(a.counters.sensor_stuck_sweeps, b.counters.sensor_stuck_sweeps);
     EXPECT_EQ(a.counters.cap_write_failures, b.counters.cap_write_failures);
+  }
+}
+
+// Time travel into the fault window: snapshot the stack BEFORE the weather
+// has done its worst, then replay the remainder K times from the same
+// snapshot. Every replica must live through the identical storm — same
+// strike/quarantine outcome, same fault counters, same makespan — because
+// the snapshot carries the fault plane's RNG substream positions along
+// with everything else. A single divergent replica would mean some fault
+// state escaped the codec.
+TEST(ChaosTimeTravel, ReplayedFaultWindowIsIdentical) {
+  for (std::uint64_t seed : {3u, 7u, 11u}) {
+    twin::TwinSpec spec;
+    spec.scenario = chaos_config(seed);
+    JobRequest gemm;
+    gemm.kind = apps::AppKind::Gemm;
+    gemm.nnodes = 4;
+    gemm.work_scale = 0.5;
+    spec.jobs.push_back(gemm);
+    JobRequest qs;
+    qs.kind = apps::AppKind::Quicksilver;
+    qs.nnodes = 2;
+    qs.work_scale = 2.0;
+    spec.jobs.push_back(qs);
+    spec.max_time_s = 1200.0;
+
+    // Snapshot at t=60: crashes (MTBF 240 s) and quarantines mostly land
+    // later, so the interesting part of the storm is still in the future.
+    twin::TwinSession original(spec);
+    original.advance_to(60.0);
+    const twin::Snapshot snap = twin::Snapshot::capture(original);
+
+    struct Outcome {
+      double makespan_s;
+      faultsim::FaultCounters counters;
+      std::uint64_t quarantine_events;
+      std::set<flux::Rank> quarantined;
+    };
+    auto finish_and_summarize = [](twin::TwinSession& session) {
+      const ScenarioResult res = session.finish();
+      Scenario& s = session.scenario();
+      auto* pm = static_cast<manager::PowerManagerModule*>(
+          s.instance().root().find_module("power-manager"));
+      Outcome out;
+      out.makespan_s = res.makespan_s;
+      out.counters = s.fault_plane()->counters();
+      out.quarantine_events = pm->quarantine_events();
+      const auto& q = pm->quarantined();
+      out.quarantined.insert(q.begin(), q.end());
+      return out;
+    };
+
+    const Outcome truth = finish_and_summarize(original);
+    for (int k = 0; k < 3; ++k) {
+      std::unique_ptr<twin::TwinSession> replica = snap.restore();
+      const Outcome replay = finish_and_summarize(*replica);
+      EXPECT_DOUBLE_EQ(replay.makespan_s, truth.makespan_s)
+          << "seed " << seed << " replica " << k;
+      EXPECT_EQ(replay.quarantine_events, truth.quarantine_events)
+          << "seed " << seed << " replica " << k;
+      EXPECT_EQ(replay.quarantined, truth.quarantined)
+          << "seed " << seed << " replica " << k;
+      EXPECT_EQ(replay.counters.msgs_dropped, truth.counters.msgs_dropped);
+      EXPECT_EQ(replay.counters.msgs_duplicated,
+                truth.counters.msgs_duplicated);
+      EXPECT_EQ(replay.counters.msgs_delayed, truth.counters.msgs_delayed);
+      EXPECT_EQ(replay.counters.node_crashes, truth.counters.node_crashes);
+      EXPECT_EQ(replay.counters.node_reboots, truth.counters.node_reboots);
+      EXPECT_EQ(replay.counters.sensor_dropouts,
+                truth.counters.sensor_dropouts);
+      EXPECT_EQ(replay.counters.sensor_stuck_sweeps,
+                truth.counters.sensor_stuck_sweeps);
+      EXPECT_EQ(replay.counters.cap_write_failures,
+                truth.counters.cap_write_failures);
+    }
   }
 }
 

@@ -1,0 +1,282 @@
+// Twin codec unit tests: primitive round-trips (including NaN payloads and
+// signed zeros), truncation and malformed-input rejection, container
+// version gating, spec round-trips, and — the satellite-4 regression plane
+// — digest sensitivity: state that previously had no codec coverage
+// (timer-wheel epoch/rebase counters, delta-aggregation watermark meta,
+// interned hostnames via sample content, pending stolen time, FPP control
+// rotation) must move the state digest when it changes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "twin/fork.hpp"
+#include "twin/snapshot.hpp"
+
+namespace fluxpower::twin {
+namespace {
+
+TEST(TwinCodec, PrimitiveRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.boolean(true);
+  w.boolean(false);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(3.141592653589793);
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  w.f64(std::numeric_limits<double>::infinity());
+  w.str("hello, twin");
+  w.str("");
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 3.141592653589793);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_TRUE(std::isnan(r.f64()));
+  EXPECT_TRUE(std::isinf(r.f64()));
+  EXPECT_EQ(r.str(), "hello, twin");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(TwinCodec, TruncationAndMalformedInputThrow) {
+  ByteWriter w;
+  w.u32(7);
+  {
+    ByteReader r(w.data());
+    EXPECT_THROW(r.u64(), CodecError);  // 4 bytes available, 8 wanted
+  }
+  ByteWriter w2;
+  w2.u8(2);  // not a valid bool byte
+  {
+    ByteReader r(w2.data());
+    EXPECT_THROW(r.boolean(), CodecError);
+  }
+  ByteWriter w3;
+  w3.u32(1000);  // string length prefix far beyond the payload
+  {
+    ByteReader r(w3.data());
+    EXPECT_THROW(r.str(), CodecError);
+  }
+}
+
+TEST(TwinCodec, DigestIsStableAndOrderSensitive) {
+  ByteWriter a;
+  a.u64(1);
+  a.u64(2);
+  ByteWriter b;
+  b.u64(2);
+  b.u64(1);
+  EXPECT_NE(Digest64::of(a.data()), Digest64::of(b.data()));
+  EXPECT_EQ(Digest64::of(a.data()), Digest64::of(a.data()));
+}
+
+TwinSpec small_spec(bool with_faults) {
+  TwinSpec spec;
+  spec.scenario.nodes = 3;
+  spec.scenario.load_manager = true;
+  spec.scenario.manager.cluster_power_bound_w = 3600.0;
+  spec.scenario.manager.node_policy = manager::NodePolicy::Fpp;
+  spec.scenario.manager.fpp.stagger_probes = true;
+  spec.scenario.monitor = monitor::PowerMonitorConfig::for_lassen();
+  if (with_faults) {
+    faultsim::FaultPlaneConfig f;
+    f.seed = 99;
+    f.cap_write_failure_rate = 0.1;
+    spec.scenario.faults = f;
+  }
+  experiments::JobRequest job;
+  job.kind = apps::AppKind::Quicksilver;
+  job.nnodes = 2;
+  // ~500 s of runtime: the sensitivity probes below capture up to t=400 and
+  // need the workload (and its control loops) still live at every instant.
+  job.work_scale = 40.0;
+  spec.jobs.push_back(job);
+  spec.max_time_s = 900.0;
+  return spec;
+}
+
+TEST(TwinSpecCodec, RoundTripPreservesEveryField) {
+  for (bool faults : {false, true}) {
+    const TwinSpec spec = small_spec(faults);
+    ByteWriter w;
+    spec.encode(w);
+    ByteReader r(w.data());
+    const TwinSpec back = TwinSpec::decode(r);
+    EXPECT_TRUE(r.done());
+    ByteWriter w2;
+    back.encode(w2);
+    EXPECT_EQ(w.data(), w2.data());
+    EXPECT_EQ(spec.digest(), back.digest());
+  }
+}
+
+TEST(TwinSpecCodec, RejectsUnknownVersionAndEnums) {
+  ByteWriter w;
+  w.u32(kSpecVersion + 1);
+  {
+    ByteReader r(w.data());
+    EXPECT_THROW(TwinSpec::decode(r), CodecError);
+  }
+  // Corrupt the platform enum (first field after the version) to an
+  // out-of-range value: decode must reject, not materialize garbage.
+  ByteWriter good;
+  small_spec(false).encode(good);
+  std::vector<std::uint8_t> bytes = good.data();
+  bytes[4] = 0xFF;
+  ByteReader r(bytes);
+  EXPECT_THROW(TwinSpec::decode(r), CodecError);
+}
+
+TEST(SnapshotCodec, RejectsBadMagicVersionTrailingAndCorruption) {
+  TwinSession session(small_spec(false));
+  session.advance_to(30.0);
+  const Snapshot snap = Snapshot::capture(session);
+  const std::vector<std::uint8_t> wire = snap.encode();
+
+  // Round trip is exact.
+  EXPECT_EQ(Snapshot::decode(wire).encode(), wire);
+
+  std::vector<std::uint8_t> bad_magic = wire;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(Snapshot::decode(bad_magic), CodecError);
+
+  std::vector<std::uint8_t> bad_version = wire;
+  bad_version[4] = 0xEE;
+  EXPECT_THROW(Snapshot::decode(bad_version), CodecError);
+
+  std::vector<std::uint8_t> trailing = wire;
+  trailing.push_back(0);
+  EXPECT_THROW(Snapshot::decode(trailing), CodecError);
+
+  // Flip one payload byte deep inside a section: the per-section digest
+  // check must catch it at decode time.
+  std::vector<std::uint8_t> corrupt = wire;
+  corrupt[wire.size() / 2] ^= 0x01;
+  EXPECT_THROW(Snapshot::decode(corrupt), CodecError);
+
+  EXPECT_THROW(Snapshot::decode(std::vector<std::uint8_t>{}), CodecError);
+}
+
+// ---------------------------------------------------------------------------
+// Digest sensitivity (satellite 4): every piece of state below had no codec
+// coverage before this test plane existed; each case mutates exactly that
+// state and requires the fingerprint to move.
+
+TEST(DigestSensitivity, PendingStolenTimeIsCovered) {
+  TwinSession session(small_spec(false));
+  session.advance_to(20.0);
+  const std::uint64_t before = capture_state(session.scenario()).digest();
+  session.scenario().cluster().node(1).add_stolen_time(1e-3);
+  const std::uint64_t after = capture_state(session.scenario()).digest();
+  EXPECT_NE(before, after);
+}
+
+TEST(DigestSensitivity, SensorRngSubstreamIsCovered) {
+  TwinSession session(small_spec(false));
+  session.advance_to(20.0);
+  const std::uint64_t before = capture_state(session.scenario()).digest();
+  // Consuming one deviate moves the substream position and nothing else.
+  session.scenario().cluster().node(2).sample();
+  const std::uint64_t after = capture_state(session.scenario()).digest();
+  EXPECT_NE(before, after);
+}
+
+TEST(DigestSensitivity, WheelEpochRebaseCounterIsCovered) {
+  // Two engines can agree on now()/pending yet disagree on how many epoch
+  // rebases got them there (different scheduling history). The SIM section
+  // must tell them apart. The wheel horizon is kNumBuckets * kBucketWidth
+  // = 1024 s, so a run past that has rebased at least once.
+  TwinSession session(small_spec(false));
+  session.advance_to(20.0);
+  sim::Simulation& sim = session.scenario().sim();
+  const std::uint64_t rebases_before = sim.wheel_rebases();
+  // Drive the raw engine past the wheel horizon (the scenario's own runner
+  // stops at job completion; the recorder keeps the queue alive forever).
+  sim.run_until(1100.0);
+  EXPECT_GT(sim.wheel_rebases(), rebases_before);
+  // And the counter is digested: two sessions replayed to the same instant
+  // agree (equivalence suite), while a raw counter poke would be visible
+  // via the SIM section bytes — assert the section parses it by position.
+  const StateImage image = capture_state(session.scenario());
+  const StateSection* sim_section = image.find(kTagSim);
+  ASSERT_NE(sim_section, nullptr);
+  ByteReader r(sim_section->bytes);
+  r.f64();                      // now
+  r.u64();                      // seq counter
+  r.u64();                      // pending
+  r.u64();                      // executed
+  r.f64();                      // wheel epoch base
+  r.u32();                      // wheel cursor
+  EXPECT_EQ(r.u64(), sim.wheel_rebases());
+}
+
+TEST(DigestSensitivity, FppControlRotationIsCovered) {
+  // Under stagger_probes the per-node rotation position decides which GPU
+  // controller probes next; losing it on restore would desynchronize every
+  // later cap decision. Verify the MGR section moves across a control round.
+  TwinSession session(small_spec(false));
+  session.advance_to(60.0);
+  const StateImage at60 = capture_state(session.scenario());
+  session.advance_to(400.0);  // several 90 s FPP rounds later
+  const StateImage at400 = capture_state(session.scenario());
+  const StateSection* a = at60.find(kTagMgr);
+  const StateSection* b = at400.find(kTagMgr);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a->digest, b->digest);
+}
+
+TEST(DigestSensitivity, MonitorRingContentIsCovered) {
+  // Interned hostnames and watermark meta travel inside the MON section;
+  // one extra retained sample must move it.
+  TwinSession session(small_spec(false));
+  session.advance_to(30.0);
+  const StateImage before = capture_state(session.scenario());
+  session.advance_to(34.0);  // two more 2 s sweeps
+  const StateImage after = capture_state(session.scenario());
+  const StateSection* a = before.find(kTagMon);
+  const StateSection* b = after.find(kTagMon);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a->digest, b->digest);
+}
+
+TEST(DigestSensitivity, FaultSubstreamPositionsAreCovered) {
+  TwinSession session(small_spec(true));
+  session.advance_to(30.0);
+  const StateImage image = capture_state(session.scenario());
+  const StateSection* flt = image.find(kTagFault);
+  ASSERT_NE(flt, nullptr);
+  // Cap-write rolls consume the per-rank substreams; more sim time means
+  // more rolls, and the FLT section must register the movement.
+  session.advance_to(120.0);
+  const StateImage later = capture_state(session.scenario());
+  EXPECT_NE(image.find(kTagFault)->digest, later.find(kTagFault)->digest);
+}
+
+TEST(DescribeDivergence, NamesDifferingSections) {
+  TwinSession session(small_spec(false));
+  session.advance_to(20.0);
+  const StateImage a = capture_state(session.scenario());
+  session.advance_to(40.0);
+  const StateImage b = capture_state(session.scenario());
+  const std::string diff = describe_divergence(a, b, "left", "right");
+  EXPECT_NE(diff.find("SIM!"), std::string::npos);
+  EXPECT_EQ(describe_divergence(a, a, "l", "r"), "images are identical\n");
+}
+
+}  // namespace
+}  // namespace fluxpower::twin
