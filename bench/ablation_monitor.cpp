@@ -101,12 +101,14 @@ int main() {
     const std::size_t per_sample =
         typed ? sizeof(hwsim::PowerSample)
               : variorum::get_node_power_json(probe).dump().size();
+    // Host wall-clock is nondeterministic: the column renders "-" unless
+    // FLUXPOWER_HOST_TIMING=1, keeping default stdout byte-stable.
     plane.add_row({typed ? "typed (PowerSample)" : "JSON (legacy)",
-                   bench::num(us_per_query, 1),
+                   bench::host_us(us_per_query),
                    std::to_string(samples), std::to_string(per_sample)});
   }
   plane.print(std::cout);
-  if (typed_us > 0.0) {
+  if (bench::host_timing_enabled() && typed_us > 0.0) {
     bench::note("typed data plane speedup over JSON: " +
                 bench::num(json_us / typed_us, 2) + "x per query");
   }

@@ -8,6 +8,8 @@
 // per-component power across scales; strongly scaled LAMMPS loses power —
 // mostly GPU power — as node count grows; Tioga draws more absolute power
 // than Lassen for the same app (8 GCDs vs 4 GPUs).
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
 
 #include "bench/common.hpp"
@@ -91,6 +93,69 @@ void platform_sweep(const char* label, hwsim::Platform platform,
   }
 }
 
+// Whole-site run on the sharded engine: a 65,536-node Lassen-class fleet
+// (fanout-16 TBON, 8 islands, 8 workers) running a small job mix to
+// completion. The power numbers are byte-identical to a shards=1 run (the
+// shard-invariance suite pins that), so the sharded engine is purely a
+// wall-clock lever at this scale. 131,072 nodes rides the same path when
+// FLUXPOWER_BENCH_XL=1 (it roughly doubles memory and host time).
+void whole_site_sweep() {
+  bench::banner("Whole site (sharded engine)",
+                "65k-node site, monitor everywhere, 8 islands / 8 workers");
+  std::vector<int> sizes{65536};
+  if (const char* xl = std::getenv("FLUXPOWER_BENCH_XL");
+      xl != nullptr && xl[0] != '\0' && xl[0] != '0') {
+    sizes.push_back(131072);
+  }
+  util::TextTable table({"nodes", "jobs", "makespan s", "peak site MW",
+                         "avg site MW", "windows", "host s"});
+  for (int nodes : sizes) {
+    ScenarioConfig cfg;
+    cfg.nodes = nodes;
+    cfg.tbon_fanout = 16;
+    cfg.shards = 8;
+    cfg.workers = 8;
+    monitor::PowerMonitorConfig mcfg = monitor::PowerMonitorConfig::for_lassen();
+    mcfg.buffer_capacity = 16;  // bound resident memory at site scale
+    mcfg.archive_jobs = false;
+    cfg.monitor = mcfg;
+    Scenario scenario(cfg);
+    JobRequest gemm;
+    gemm.kind = apps::AppKind::Gemm;
+    gemm.nnodes = 2048;
+    gemm.work_scale = 0.5;
+    scenario.submit(gemm);
+    JobRequest lammps;
+    lammps.kind = apps::AppKind::Lammps;
+    lammps.nnodes = 1024;
+    lammps.submit_time_s = 20.0;
+    scenario.submit(lammps);
+    JobRequest quicksilver;
+    quicksilver.kind = apps::AppKind::Quicksilver;
+    quicksilver.nnodes = 512;
+    quicksilver.work_scale = 4.0;
+    quicksilver.submit_time_s = 40.0;
+    scenario.submit(quicksilver);
+    const auto t0 = std::chrono::steady_clock::now();
+    const ScenarioResult res = scenario.run(3600.0);
+    const double host_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    table.add_row({std::to_string(nodes),
+                   std::to_string(res.jobs.size()),
+                   bench::num(res.makespan_s, 1),
+                   bench::num(res.max_cluster_power_w / 1e6, 3),
+                   bench::num(res.avg_cluster_power_w / 1e6, 3),
+                   std::to_string(scenario.engine()->windows_executed()),
+                   bench::host_timing_enabled() ? bench::num(host_s, 1)
+                                                : std::string("-")});
+  }
+  table.print(std::cout);
+  bench::note(
+      "whole-site output is shard-count invariant; pick shards for speed, "
+      "not semantics. Set FLUXPOWER_BENCH_XL=1 for the 131k-node row.");
+}
+
 }  // namespace
 
 int main() {
@@ -100,6 +165,7 @@ int main() {
   platform_sweep(
       "Tioga (HPE EX235a, 4 OAMs/node; node = conservative CPU+OAM estimate)",
       hwsim::Platform::TiogaCrayEx235a, {1, 2, 4, 8});
+  whole_site_sweep();
   bench::note(
       "paper shapes: weak-scaled apps flat across scales; LAMMPS power "
       "drops with node count (mostly GPU); Tioga > Lassen absolute power "

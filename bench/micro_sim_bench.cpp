@@ -20,11 +20,14 @@
 // BENCH_sim.json (google-benchmark JSON format).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <new>
 #include <queue>
 #include <string>
@@ -32,8 +35,10 @@
 #include <vector>
 
 #include "flux/instance.hpp"
+#include "flux/tbon.hpp"
 #include "hwsim/cluster.hpp"
 #include "monitor/power_monitor.hpp"
+#include "sim/sharded_engine.hpp"
 #include "sim/simulation.hpp"
 #include "util/json.hpp"
 
@@ -333,6 +338,98 @@ void BM_MixedStack(benchmark::State& state) {
       static_cast<std::int64_t>(sim.events_executed() - executed_before));
 }
 BENCHMARK(BM_MixedStack)->Arg(128)->Arg(1024)->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Sharded whole-stack workload ------------------------------------------
+//
+// The same cluster + TBON + monitor + heartbeat shape, but run on the
+// sharded engine: fanout-16 TBON, the 16 root cells dealt round-robin over
+// `shards` islands advanced by `shards` worker threads under the
+// conservative window barrier. Counters per row:
+//   events_per_sec               — whole-stack simulator throughput
+//   events_per_sec_per_core      — normalized by the worker count (the flat
+//                                  line that shows barrier overhead stays
+//                                  bounded as shards grow)
+//   scaling_efficiency_vs_1shard — evps(S) / (S * evps(1)); 1.0 is perfect
+//                                  linear scaling (needs >= S hardware cores
+//                                  to be meaningful)
+//   windows / cross_island_posts — conservative-barrier work volume
+// Args: (nodes, shards). The 65536-node rows are the whole-site scale the
+// paper's production argument targets; CI's bench-smoke lane runs one.
+
+void BM_ShardedStack(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+  flux::InstanceConfig icfg;
+  icfg.tbon_fanout = 16;  // 16 root cells: shard counts 1/2/4/8 divide evenly
+  const flux::Tbon tbon(nodes, icfg.tbon_fanout);
+  const std::vector<flux::Rank> cells = tbon.children(0);
+  const int islands = std::min<int>(shards, static_cast<int>(cells.size()));
+  std::vector<int> island_of(static_cast<std::size_t>(nodes), 0);
+  for (std::size_t j = 0; j < cells.size(); ++j) {
+    for (flux::Rank r : tbon.subtree(cells[j])) {
+      island_of[static_cast<std::size_t>(r)] = static_cast<int>(j) % islands;
+    }
+  }
+  sim::ShardedEngine engine(islands, shards, icfg.hop_latency_s);
+  hwsim::Cluster cluster = hwsim::make_cluster(
+      [&](int r) -> sim::Simulation& {
+        return engine.island(island_of[static_cast<std::size_t>(r)]);
+      },
+      hwsim::Platform::LassenIbmAc922, nodes);
+  std::vector<hwsim::Node*> ptrs;
+  ptrs.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) ptrs.push_back(&cluster.node(i));
+  flux::Instance instance(engine, island_of, std::move(ptrs), icfg);
+  monitor::PowerMonitorConfig config = monitor::PowerMonitorConfig::for_lassen();
+  config.buffer_capacity = nodes >= 65536 ? 16 : 256;  // bound memory
+  config.archive_jobs = false;
+  instance.load_module_on_all<monitor::PowerMonitorModule>(config);
+  sim::PeriodicTask heartbeat(engine.island(0), 10.0, [&] {
+    instance.root().publish_event("bench.heartbeat", util::Json::object());
+    return true;
+  });
+  engine.advance_until(20.0);  // fill buffers/wheels to steady state
+  const std::uint64_t executed_before = engine.total_events_executed();
+  const std::uint64_t windows_before = engine.windows_executed();
+  const std::uint64_t posts_before = engine.posts_delivered();
+  double elapsed_s = 0.0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    engine.advance_until(engine.now() + 20.0);
+    elapsed_s +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  const std::uint64_t events = engine.total_events_executed() - executed_before;
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  const double evps =
+      elapsed_s > 0.0 ? static_cast<double>(events) / elapsed_s : 0.0;
+  // shards=1 rows run first for each node count, so the baseline is always
+  // present when the multi-shard rows compute their efficiency.
+  static std::map<int, double> baseline_evps;
+  if (shards == 1) baseline_evps[nodes] = evps;
+  state.counters["events_per_sec"] = evps;
+  state.counters["events_per_sec_per_core"] =
+      evps / static_cast<double>(shards);
+  const auto base = baseline_evps.find(nodes);
+  state.counters["scaling_efficiency_vs_1shard"] =
+      (base != baseline_evps.end() && base->second > 0.0)
+          ? evps / (static_cast<double>(shards) * base->second)
+          : 0.0;
+  const double iters = static_cast<double>(std::max<std::int64_t>(
+      static_cast<std::int64_t>(state.iterations()), 1));
+  state.counters["windows_per_iter"] =
+      static_cast<double>(engine.windows_executed() - windows_before) / iters;
+  state.counters["cross_island_posts_per_iter"] =
+      static_cast<double>(engine.posts_delivered() - posts_before) / iters;
+}
+BENCHMARK(BM_ShardedStack)
+    ->Args({8192, 1})->Args({8192, 2})->Args({8192, 4})->Args({8192, 8})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ShardedStack)
+    ->Args({65536, 1})->Args({65536, 2})->Args({65536, 4})->Args({65536, 8})
+    ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

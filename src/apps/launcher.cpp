@@ -45,7 +45,11 @@ flux::Launcher make_launcher(LauncherOptions options) {
       rt_options.ranks = job.ranks;
       rt_options.progress_period_s = options.progress_period_s;
     }
-    return std::make_unique<AppRuntime>(instance.sim(), std::move(nodes),
+    // Bind the runtime to the engine the job's nodes live on: with a
+    // sharded engine this is the allocation's island (cell-confined
+    // placement guarantees all ranks share it), otherwise instance.sim().
+    sim::Simulation& app_sim = instance.sim_for(job.ranks.front());
+    return std::make_unique<AppRuntime>(app_sim, std::move(nodes),
                                         std::move(profile), rt_options);
   };
 }

@@ -56,6 +56,18 @@ struct ScenarioConfig {
   double app_step_s = 0.5;
   /// Cadence of the cluster power recorder (2 s, like the monitor).
   double record_period_s = 2.0;
+
+  /// Sharded execution profile. 0 (default) runs the classic monolithic
+  /// engine, byte-identical to earlier releases. >= 1 partitions the TBON
+  /// into that many per-subtree simulation islands under the conservative
+  /// window barrier, and switches on the profile's partition-independent
+  /// semantics (cell-confined placement, deferred scheduler kicks,
+  /// per-cell recorders, island-local fault streams) — so any shard count
+  /// produces byte-identical output to shards=1. See DESIGN.md, "Sharded
+  /// engine and conservative window barrier".
+  int shards = 0;
+  /// Worker threads advancing the islands (clamped to the shard count).
+  int workers = 1;
 };
 
 struct JobRequest {
@@ -144,13 +156,20 @@ class Scenario {
   std::size_t submitted_jobs() const noexcept { return tracked_.size(); }
   const ScenarioConfig& config() const noexcept { return config_; }
   /// Recorder output so far (twin codec: derived-but-reported state — two
-  /// runs must agree on every recorded point or stdout diverges).
-  const std::vector<std::pair<double, double>>& cluster_timeline_so_far()
-      const noexcept {
+  /// runs must agree on every recorded point or stdout diverges). Sharded:
+  /// merged on demand from the per-cell recorders; call only between
+  /// windows (after an advance_until returned).
+  const std::vector<std::pair<double, double>>& cluster_timeline_so_far() {
+    merge_cluster_timeline();
     return cluster_timeline_;
   }
 
-  sim::Simulation& sim() noexcept { return sim_; }
+  /// The root engine: island 0 when sharded, the single engine otherwise.
+  sim::Simulation& sim() noexcept {
+    return engine_ ? engine_->island(0) : sim_;
+  }
+  /// The sharded engine, or null when config.shards == 0.
+  sim::ShardedEngine* engine() noexcept { return engine_.get(); }
   hwsim::Cluster& cluster() noexcept { return cluster_; }
   flux::Instance& instance() noexcept { return *instance_; }
   /// The attached fault plane; null when config.faults is unset.
@@ -158,9 +177,14 @@ class Scenario {
 
  private:
   void record_tick();
+  void record_cell_tick(std::size_t cell);
+  void build_sharded_stack(const flux::InstanceConfig& icfg);
+  void merge_cluster_timeline();
+  flux::Launcher wrap_launcher_sharded(flux::Launcher inner);
 
   ScenarioConfig config_;
-  sim::Simulation sim_;
+  sim::Simulation sim_;  ///< the monolithic engine (idle when sharded)
+  std::unique_ptr<sim::ShardedEngine> engine_;  ///< set when shards >= 1
   hwsim::Cluster cluster_;
   std::unique_ptr<flux::Instance> instance_;
   /// Declared after instance_: the plane detaches from instance/nodes in
@@ -182,6 +206,35 @@ class Scenario {
   int completed_ = 0;
   bool ran_ = false;      ///< terminal collection happened (run/finish)
   bool started_ = false;  ///< first advance happened; submissions frozen
+
+  // -- Sharded execution profile state -------------------------------------
+  /// Root-child TBON subtrees in child order (the placement cells).
+  std::vector<std::vector<flux::Rank>> cells_;
+  std::vector<int> cell_of_rank_;  ///< -1 for rank 0
+  std::vector<int> island_of_rank_;
+  /// Everything one cell's recorder and job executions touch, cache-line
+  /// padded: written only by the owning island's worker thread.
+  struct alignas(64) CellState {
+    /// Jobs whose allocation lives in this cell and whose application is
+    /// currently running: job id -> first rank (timeline source).
+    std::map<flux::JobId, flux::Rank> running;
+    /// (t, cell draw): the cell's contribution to the cluster timeline,
+    /// folded over the cell's ranks in subtree order (S-invariant).
+    std::vector<std::pair<double, double>> draw;
+    std::map<flux::JobId, std::vector<TimelinePoint>> timelines;
+  };
+  std::vector<std::unique_ptr<CellState>> cell_state_;
+  std::vector<std::unique_ptr<sim::PeriodicTask>> cell_recorders_;
+  /// (t, node 0 draw): island 0's contribution to the cluster timeline.
+  std::vector<std::pair<double, double>> node0_draw_;
+  /// Per-tracked-job energy accounting, written only by the job's island
+  /// (the launcher wrapper), read after the run.
+  struct alignas(64) EnergySlot {
+    double at_start_j = 0.0;
+    double total_j = 0.0;
+    bool valid = false;
+  };
+  std::vector<EnergySlot> energy_slots_;
 };
 
 /// Convenience: run one job alone on a fresh cluster and return its result

@@ -64,11 +64,31 @@ void FaultPlane::attach(flux::Instance& instance) {
   mirror_.sensor_stuck_sweeps->reset();
   mirror_.cap_write_failures->reset();
   const int n = instance.size();
+  sharded_ = instance.sharded();
+  if (sharded_) {
+    island_tallies_.assign(
+        static_cast<std::size_t>(instance.engine()->islands()),
+        IslandCounters{});
+    // One link substream per sender rank: indices 0 (shared link stream)
+    // and 1..n (node streams) are taken, so senders use n+1 .. 2n.
+    link_rngs_.resize(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      link_rngs_[static_cast<std::size_t>(r)].reseed(substream(
+          config_.seed, static_cast<std::uint64_t>(n) + 1 +
+                            static_cast<std::uint64_t>(r)));
+    }
+    // Refresh counters_ and the registry mirror at every barrier so the
+    // cluster-wide `power.metrics` aggregation (which runs on island 0
+    // during windows) sees tallies at most one window stale.
+    barrier_hook_ =
+        instance.engine()->add_barrier_hook([this] { fold_tallies(); });
+  }
   nodes_.resize(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
     NodeState& st = nodes_[static_cast<std::size_t>(r)];
     st.rank = r;
     st.node = instance.node(r);
+    st.sim = &instance.sim_for(r);
     st.rng.reseed(substream(config_.seed, static_cast<std::uint64_t>(r) + 1));
     if (st.node != nullptr) {
       st.node->set_fault_tap(this);
@@ -82,6 +102,11 @@ void FaultPlane::attach(flux::Instance& instance) {
 
 void FaultPlane::detach() {
   if (instance_ == nullptr) return;
+  fold_tallies();
+  if (sharded_ && barrier_hook_ != 0) {
+    instance_->engine()->remove_barrier_hook(barrier_hook_);
+    barrier_hook_ = 0;
+  }
   instance_->set_fault_injector(nullptr);
   for (NodeState& st : nodes_) {
     if (st.node != nullptr && st.node->fault_tap() == this) {
@@ -92,37 +117,89 @@ void FaultPlane::detach() {
   // destroyed plane.
   for (NodeState& st : nodes_) {
     if (st.pending_event != sim::kInvalidEvent) {
-      sim_->cancel(st.pending_event);
+      st.sim->cancel(st.pending_event);
       st.pending_event = sim::kInvalidEvent;
     }
   }
+  // The registry outlives the plane only as long as the instance does;
+  // null the mirror so post-detach folds cannot touch a dead registry.
+  mirror_ = {};
   instance_ = nullptr;
   sim_ = nullptr;
 }
 
+FaultCounters& FaultPlane::tally(flux::Rank rank) {
+  if (!sharded_) return counters_;
+  return island_tallies_[static_cast<std::size_t>(instance_->island_of(rank))]
+      .c;
+}
+
+void FaultPlane::bump(std::uint64_t FaultCounters::* field, flux::Rank rank,
+                      obs::Counter* mirror) {
+  ++(tally(rank).*field);
+  if (!sharded_ && mirror != nullptr) mirror->inc();
+}
+
+void FaultPlane::fold_tallies() const noexcept {
+  if (!sharded_) return;
+  FaultCounters total{};
+  for (const IslandCounters& t : island_tallies_) {
+    total.msgs_dropped += t.c.msgs_dropped;
+    total.msgs_blackholed += t.c.msgs_blackholed;
+    total.msgs_duplicated += t.c.msgs_duplicated;
+    total.msgs_delayed += t.c.msgs_delayed;
+    total.node_crashes += t.c.node_crashes;
+    total.node_reboots += t.c.node_reboots;
+    total.sensor_dropouts += t.c.sensor_dropouts;
+    total.sensor_stuck_sweeps += t.c.sensor_stuck_sweeps;
+    total.cap_write_failures += t.c.cap_write_failures;
+  }
+  counters_ = total;
+  if (mirror_.msgs_dropped == nullptr) return;
+  const auto set = [](obs::Counter* c, std::uint64_t v) {
+    c->reset();
+    c->inc(v);
+  };
+  set(mirror_.msgs_dropped, total.msgs_dropped);
+  set(mirror_.msgs_blackholed, total.msgs_blackholed);
+  set(mirror_.msgs_duplicated, total.msgs_duplicated);
+  set(mirror_.msgs_delayed, total.msgs_delayed);
+  set(mirror_.node_crashes, total.node_crashes);
+  set(mirror_.node_reboots, total.node_reboots);
+  set(mirror_.sensor_dropouts, total.sensor_dropouts);
+  set(mirror_.sensor_stuck_sweeps, total.sensor_stuck_sweeps);
+  set(mirror_.cap_write_failures, total.cap_write_failures);
+}
+
 void FaultPlane::schedule_crash(NodeState& state) {
+  // The whole crash/reboot chain for a rank runs on that rank's engine
+  // (its island when sharded), so the down bit is written only by the
+  // thread that also reads it on the send and delivery paths. The process
+  // trace sink is not thread-safe; sharded runs skip the instants.
   const double dt = state.rng.exponential(config_.node_mtbf_s);
   const flux::Rank rank = state.rank;
-  state.pending_event = sim_->schedule_after(dt, [this, rank] {
+  sim::Simulation* node_sim = state.sim;
+  state.pending_event = node_sim->schedule_after(dt, [this, rank, node_sim] {
     NodeState& st = nodes_[static_cast<std::size_t>(rank)];
     st.down = true;
-    ++counters_.node_crashes;
-    mirror_.node_crashes->inc();
-    if (obs::TraceSink& tr = obs::process_trace(); tr.enabled()) {
-      tr.instant(sim_->now(), "node-crash", "faultsim", rank);
+    bump(&FaultCounters::node_crashes, rank, mirror_.node_crashes);
+    if (obs::TraceSink& tr = obs::process_trace();
+        !sharded_ && tr.enabled()) {
+      tr.instant(node_sim->now(), "node-crash", "faultsim", rank);
     }
     st.pending_event =
-        sim_->schedule_after(config_.node_reboot_s, [this, rank] {
+        node_sim->schedule_after(config_.node_reboot_s, [this, rank,
+                                                         node_sim] {
           NodeState& st2 = nodes_[static_cast<std::size_t>(rank)];
           st2.down = false;
           // A reboot clears any stuck-sensor window: the sweep restarts
           // fresh.
           st2.stuck = false;
           st2.pending_event = sim::kInvalidEvent;
-          ++counters_.node_reboots;
-          mirror_.node_reboots->inc();
-          if (obs::TraceSink& tr = obs::process_trace(); tr.enabled()) {
-            tr.instant(sim_->now(), "node-reboot", "faultsim", rank);
+          bump(&FaultCounters::node_reboots, rank, mirror_.node_reboots);
+          if (obs::TraceSink& tr = obs::process_trace();
+              !sharded_ && tr.enabled()) {
+            tr.instant(node_sim->now(), "node-reboot", "faultsim", rank);
           }
           schedule_crash(st2);
         });
@@ -137,26 +214,26 @@ void FaultPlane::force_crash(flux::Rank rank, double down_s) {
     throw std::out_of_range("FaultPlane::force_crash: unknown rank");
   }
   NodeState& st = nodes_[static_cast<std::size_t>(rank)];
+  sim::Simulation* node_sim = st.sim;
   if (st.pending_event != sim::kInvalidEvent) {
-    sim_->cancel(st.pending_event);
+    node_sim->cancel(st.pending_event);
     st.pending_event = sim::kInvalidEvent;
   }
   const double reboot_s = down_s >= 0.0 ? down_s : config_.node_reboot_s;
   st.down = true;
-  ++counters_.node_crashes;
-  mirror_.node_crashes->inc();
-  if (obs::TraceSink& tr = obs::process_trace(); tr.enabled()) {
-    tr.instant(sim_->now(), "node-crash", "faultsim", rank);
+  bump(&FaultCounters::node_crashes, rank, mirror_.node_crashes);
+  if (obs::TraceSink& tr = obs::process_trace(); !sharded_ && tr.enabled()) {
+    tr.instant(node_sim->now(), "node-crash", "faultsim", rank);
   }
-  st.pending_event = sim_->schedule_after(reboot_s, [this, rank] {
+  st.pending_event = node_sim->schedule_after(reboot_s, [this, rank,
+                                                         node_sim] {
     NodeState& st2 = nodes_[static_cast<std::size_t>(rank)];
     st2.down = false;
     st2.stuck = false;
     st2.pending_event = sim::kInvalidEvent;
-    ++counters_.node_reboots;
-    mirror_.node_reboots->inc();
-    if (obs::TraceSink& tr = obs::process_trace(); tr.enabled()) {
-      tr.instant(sim_->now(), "node-reboot", "faultsim", rank);
+    bump(&FaultCounters::node_reboots, rank, mirror_.node_reboots);
+    if (obs::TraceSink& tr = obs::process_trace(); !sharded_ && tr.enabled()) {
+      tr.instant(node_sim->now(), "node-reboot", "faultsim", rank);
     }
     // Resume the seeded schedule only if the rank had one to begin with.
     if (config_.node_mtbf_s > 0.0 && !(config_.protect_root && rank == 0)) {
@@ -189,9 +266,12 @@ bool FaultPlane::node_is_down(flux::Rank rank) const {
 FaultPlane::Verdict FaultPlane::on_route(const flux::Message& msg,
                                          flux::Rank dest) {
   Verdict v;
-  if (node_is_down(msg.sender) || node_is_down(dest)) {
-    ++counters_.msgs_blackholed;
-    mirror_.msgs_blackholed->inc();
+  // Sharded profile: only the sender's down-state is ruled here — the
+  // destination's belongs to its island and is checked at delivery time
+  // (delivery_blocked), so the send path never reads across islands.
+  if (node_is_down(msg.sender) || (!sharded_ && node_is_down(dest))) {
+    bump(&FaultCounters::msgs_blackholed, msg.sender,
+         mirror_.msgs_blackholed);
     v.drop = true;
     return v;
   }
@@ -203,29 +283,35 @@ FaultPlane::Verdict FaultPlane::on_route(const flux::Message& msg,
   // Fixed draw order (drop, dup, delay) keeps the link stream replayable
   // regardless of which rates are enabled... as long as all three are
   // consulted even when a draw already decided the verdict.
-  const bool drop = config_.msg_drop_rate > 0.0 &&
-                    link_rng_.chance(config_.msg_drop_rate);
-  const bool dup = config_.msg_dup_rate > 0.0 &&
-                   link_rng_.chance(config_.msg_dup_rate);
-  const bool delay = config_.msg_delay_rate > 0.0 &&
-                     link_rng_.chance(config_.msg_delay_rate);
+  util::Rng& rng =
+      sharded_ ? link_rngs_[static_cast<std::size_t>(msg.sender)] : link_rng_;
+  const bool drop =
+      config_.msg_drop_rate > 0.0 && rng.chance(config_.msg_drop_rate);
+  const bool dup =
+      config_.msg_dup_rate > 0.0 && rng.chance(config_.msg_dup_rate);
+  const bool delay =
+      config_.msg_delay_rate > 0.0 && rng.chance(config_.msg_delay_rate);
   if (drop) {
-    ++counters_.msgs_dropped;
-    mirror_.msgs_dropped->inc();
+    bump(&FaultCounters::msgs_dropped, msg.sender, mirror_.msgs_dropped);
     v.drop = true;
     return v;
   }
   if (dup) {
-    ++counters_.msgs_duplicated;
-    mirror_.msgs_duplicated->inc();
+    bump(&FaultCounters::msgs_duplicated, msg.sender,
+         mirror_.msgs_duplicated);
     v.duplicates = 1;
   }
   if (delay) {
-    ++counters_.msgs_delayed;
-    mirror_.msgs_delayed->inc();
-    v.extra_delay_s = link_rng_.uniform(0.0, config_.msg_delay_max_s);
+    bump(&FaultCounters::msgs_delayed, msg.sender, mirror_.msgs_delayed);
+    v.extra_delay_s = rng.uniform(0.0, config_.msg_delay_max_s);
   }
   return v;
+}
+
+bool FaultPlane::delivery_blocked(flux::Rank dest) {
+  if (!node_is_down(dest)) return false;
+  bump(&FaultCounters::msgs_blackholed, dest, mirror_.msgs_blackholed);
+  return true;
 }
 
 FaultPlane::NodeState* FaultPlane::state_for(const hwsim::Node& node) {
@@ -238,12 +324,11 @@ void FaultPlane::on_sample(hwsim::Node& node, hwsim::PowerSample& sample) {
   NodeState* st = state_for(node);
   if (st == nullptr) return;
   if (st->down) {
-    ++counters_.sensor_dropouts;
-    mirror_.sensor_dropouts->inc();
+    bump(&FaultCounters::sensor_dropouts, st->rank, mirror_.sensor_dropouts);
     sample.sensor_fault = true;
     return;
   }
-  const double now = sim_ != nullptr ? sim_->now() : 0.0;
+  const double now = st->sim != nullptr ? st->sim->now() : 0.0;
   if (st->stuck) {
     if (now < st->stuck_until_s) {
       // Stuck-at fault: the sweep "succeeds" but returns the frozen
@@ -254,8 +339,8 @@ void FaultPlane::on_sample(hwsim::Node& node, hwsim::PowerSample& sample) {
       sample = st->frozen;
       sample.timestamp_s = ts;
       sample.sensor_fault = true;
-      ++counters_.sensor_stuck_sweeps;
-    mirror_.sensor_stuck_sweeps->inc();
+      bump(&FaultCounters::sensor_stuck_sweeps, st->rank,
+           mirror_.sensor_stuck_sweeps);
       return;
     }
     st->stuck = false;
@@ -265,8 +350,7 @@ void FaultPlane::on_sample(hwsim::Node& node, hwsim::PowerSample& sample) {
   const bool stick = config_.sensor_stuck_rate > 0.0 &&
                      st->rng.chance(config_.sensor_stuck_rate);
   if (dropout) {
-    ++counters_.sensor_dropouts;
-    mirror_.sensor_dropouts->inc();
+    bump(&FaultCounters::sensor_dropouts, st->rank, mirror_.sensor_dropouts);
     sample.sensor_fault = true;
     return;
   }
@@ -275,8 +359,8 @@ void FaultPlane::on_sample(hwsim::Node& node, hwsim::PowerSample& sample) {
     st->stuck_until_s = now + config_.sensor_stuck_duration_s;
     st->frozen = sample;
     sample.sensor_fault = true;
-    ++counters_.sensor_stuck_sweeps;
-    mirror_.sensor_stuck_sweeps->inc();
+    bump(&FaultCounters::sensor_stuck_sweeps, st->rank,
+         mirror_.sensor_stuck_sweeps);
   }
 }
 
@@ -284,14 +368,14 @@ bool FaultPlane::fail_cap_write(hwsim::Node& node, hwsim::DomainType) {
   NodeState* st = state_for(node);
   if (st == nullptr) return false;
   if (st->down) {
-    ++counters_.cap_write_failures;
-    mirror_.cap_write_failures->inc();
+    bump(&FaultCounters::cap_write_failures, st->rank,
+         mirror_.cap_write_failures);
     return true;
   }
   if (config_.cap_write_failure_rate > 0.0 &&
       st->rng.chance(config_.cap_write_failure_rate)) {
-    ++counters_.cap_write_failures;
-    mirror_.cap_write_failures->inc();
+    bump(&FaultCounters::cap_write_failures, st->rank,
+         mirror_.cap_write_failures);
     return true;
   }
   return false;

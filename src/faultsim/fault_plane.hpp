@@ -99,7 +99,12 @@ class FaultPlane final : public flux::RouteFaultInjector,
   void detach();
 
   bool node_is_down(flux::Rank rank) const;
-  const FaultCounters& counters() const noexcept { return counters_; }
+  /// Sharded profile: folds the per-island tallies first — call it from a
+  /// barrier or after the run, not concurrently with an open window.
+  const FaultCounters& counters() const noexcept {
+    fold_tallies();
+    return counters_;
+  }
   const FaultPlaneConfig& config() const noexcept { return config_; }
 
   /// Crash rank `rank` immediately (counted as a node crash), rebooting
@@ -126,6 +131,10 @@ class FaultPlane final : public flux::RouteFaultInjector,
 
   // -- flux::RouteFaultInjector --------------------------------------------
   Verdict on_route(const flux::Message& msg, flux::Rank dest) override;
+  /// Sharded profile: the destination's down-state is ruled here, at
+  /// delivery time on its own island (on_route then only checks the
+  /// sender), so no island ever reads another's crash bits.
+  bool delivery_blocked(flux::Rank dest) override;
 
   // -- hwsim::NodeFaultTap -------------------------------------------------
   void on_sample(hwsim::Node& node, hwsim::PowerSample& sample) override;
@@ -135,6 +144,9 @@ class FaultPlane final : public flux::RouteFaultInjector,
   struct NodeState {
     flux::Rank rank = -1;
     hwsim::Node* node = nullptr;
+    /// The engine this rank's crash chain and stuck windows run on: its
+    /// island's Simulation when sharded, the instance engine otherwise.
+    sim::Simulation* sim = nullptr;
     util::Rng rng;  ///< private stream: faults on one node never shift another's
     bool down = false;
     bool stuck = false;
@@ -145,17 +157,42 @@ class FaultPlane final : public flux::RouteFaultInjector,
     sim::EventId pending_event = sim::kInvalidEvent;
   };
 
+  /// Per-island tally block, cache-line padded: written only by the
+  /// island's worker thread, folded into counters_ at barriers.
+  struct alignas(64) IslandCounters {
+    FaultCounters c;
+  };
+
   void schedule_crash(NodeState& state);
   NodeState* state_for(const hwsim::Node& node);
+  /// The counter block an event on `rank` tallies into: the rank's island
+  /// block when sharded, counters_ itself otherwise.
+  FaultCounters& tally(flux::Rank rank);
+  /// Increment `field` for `rank`; mirrors into the registry immediately
+  /// when monolithic (the barrier fold does it when sharded).
+  void bump(std::uint64_t FaultCounters::* field, flux::Rank rank,
+            obs::Counter* mirror);
+  /// Sharded profile: rebuild counters_ (and the registry mirror) from the
+  /// island blocks. No-op when monolithic. Single-threaded context only.
+  void fold_tallies() const noexcept;
 
   FaultPlaneConfig config_;
   flux::Instance* instance_ = nullptr;
   sim::Simulation* sim_ = nullptr;
+  bool sharded_ = false;
   util::Rng link_rng_;
+  /// Sharded profile: one link stream per *sender* rank, consulted only
+  /// from that rank's island thread. Per-sender draw order depends only on
+  /// that rank's own route sequence, so it is invariant across shard
+  /// counts (the single shared stream would be ordered by thread timing).
+  std::vector<util::Rng> link_rngs_;
   std::vector<NodeState> nodes_;  ///< indexed by rank
   std::map<const hwsim::Node*, std::size_t> by_node_;
   /// The authoritative tallies (benches read this struct directly).
-  FaultCounters counters_;
+  /// Sharded profile: a fold of island_tallies_, refreshed at barriers.
+  mutable FaultCounters counters_;
+  std::vector<IslandCounters> island_tallies_;
+  std::uint64_t barrier_hook_ = 0;
   /// Registry mirror of counters_, registered in the root broker's registry
   /// at attach() so injected-fault denominators ride the `power.metrics`
   /// aggregation. Null until attached; increments are mirrored 1:1.

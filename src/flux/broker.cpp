@@ -46,7 +46,7 @@ Broker::~Broker() {
   }
 }
 
-sim::Simulation& Broker::sim() { return instance_.sim(); }
+sim::Simulation& Broker::sim() { return instance_.sim_for(rank_); }
 
 void Broker::register_service(const std::string& topic,
                               ServiceHandler handler) {

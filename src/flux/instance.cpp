@@ -6,10 +6,39 @@ namespace fluxpower::flux {
 
 Instance::Instance(sim::Simulation& sim, std::vector<hwsim::Node*> nodes,
                    InstanceConfig config)
-    : sim_(sim),
+    : sim_(&sim),
       config_(config),
       nodes_(std::move(nodes)),
       tbon_(static_cast<int>(nodes_.size()), config.tbon_fanout) {
+  tallies_.resize(1);
+  bootstrap();
+}
+
+Instance::Instance(sim::ShardedEngine& engine, std::vector<int> island_of_rank,
+                   std::vector<hwsim::Node*> nodes, InstanceConfig config)
+    : sim_(&engine.island(0)),
+      engine_(&engine),
+      island_(std::move(island_of_rank)),
+      config_(config),
+      nodes_(std::move(nodes)),
+      tbon_(static_cast<int>(nodes_.size()), config.tbon_fanout) {
+  if (island_.size() != nodes_.size()) {
+    throw std::invalid_argument(
+        "Instance: island map size must equal the node count");
+  }
+  if (!island_.empty() && island_[0] != 0) {
+    throw std::invalid_argument("Instance: rank 0 must live on island 0");
+  }
+  for (int isl : island_) {
+    if (isl < 0 || isl >= engine.islands()) {
+      throw std::invalid_argument("Instance: island index out of range");
+    }
+  }
+  tallies_.resize(static_cast<std::size_t>(engine.islands()));
+  bootstrap();
+}
+
+void Instance::bootstrap() {
   if (nodes_.empty()) {
     throw std::invalid_argument("Instance: at least one node required");
   }
@@ -18,7 +47,7 @@ Instance::Instance(sim::Simulation& sim, std::vector<hwsim::Node*> nodes,
     brokers_.push_back(
         std::make_unique<Broker>(*this, static_cast<Rank>(i), nodes_[i]));
   }
-  kvs_ = std::make_unique<Kvs>(sim_);
+  kvs_ = std::make_unique<Kvs>(*sim_);
   scheduler_ = std::make_unique<Scheduler>(*this);
   job_manager_ = std::make_unique<JobManager>(*this);
   job_manager_->register_services(root());
@@ -35,9 +64,50 @@ Broker& Instance::broker(Rank rank) {
 
 hwsim::Node* Instance::node(Rank rank) { return broker(rank).node(); }
 
+bool Instance::pump_one() {
+  return engine_ != nullptr ? engine_->pump_one() : sim_->step();
+}
+
+void Instance::deliver_leg(Broker* dest, double delay,
+                           const std::shared_ptr<const Message>& shared,
+                           int src_isl) {
+  if (!sharded()) {
+    sim_->schedule_after(delay, [dest, shared] { dest->deliver(*shared); });
+    return;
+  }
+  // Sharded profile: the destination's down-state belongs to its island,
+  // so the blackhole check runs at delivery time there — for local legs
+  // too, keeping the semantics identical for every shard count.
+  const int dest_isl = island_of(dest->rank());
+  Instance* self = this;
+  auto deliver = [self, dest, shared, dest_isl] {
+    RouteFaultInjector* inj = self->fault_injector_;
+    if (inj != nullptr && inj->delivery_blocked(dest->rank())) {
+      ++self->tallies_[static_cast<std::size_t>(dest_isl)].dropped;
+      return;
+    }
+    dest->deliver(*shared);
+  };
+  sim::Simulation& src_sim = engine_->island(src_isl);
+  if (dest_isl == src_isl) {
+    src_sim.schedule_after(delay, std::move(deliver));
+  } else {
+    engine_->post(src_isl, dest_isl, src_sim.now() + delay,
+                  std::move(deliver));
+  }
+}
+
 void Instance::route(Message msg) {
-  ++routed_;
-  if (journal_ != nullptr) journal_->record(sim_.now(), msg);
+  const int src_isl = island_of(msg.sender);
+  ++tallies_[static_cast<std::size_t>(src_isl)].routed;
+  if (journal_ != nullptr) {
+    if (sharded()) {
+      std::lock_guard<std::mutex> lk(journal_mu_);
+      journal_->record(engine_->island(src_isl).now(), msg);
+    } else {
+      journal_->record(sim_->now(), msg);
+    }
+  }
   const bool is_event = msg.type == Message::Type::Event;
   // One shared immutable copy per route call: delivery callbacks capture
   // {broker, pointer} — 16 bytes, inside the event pool's inline storage —
@@ -57,7 +127,7 @@ void Instance::route(Message msg) {
       if (fault_injector_ != nullptr) {
         const auto v = fault_injector_->on_route(m, b->rank());
         if (v.drop) {
-          ++dropped_;
+          ++tallies_[static_cast<std::size_t>(src_isl)].dropped;
           continue;
         }
         delay += v.extra_delay_s;
@@ -65,7 +135,7 @@ void Instance::route(Message msg) {
       }
       Broker* dest = b.get();
       for (int c = 0; c < copies; ++c) {
-        sim_.schedule_after(delay, [dest, shared] { dest->deliver(*shared); });
+        deliver_leg(dest, delay, shared, src_isl);
       }
     }
     return;
@@ -79,7 +149,7 @@ void Instance::route(Message msg) {
   if (fault_injector_ != nullptr) {
     const auto v = fault_injector_->on_route(m, m.dest);
     if (v.drop) {
-      ++dropped_;
+      ++tallies_[static_cast<std::size_t>(src_isl)].dropped;
       return;
     }
     delay += v.extra_delay_s;
@@ -87,12 +157,20 @@ void Instance::route(Message msg) {
   }
   Broker* dest = brokers_[static_cast<std::size_t>(m.dest)].get();
   for (int c = 0; c < copies; ++c) {
-    sim_.schedule_after(delay, [dest, shared] { dest->deliver(*shared); });
+    deliver_leg(dest, delay, shared, src_isl);
   }
 }
 
 Instance& Instance::spawn_child(const std::vector<Rank>& ranks,
                                 InstanceConfig config) {
+  if (sharded()) {
+    // A child instance's brokers would schedule on the parent's island
+    // engines with a different TBON shape, breaking the cell partition
+    // the conservative windows rely on.
+    throw std::logic_error(
+        "Instance::spawn_child: user-level instances are not supported on "
+        "a sharded engine");
+  }
   std::vector<hwsim::Node*> child_nodes;
   child_nodes.reserve(ranks.size());
   for (Rank r : ranks) {
@@ -102,7 +180,7 @@ Instance& Instance::spawn_child(const std::vector<Rank>& ranks,
     child_nodes.push_back(nodes_[static_cast<std::size_t>(r)]);
   }
   children_.push_back(
-      std::make_unique<Instance>(sim_, std::move(child_nodes), config));
+      std::make_unique<Instance>(*sim_, std::move(child_nodes), config));
   return *children_.back();
 }
 

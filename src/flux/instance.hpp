@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "flux/broker.hpp"
@@ -18,6 +19,7 @@
 #include "flux/scheduler.hpp"
 #include "flux/tbon.hpp"
 #include "hwsim/node.hpp"
+#include "sim/sharded_engine.hpp"
 #include "sim/simulation.hpp"
 
 namespace fluxpower::flux {
@@ -46,6 +48,13 @@ class RouteFaultInjector {
   /// `dest` is the delivering broker's rank — for events it is the rank of
   /// each subscriber leg, for point-to-point traffic it equals msg.dest.
   virtual Verdict on_route(const Message& msg, Rank dest) = 0;
+
+  /// Sharded execution profile only: ruled at *delivery* time, on the
+  /// destination rank's island, after the message survived on_route. True
+  /// discards the message (endpoint down). An injector that implements
+  /// this must not also rule on the destination in on_route — under the
+  /// profile the send side cannot read another island's down-state.
+  virtual bool delivery_blocked(Rank /*dest*/) { return false; }
 };
 
 class Instance {
@@ -54,12 +63,35 @@ class Instance {
   /// rank i). Nodes must outlive the instance.
   Instance(sim::Simulation& sim, std::vector<hwsim::Node*> nodes,
            InstanceConfig config = {});
+
+  /// Sharded bootstrap: brokers are partitioned over the engine's islands
+  /// by `island_of_rank` (size = node count; rank 0 must map to island 0,
+  /// and the partition must follow TBON subtree cells so that no parent/
+  /// child pair inside a cell is split). Each broker schedules on its
+  /// island's Simulation; cross-island routes go through the engine's
+  /// window-barrier mailboxes. The engine must outlive the instance.
+  Instance(sim::ShardedEngine& engine, std::vector<int> island_of_rank,
+           std::vector<hwsim::Node*> nodes, InstanceConfig config = {});
   ~Instance();
 
   Instance(const Instance&) = delete;
   Instance& operator=(const Instance&) = delete;
 
-  sim::Simulation& sim() noexcept { return sim_; }
+  /// The root (island 0) engine in sharded mode; the single engine else.
+  sim::Simulation& sim() noexcept { return *sim_; }
+  /// The engine `rank`'s broker and hardware node schedule on.
+  sim::Simulation& sim_for(Rank rank) {
+    return sharded() ? engine_->island(island_of(rank)) : *sim_;
+  }
+  bool sharded() const noexcept { return engine_ != nullptr; }
+  sim::ShardedEngine* engine() noexcept { return engine_; }
+  int island_of(Rank rank) const {
+    return sharded() ? island_[static_cast<std::size_t>(rank)] : 0;
+  }
+  /// Execute one engine event (the globally earliest in sharded mode).
+  /// Blocking client helpers pump through this instead of sim().step() so
+  /// every island advances.
+  bool pump_one();
   int size() const noexcept { return static_cast<int>(brokers_.size()); }
   const Tbon& tbon() const noexcept { return tbon_; }
   const InstanceConfig& config() const noexcept { return config_; }
@@ -77,7 +109,13 @@ class Instance {
   void route(Message msg);
 
   /// Total messages routed (traffic accounting for overhead analysis).
-  std::uint64_t messages_routed() const noexcept { return routed_; }
+  /// Sharded mode: summed over per-island tallies — read it only from a
+  /// barrier or after the run, not concurrently with a window.
+  std::uint64_t messages_routed() const noexcept {
+    std::uint64_t n = 0;
+    for (const RouteTally& t : tallies_) n += t.routed;
+    return n;
+  }
 
   /// Attach a traffic journal; every routed message is recorded with its
   /// send timestamp. Pass nullptr to detach. The journal must outlive the
@@ -94,7 +132,11 @@ class Instance {
   }
 
   /// Messages (or broadcast legs) discarded by the fault injector.
-  std::uint64_t messages_dropped() const noexcept { return dropped_; }
+  std::uint64_t messages_dropped() const noexcept {
+    std::uint64_t n = 0;
+    for (const RouteTally& t : tallies_) n += t.dropped;
+    return n;
+  }
 
   /// Spawn a user-level child instance on a subset of this instance's
   /// ranks. The child gets its own brokers/scheduler/job-manager over the
@@ -115,7 +157,20 @@ class Instance {
   }
 
  private:
-  sim::Simulation& sim_;
+  /// Per-island routed/dropped counters, cache-line padded: each cell is
+  /// written only by its island's worker thread.
+  struct alignas(64) RouteTally {
+    std::uint64_t routed = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  void bootstrap();
+  void deliver_leg(Broker* dest, double delay,
+                   const std::shared_ptr<const Message>& shared, int src_isl);
+
+  sim::Simulation* sim_;  ///< island 0 in sharded mode
+  sim::ShardedEngine* engine_ = nullptr;
+  std::vector<int> island_;  ///< island of each rank (sharded mode only)
   InstanceConfig config_;
   std::vector<hwsim::Node*> nodes_;
   Tbon tbon_;
@@ -125,9 +180,9 @@ class Instance {
   std::unique_ptr<JobManager> job_manager_;
   std::vector<std::unique_ptr<Instance>> children_;
   MessageJournal* journal_ = nullptr;
+  std::mutex journal_mu_;  ///< guards journal_ records in sharded mode
   RouteFaultInjector* fault_injector_ = nullptr;
-  std::uint64_t routed_ = 0;
-  std::uint64_t dropped_ = 0;
+  std::vector<RouteTally> tallies_;  ///< one per island (one when monolithic)
 };
 
 }  // namespace fluxpower::flux

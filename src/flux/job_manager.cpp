@@ -1,5 +1,6 @@
 #include "flux/job_manager.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "flux/broker.hpp"
@@ -65,6 +66,13 @@ void JobManager::cancel(JobId id) {
       publish_state_event(job, "job.state-inactive");
       return;
     case JobState::Run: {
+      if (instance_.sharded()) {
+        // The execution lives on the job's island; cancelling it from the
+        // root would race with its worker thread mid-window.
+        throw std::logic_error(
+            "JobManager::cancel: cancelling a running job is not supported "
+            "on a sharded engine");
+      }
       auto exec = executions_.find(id);
       if (exec != executions_.end()) {
         exec->second->cancel();
@@ -140,10 +148,41 @@ void JobManager::start_job(JobId id, std::vector<Rank> ranks) {
   }
   JobExecution* raw = execution.get();
   executions_[id] = std::move(execution);
-  raw->start([this, id] {
-    executions_.erase(id);
-    finish_job(id);
-  });
+  if (!instance_.sharded()) {
+    raw->start([this, id] {
+      executions_.erase(id);
+      finish_job(id);
+    });
+    return;
+  }
+  // Sharded profile: the execution runs on the job's island, so the
+  // start command and the completion notification cross the island
+  // boundary as engine posts charged the TBON hop latency (the exec
+  // system's reliable channel — unlike routed messages these cannot be
+  // dropped by a fault plane, so a faulty link can never hang a job).
+  // Every post goes through the mailbox regardless of whether the two
+  // islands coincide, keeping the schedule identical for every shard
+  // count.
+  sim::ShardedEngine& engine = *instance_.engine();
+  const Rank first = job.ranks.front();
+  const int job_isl = instance_.island_of(first);
+  const double latency = instance_.config().hop_latency_s *
+                         std::max(1, instance_.tbon().hops(kRootRank, first));
+  Instance* inst = &instance_;
+  engine.post(0, job_isl, instance_.sim().now() + latency,
+              [this, inst, raw, id, job_isl, first] {
+                raw->start([this, inst, id, job_isl, first] {
+                  sim::ShardedEngine& eng = *inst->engine();
+                  const double back =
+                      inst->config().hop_latency_s *
+                      std::max(1, inst->tbon().hops(first, kRootRank));
+                  eng.post(job_isl, 0, eng.island(job_isl).now() + back,
+                           [this, id] {
+                             executions_.erase(id);
+                             finish_job(id);
+                           });
+                });
+              });
 }
 
 void JobManager::finish_job(JobId id) {

@@ -1,8 +1,10 @@
 #include "flux/scheduler.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "flux/instance.hpp"
+#include "sim/simulation.hpp"
 
 namespace fluxpower::flux {
 
@@ -63,6 +65,27 @@ void Scheduler::set_power_budget(double cluster_bound_w, double node_peak_w) {
   node_peak_w_ = node_peak_w;
 }
 
+void Scheduler::set_cell_confinement(std::vector<std::vector<Rank>> cells) {
+  for (const auto& cell : cells) {
+    for (Rank r : cell) {
+      if (r <= 0 || r >= instance_.size()) {
+        throw std::invalid_argument(
+            "Scheduler::set_cell_confinement: cell ranks must be in "
+            "[1, size)");
+      }
+    }
+  }
+  cells_ = std::move(cells);
+}
+
+int Scheduler::max_cell_size() const noexcept {
+  std::size_t widest = 0;
+  for (const auto& cell : cells_) widest = std::max(widest, cell.size());
+  return static_cast<int>(widest);
+}
+
+void Scheduler::set_deferred_kick(sim::Simulation& sim) { kick_sim_ = &sim; }
+
 double Scheduler::job_power_estimate_w(const Job& job) const {
   const double per_node =
       job.spec.attributes.number_or("power_estimate_w_per_node", node_peak_w_);
@@ -88,6 +111,25 @@ int Scheduler::free_node_count() const {
 
 std::vector<Rank> Scheduler::try_allocate(int nnodes) {
   std::vector<Rank> ranks;
+  if (!cells_.empty()) {
+    // Cell-confined placement: first cell (in child order) with enough
+    // free ranks wins; within the cell, take free ranks in subtree order.
+    // Depends only on the cell layout and the busy/drain bits, never on
+    // the island partition.
+    for (const auto& cell : cells_) {
+      ranks.clear();
+      for (Rank r : cell) {
+        if (static_cast<int>(ranks.size()) == nnodes) break;
+        const auto i = static_cast<std::size_t>(r);
+        if (!busy_[i] && !drained_[i]) ranks.push_back(r);
+      }
+      if (static_cast<int>(ranks.size()) == nnodes) {
+        for (Rank r : ranks) busy_[static_cast<std::size_t>(r)] = true;
+        return ranks;
+      }
+    }
+    return {};
+  }
   for (std::size_t r = 0;
        r < busy_.size() && static_cast<int>(ranks.size()) < nnodes; ++r) {
     if (!busy_[r] && !drained_[r]) ranks.push_back(static_cast<Rank>(r));
@@ -134,6 +176,23 @@ void Scheduler::kick() {
     kick_requested_ = true;
     return;
   }
+  if (kick_sim_ != nullptr) {
+    // Deferred profile: coalesce every kick raised at this timestamp into
+    // one zero-delay pass, so the placement decision sees all of them and
+    // does not depend on which enqueue/release arrived first.
+    if (!kick_scheduled_) {
+      kick_scheduled_ = true;
+      kick_sim_->schedule_after(0.0, [this] {
+        kick_scheduled_ = false;
+        kick_now();
+      });
+    }
+    return;
+  }
+  kick_now();
+}
+
+void Scheduler::kick_now() {
   kicking_ = true;
   do {
     kick_requested_ = false;

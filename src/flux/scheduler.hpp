@@ -23,6 +23,10 @@
 
 #include "flux/jobspec.hpp"
 
+namespace fluxpower::sim {
+class Simulation;
+}
+
 namespace fluxpower::flux {
 
 class Instance;
@@ -70,9 +74,27 @@ class Scheduler {
   /// Peak power currently admitted (sum of running-job estimates).
   double admitted_power_w() const noexcept { return admitted_power_w_; }
 
+  /// Sharded execution profile: confine every allocation to one TBON cell
+  /// (a root-child subtree, given in child order with ranks in BFS
+  /// subtree order). A job is placed first-fit within the first cell that
+  /// has enough free nodes; rank 0 belongs to no cell and is never
+  /// allocated. Jobs wider than the widest cell are rejected at enqueue
+  /// (they could never be placed). The rule only looks at cells — never
+  /// at islands — so placement is identical for every shard count.
+  void set_cell_confinement(std::vector<std::vector<Rank>> cells);
+  bool cell_confined() const noexcept { return !cells_.empty(); }
+  int max_cell_size() const noexcept;
+
+  /// Sharded execution profile: coalesce kicks into one zero-delay event
+  /// on `sim` instead of scheduling synchronously from enqueue/release.
+  /// All same-timestamp releases then land before any placement decision,
+  /// making the decision independent of their arrival order.
+  void set_deferred_kick(sim::Simulation& sim);
+
  private:
   std::vector<Rank> try_allocate(int nnodes);
   bool start_one();
+  void kick_now();
   double job_power_estimate_w(const Job& job) const;
   bool fits_power_budget(const Job& job) const;
 
@@ -83,6 +105,9 @@ class Scheduler {
   std::vector<bool> drained_;  ///< per-rank admin drain bit
   bool kicking_ = false;
   bool kick_requested_ = false;
+  std::vector<std::vector<Rank>> cells_;  ///< sharded profile placement cells
+  sim::Simulation* kick_sim_ = nullptr;   ///< non-null: defer + coalesce kicks
+  bool kick_scheduled_ = false;
   double cluster_bound_w_ = 0.0;  ///< 0 = no power admission control
   double node_peak_w_ = 3050.0;
   double admitted_power_w_ = 0.0;

@@ -56,12 +56,19 @@ std::unique_ptr<Node> make_node(sim::Simulation& sim, Platform platform,
 
 Cluster make_cluster(sim::Simulation& sim, Platform platform, int n,
                      const std::string& prefix) {
+  return make_cluster([&sim](int) -> sim::Simulation& { return sim; },
+                      platform, n, prefix);
+}
+
+Cluster make_cluster(const std::function<sim::Simulation&(int)>& sim_of_rank,
+                     Platform platform, int n, const std::string& prefix) {
   if (n <= 0) throw std::invalid_argument("make_cluster: n must be positive");
   const std::string name_prefix =
       prefix.empty() ? std::string(platform_name(platform)) : prefix;
   Cluster cluster;
   for (int i = 0; i < n; ++i) {
-    cluster.add_node(make_node(sim, platform, name_prefix + std::to_string(i)));
+    cluster.add_node(
+        make_node(sim_of_rank(i), platform, name_prefix + std::to_string(i)));
   }
   return cluster;
 }

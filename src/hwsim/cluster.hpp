@@ -5,6 +5,7 @@
 // and workload runtimes hold non-owning references.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -80,6 +81,12 @@ class Cluster {
 /// `<prefix><index>` (e.g. lassen0..lassenN-1).
 Cluster make_cluster(sim::Simulation& sim, Platform platform, int n,
                      const std::string& prefix = "");
+
+/// Sharded variant: `sim_of_rank(i)` supplies the engine node i ticks on
+/// (its TBON island's Simulation), so each node's timers and sensor state
+/// stay confined to the worker thread that owns its island.
+Cluster make_cluster(const std::function<sim::Simulation&(int)>& sim_of_rank,
+                     Platform platform, int n, const std::string& prefix = "");
 
 /// Per-platform node factories for heterogeneous setups / tests.
 std::unique_ptr<Node> make_node(sim::Simulation& sim, Platform platform,

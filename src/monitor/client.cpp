@@ -148,8 +148,9 @@ std::optional<JobPowerData> MonitorClient::query_blocking(flux::JobId job_id) {
   });
   // Drive the simulator until the aggregation completes. RPC traffic is
   // the only pending work this can execute besides already-scheduled
-  // module timers, which is acceptable for client-side tooling.
-  while (!done && instance_.sim().step()) {
+  // module timers, which is acceptable for client-side tooling. pump_one
+  // advances the globally earliest island on a sharded engine.
+  while (!done && instance_.pump_one()) {
   }
   return result;
 }
@@ -183,7 +184,7 @@ std::optional<JobPowerData> MonitorClient::query_window_blocking(
                          }
                          result = parse_job_power_message(shaped);
                        });
-  while (!done && instance_.sim().step()) {
+  while (!done && instance_.pump_one()) {
   }
   return result;
 }

@@ -10,7 +10,10 @@
 // translation units that already see both libraries pay the include.
 #pragma once
 
+#include <string>
+
 #include "obs/metrics.hpp"
+#include "sim/sharded_engine.hpp"
 #include "sim/simulation.hpp"
 
 namespace fluxpower::obs {
@@ -28,6 +31,42 @@ inline void export_engine_gauges(const sim::Simulation& sim,
   reg.gauge("fluxpower_sim_callback_heap_allocs_total",
             "Callbacks that spilled out of the inline event storage")
       .set(static_cast<double>(sim.callback_heap_allocs()));
+}
+
+/// Sharded engine: engine-wide totals plus a per-island occupancy breakdown
+/// (load-skew visibility — island 0 carries the root's control plane, so its
+/// executed-events gauge dominating the others is the expected signature).
+/// Call between windows (after advance_until/run returned), never while
+/// worker threads hold the islands.
+inline void export_engine_gauges(const sim::ShardedEngine& engine,
+                                 MetricsRegistry& reg) {
+  reg.gauge("fluxpower_sim_pending_events", "Events live across all islands")
+      .set(static_cast<double>(engine.total_pending()));
+  reg.gauge("fluxpower_sim_events_executed_total",
+            "Events executed across all islands")
+      .set(static_cast<double>(engine.total_events_executed()));
+  reg.gauge("fluxpower_sim_callback_heap_allocs_total",
+            "Callbacks that spilled out of inline storage, all islands")
+      .set(static_cast<double>(engine.total_callback_heap_allocs()));
+  reg.gauge("fluxpower_sim_windows_total",
+            "Conservative time windows executed")
+      .set(static_cast<double>(engine.windows_executed()));
+  reg.gauge("fluxpower_sim_cross_island_posts_total",
+            "Cross-island posts delivered through the window mailbox")
+      .set(static_cast<double>(engine.posts_delivered()));
+  reg.gauge("fluxpower_sim_cross_island_posts_pending",
+            "Cross-island posts waiting for the next barrier")
+      .set(static_cast<double>(engine.posts_pending()));
+  for (int i = 0; i < engine.islands(); ++i) {
+    const sim::Simulation& island = engine.island(i);
+    const std::string suffix = "_island" + std::to_string(i);
+    reg.gauge("fluxpower_sim_pending_events" + suffix,
+              "Events live in one island")
+        .set(static_cast<double>(island.pending()));
+    reg.gauge("fluxpower_sim_events_executed_total" + suffix,
+              "Events executed by one island")
+        .set(static_cast<double>(island.events_executed()));
+  }
 }
 
 }  // namespace fluxpower::obs

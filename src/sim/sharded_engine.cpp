@@ -1,0 +1,297 @@
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fluxpower::sim {
+
+namespace {
+constexpr Time kInf = std::numeric_limits<Time>::infinity();
+}
+
+ShardedEngine::ShardedEngine(int islands, int workers, double lookahead_s)
+    : lookahead_(lookahead_s) {
+  if (islands < 1) {
+    throw std::invalid_argument("ShardedEngine: need at least one island");
+  }
+  if (workers < 1) {
+    throw std::invalid_argument("ShardedEngine: need at least one worker");
+  }
+  if (!(lookahead_s > 0.0)) {
+    throw std::invalid_argument("ShardedEngine: lookahead must be positive");
+  }
+  shards_.reserve(static_cast<std::size_t>(islands));
+  mailboxes_.reserve(static_cast<std::size_t>(islands));
+  for (int i = 0; i < islands; ++i) {
+    shards_.push_back(std::make_unique<Simulation>());
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  post_counters_.resize(static_cast<std::size_t>(islands));
+  const int nthreads = std::min(workers, islands) - 1;
+  threads_.reserve(static_cast<std::size_t>(nthreads));
+  for (int w = 0; w < nthreads; ++w) {
+    threads_.emplace_back(
+        [this, w] { worker_loop(static_cast<std::size_t>(w)); });
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    shutdown_ = true;
+  }
+  pool_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardedEngine::post(int src_island, int dest_island, Time fire_time,
+                         std::function<void()> fn) {
+  if (dest_island < 0 || dest_island >= islands()) {
+    throw std::out_of_range("ShardedEngine::post: bad destination island");
+  }
+  if (!fn) {
+    throw std::invalid_argument("ShardedEngine::post: empty callback");
+  }
+  if (window_open_ && fire_time < window_end_) {
+    // The conservative contract is broken: the modelled latency of this
+    // handoff is below the lookahead, so the destination island may have
+    // already run past the fire time.
+    throw std::logic_error(
+        "ShardedEngine::post: fire time inside the current window "
+        "(cross-island latency below the lookahead)");
+  }
+  Post p;
+  p.fire = fire_time;
+  p.send = island(src_island).now();
+  p.src = src_island;
+  p.seq = post_counters_[static_cast<std::size_t>(src_island)].n++;
+  p.dest = dest_island;
+  p.fn = std::move(fn);
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest_island)];
+  std::lock_guard<std::mutex> lk(mb.mu);
+  mb.posts.push_back(std::move(p));
+}
+
+std::uint64_t ShardedEngine::add_barrier_hook(std::function<void()> fn) {
+  const std::uint64_t handle = next_hook_++;
+  hooks_.emplace_back(handle, std::move(fn));
+  return handle;
+}
+
+void ShardedEngine::remove_barrier_hook(std::uint64_t handle) {
+  hooks_.erase(std::remove_if(hooks_.begin(), hooks_.end(),
+                              [handle](const auto& h) {
+                                return h.first == handle;
+                              }),
+               hooks_.end());
+}
+
+void ShardedEngine::drain_and_hooks() {
+  drain_scratch_.clear();
+  for (auto& mb : mailboxes_) {
+    std::lock_guard<std::mutex> lk(mb->mu);
+    for (Post& p : mb->posts) drain_scratch_.push_back(std::move(p));
+    mb->posts.clear();
+  }
+  // Canonical drain order: independent of which thread parked which post
+  // first. (src, seq) makes the key unique, so this is a total order.
+  std::sort(drain_scratch_.begin(), drain_scratch_.end(),
+            [](const Post& a, const Post& b) {
+              if (a.fire != b.fire) return a.fire < b.fire;
+              if (a.send != b.send) return a.send < b.send;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  for (Post& p : drain_scratch_) {
+    island(p.dest).schedule_at(p.fire, std::move(p.fn));
+    ++posts_delivered_;
+  }
+  drain_scratch_.clear();
+  for (auto& [handle, fn] : hooks_) fn();
+}
+
+Time ShardedEngine::min_island_event_time() {
+  Time t = kInf;
+  for (auto& s : shards_) t = std::min(t, s->next_event_time());
+  return t;
+}
+
+Time ShardedEngine::min_post_time() {
+  Time t = kInf;
+  for (auto& mb : mailboxes_) {
+    std::lock_guard<std::mutex> lk(mb->mu);
+    for (const Post& p : mb->posts) t = std::min(t, p.fire);
+  }
+  return t;
+}
+
+Time ShardedEngine::next_event_time() {
+  return std::min(min_island_event_time(), min_post_time());
+}
+
+bool ShardedEngine::open_window(Time horizon) {
+  drain_and_hooks();
+  const Time start = min_island_event_time();
+  if (start > horizon || start == kInf) return false;
+  Time end = start + lookahead_;
+  if (std::isfinite(horizon)) {
+    // Events at exactly the horizon belong to the advance; anything later
+    // must stay queued. nextafter gives the tightest exclusive bound.
+    end = std::min(end, std::nextafter(horizon, kInf));
+  }
+  window_end_ = end;
+  window_open_ = true;
+  ++windows_;
+  return true;
+}
+
+void ShardedEngine::work_one_epoch() {
+  const int n = islands();
+  for (;;) {
+    const int i = next_island_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    try {
+      island(i).run_before(window_end_);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(pool_mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void ShardedEngine::worker_loop(std::size_t) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(pool_mu_);
+  for (;;) {
+    pool_cv_.wait(lk, [&] { return shutdown_ || epoch_ != seen; });
+    if (shutdown_) return;
+    seen = epoch_;
+    lk.unlock();
+    work_one_epoch();
+    lk.lock();
+    if (++idle_workers_ == threads_.size()) done_cv_.notify_one();
+  }
+}
+
+void ShardedEngine::execute_window_parallel() {
+  if (threads_.empty()) {
+    // Single-worker configuration: run islands in index order inline.
+    for (auto& s : shards_) s->run_before(window_end_);
+  } else {
+    {
+      std::lock_guard<std::mutex> lk(pool_mu_);
+      idle_workers_ = 0;
+      next_island_.store(0, std::memory_order_relaxed);
+      ++epoch_;
+    }
+    pool_cv_.notify_all();
+    work_one_epoch();
+    std::unique_lock<std::mutex> lk(pool_mu_);
+    done_cv_.wait(lk, [&] { return idle_workers_ == threads_.size(); });
+  }
+  window_open_ = false;
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    std::swap(err, error_);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ShardedEngine::run() {
+  finish_window();
+  while (open_window(kInf)) execute_window_parallel();
+}
+
+void ShardedEngine::advance_until(Time horizon,
+                                  const std::function<bool()>& stop) {
+  finish_window();
+  for (;;) {
+    if (stop && stop()) return;  // barrier-granular stop: no idle elapse
+    if (!open_window(horizon)) break;
+    execute_window_parallel();
+  }
+  if (std::isfinite(horizon)) {
+    for (auto& s : shards_) s->run_until(horizon);
+  }
+}
+
+bool ShardedEngine::pump_one() {
+  for (;;) {
+    if (!window_open_) {
+      if (!open_window(kInf)) return false;
+    }
+    int best = -1;
+    Time best_t = window_end_;
+    const int n = islands();
+    for (int i = 0; i < n; ++i) {
+      const Time t = island(i).next_event_time();
+      if (t < best_t) {
+        best_t = t;
+        best = i;
+      }
+    }
+    if (best < 0) {
+      window_open_ = false;  // window exhausted: next loop opens the next
+      continue;
+    }
+    island(best).step();
+    return true;
+  }
+}
+
+void ShardedEngine::finish_window() {
+  if (!window_open_) return;
+  for (auto& s : shards_) s->run_before(window_end_);
+  window_open_ = false;
+}
+
+void ShardedEngine::finalize_clocks() {
+  finish_window();
+  const Time t = now();
+  if (!std::isfinite(t)) return;
+  advance_until(t);
+}
+
+Time ShardedEngine::now() const noexcept {
+  Time t = 0.0;
+  for (const auto& s : shards_) t = std::max(t, s->now());
+  return t;
+}
+
+std::uint64_t ShardedEngine::posts_pending() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& mb : mailboxes_) {
+    std::lock_guard<std::mutex> lk(mb->mu);
+    n += mb->posts.size();
+  }
+  return n;
+}
+
+std::uint64_t ShardedEngine::total_seq_counter() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->seq_counter();
+  return n;
+}
+
+std::uint64_t ShardedEngine::total_events_executed() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->events_executed();
+  return n;
+}
+
+std::uint64_t ShardedEngine::total_pending() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->pending();
+  return n;
+}
+
+std::uint64_t ShardedEngine::total_callback_heap_allocs() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->callback_heap_allocs();
+  return n;
+}
+
+}  // namespace fluxpower::sim

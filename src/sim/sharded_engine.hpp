@@ -1,0 +1,181 @@
+// sharded_engine.hpp — conservative parallel discrete-event engine.
+//
+// Shards a simulation into N islands, each a full single-threaded
+// Simulation (own timer wheel, slab pool, seq counter), advanced by a
+// fixed worker-thread pool under a conservative time-window barrier:
+//
+//   * A window [W, W + Δ) starts at the globally earliest pending event
+//     time W (across every island and the cross-island mailboxes) and is
+//     Δ = lookahead() wide. Within the window each island executes its own
+//     events independently on a worker thread — legal because every
+//     cross-island interaction is charged at least Δ of latency, so
+//     nothing sent inside the window can be due before it ends.
+//   * Cross-island traffic never touches another island's Simulation
+//     directly. The sender calls post(): the closure is parked in the
+//     destination island's ingress mailbox and scheduled only at the next
+//     barrier, after every island has reached the window end. Drains are
+//     sorted by (fire_time, send_time, src_island, src_post_seq) — a total
+//     order independent of thread interleaving — so a delivery's insertion
+//     seq on the destination island is deterministic run-to-run.
+//   * Barrier hooks run single-threaded at every barrier (between the
+//     drain and the next window) — the spot for cross-island folds such as
+//     observability mirrors.
+//
+// Determinism contract: for a fixed island count the run is bit-for-bit
+// reproducible. Across island counts, the window sequence itself is
+// invariant (W and Δ depend only on event times, never on the partition),
+// so any client whose cross-island sends commute at equal (fire, send)
+// times observes byte-identical results for every shard count — the
+// property the shard-invariance suite pins. See DESIGN.md, "Sharded
+// engine and conservative window barrier".
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace fluxpower::sim {
+
+class ShardedEngine {
+ public:
+  /// `islands` >= 1 engine shards advanced by `workers` >= 1 threads
+  /// (clamped to the island count; workers - 1 threads are spawned, the
+  /// caller's thread is the last worker). `lookahead_s` is the minimum
+  /// cross-island latency: post() may never target a fire time closer
+  /// than the end of the window the send happens in.
+  explicit ShardedEngine(int islands, int workers = 1,
+                         double lookahead_s = 100e-6);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  int islands() const noexcept { return static_cast<int>(shards_.size()); }
+  int workers() const noexcept { return static_cast<int>(threads_.size()) + 1; }
+  double lookahead() const noexcept { return lookahead_; }
+  Simulation& island(int i) { return *shards_[static_cast<std::size_t>(i)]; }
+  const Simulation& island(int i) const {
+    return *shards_[static_cast<std::size_t>(i)];
+  }
+
+  /// Hand a closure across the island boundary: it is scheduled on
+  /// `dest_island` at `fire_time` at the next barrier. Must be called from
+  /// `src_island`'s execution context (its worker thread during a window,
+  /// or any single-threaded phase). fire_time must be >= the end of the
+  /// current window — guaranteed when the modelled latency >= lookahead().
+  void post(int src_island, int dest_island, Time fire_time,
+            std::function<void()> fn);
+
+  /// Register a hook run single-threaded at every barrier (after the
+  /// mailbox drain, before the next window). Returns a handle for remove.
+  std::uint64_t add_barrier_hook(std::function<void()> fn);
+  void remove_barrier_hook(std::uint64_t handle);
+
+  /// Run windows until every island's queue is empty and no posts remain.
+  void run();
+
+  /// Run windows while the globally earliest event time is <= horizon
+  /// (events at exactly `horizon` are executed), then advance every
+  /// island's clock to `horizon`. `stop` (optional) is evaluated at each
+  /// barrier; returning true ends the advance at that barrier.
+  void advance_until(Time horizon,
+                     const std::function<bool()>& stop = nullptr);
+
+  /// Sequential drive: execute exactly one event, choosing the globally
+  /// earliest (time, island) pending event and respecting the same window
+  /// and drain schedule as the parallel driver. Returns false when no
+  /// events remain. Used by post-run blocking helpers that pump the
+  /// engine between checks.
+  bool pump_one();
+
+  /// Execute the remainder of the current window sequentially so that
+  /// every island has run every event earlier than the window end —
+  /// realigning the islands after a pump_one() loop stopped mid-window.
+  void finish_window();
+
+  /// Advance every island's clock to the maximum island now() (executing
+  /// any events up to it). Gives post-run readers a single consistent
+  /// end-of-run clock regardless of which island saw the last event.
+  void finalize_clocks();
+
+  /// Globally earliest pending event time (islands + mailboxes), or +inf.
+  Time next_event_time();
+
+  // -- Introspection (obs gauges, benches, twin canonical section) ---------
+  std::uint64_t windows_executed() const noexcept { return windows_; }
+  std::uint64_t posts_delivered() const noexcept { return posts_delivered_; }
+  std::uint64_t posts_pending() const noexcept;
+  std::uint64_t total_seq_counter() const noexcept;
+  std::uint64_t total_events_executed() const noexcept;
+  std::uint64_t total_pending() const noexcept;
+  std::uint64_t total_callback_heap_allocs() const noexcept;
+  /// Max island now() — the engine-wide clock after finalize_clocks().
+  Time now() const noexcept;
+
+ private:
+  struct Post {
+    Time fire = 0.0;
+    Time send = 0.0;
+    int src = 0;
+    std::uint64_t seq = 0;  ///< src island's post counter at send
+    int dest = 0;
+    std::function<void()> fn;
+  };
+  struct Mailbox {
+    mutable std::mutex mu;
+    std::vector<Post> posts;
+  };
+  struct alignas(64) PostCounter {
+    std::uint64_t n = 0;
+  };
+
+  /// Drain every mailbox into the destination islands in canonical order
+  /// and run the barrier hooks. Single-threaded (barrier context only).
+  void drain_and_hooks();
+  /// Earliest island event time, ignoring mailboxes.
+  Time min_island_event_time();
+  /// Earliest parked post fire time, or +inf. Single-threaded context.
+  Time min_post_time();
+  /// Open the next window: drain, hooks, compute [start, window_end_).
+  /// Returns false when nothing is pending.
+  bool open_window(Time horizon);
+  /// Execute the current window on the worker pool.
+  void execute_window_parallel();
+  void worker_loop(std::size_t worker_index);
+  void work_one_epoch();
+
+  std::vector<std::unique_ptr<Simulation>> shards_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<PostCounter> post_counters_;  ///< per src island
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> hooks_;
+  std::uint64_t next_hook_ = 1;
+  double lookahead_;
+  Time window_end_ = 0.0;
+  bool window_open_ = false;  ///< pump_one is inside a window
+  std::uint64_t windows_ = 0;
+  std::uint64_t posts_delivered_ = 0;
+  std::vector<Post> drain_scratch_;
+
+  // Worker pool: epoch-driven. Workers wait for epoch_ to advance, then
+  // claim islands via next_island_ and run them to window_end_; the main
+  // thread participates and waits until idle_workers_ == thread count.
+  std::vector<std::thread> threads_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;   ///< workers: new epoch / shutdown
+  std::condition_variable done_cv_;   ///< main: all workers idle
+  std::uint64_t epoch_ = 0;
+  std::size_t idle_workers_ = 0;
+  std::atomic<int> next_island_{0};
+  bool shutdown_ = false;
+  std::exception_ptr error_;  ///< first island exception; rethrown at barrier
+};
+
+}  // namespace fluxpower::sim

@@ -293,6 +293,16 @@ void Simulation::run_until(Time t) {
   if (now_ < t) now_ = t;
 }
 
+void Simulation::run_before(Time end) {
+  for (;;) {
+    const Entry* top = peek_next();
+    if (top == nullptr || top->time >= end) break;
+    const Entry e = *top;
+    pop_front(top);
+    fire(e);
+  }
+}
+
 Time Simulation::next_event_time() {
   const Entry* top = peek_next();
   return top == nullptr ? std::numeric_limits<Time>::infinity() : top->time;

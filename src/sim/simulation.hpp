@@ -197,6 +197,12 @@ class Simulation {
   /// Run events with time <= t, then set now() to t even if idle.
   void run_until(Time t);
 
+  /// Run events with time strictly < end, leaving now() at the last
+  /// executed event (idle time does not elapse). The sharded engine's
+  /// window driver uses this to advance one island through a conservative
+  /// time window [start, end) between barriers.
+  void run_before(Time end);
+
   /// Absolute time of the next live event without executing it, or
   /// +infinity when the queue is empty. Shares run_until's front
   /// normalization (tombstones dropped, wheel cursor advanced, epoch

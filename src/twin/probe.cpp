@@ -50,6 +50,19 @@ void put_store(ByteWriter& w, const monitor::ColumnarSampleStore& store) {
 // -- Section encoders --------------------------------------------------------
 
 void encode_sim(ByteWriter& w, experiments::Scenario& sc) {
+  if (sim::ShardedEngine* engine = sc.engine()) {
+    // Sharded profile: the canonical section holds only quantities that are
+    // invariant across shard counts — the synchronized clock and the summed
+    // event statistics. Allocator internals (pool chunks, heap allocs) and
+    // wheel cursors are per-island implementation detail and partition-
+    // dependent, so they are deliberately excluded: two runs of the same
+    // scenario at different shard counts produce byte-identical sections.
+    w.f64(engine->now());
+    w.u64(engine->total_seq_counter());
+    w.u64(static_cast<std::uint64_t>(engine->total_pending()));
+    w.u64(engine->total_events_executed());
+    return;
+  }
   sim::Simulation& sim = sc.sim();
   w.f64(sim.now());
   w.u64(sim.seq_counter());

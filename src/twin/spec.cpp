@@ -195,6 +195,8 @@ void TwinSpec::encode(ByteWriter& w) const {
   w.u64(s.seed);
   w.f64(s.app_step_s);
   w.f64(s.record_period_s);
+  w.u32(static_cast<std::uint32_t>(s.shards));
+  w.u32(static_cast<std::uint32_t>(s.workers));
 
   w.u32(static_cast<std::uint32_t>(jobs.size()));
   for (const experiments::JobRequest& j : jobs) {
@@ -208,7 +210,7 @@ void TwinSpec::encode(ByteWriter& w) const {
 
 TwinSpec TwinSpec::decode(ByteReader& r) {
   const std::uint32_t version = r.u32();
-  if (version != kSpecVersion) {
+  if (version != 1 && version != kSpecVersion) {
     throw CodecError("TwinSpec: unsupported version " + std::to_string(version) +
                      " (this build reads " + std::to_string(kSpecVersion) + ")");
   }
@@ -231,6 +233,10 @@ TwinSpec TwinSpec::decode(ByteReader& r) {
   s.seed = r.u64();
   s.app_step_s = r.f64();
   s.record_period_s = r.f64();
+  if (version >= 2) {
+    s.shards = static_cast<int>(r.u32());
+    s.workers = static_cast<int>(r.u32());
+  }
 
   const std::uint32_t njobs = r.u32();
   spec.jobs.reserve(njobs);

@@ -24,7 +24,9 @@ namespace fluxpower::twin {
 
 /// Current TwinSpec wire version. Bump on any field addition/removal and
 /// teach decode() both shapes (or reject the old one loudly).
-inline constexpr std::uint32_t kSpecVersion = 1;
+/// v2 adds the sharded execution profile knobs (shards, workers) after
+/// record_period_s; v1 specs decode with shards=0 (monolithic engine).
+inline constexpr std::uint32_t kSpecVersion = 2;
 
 struct TwinSpec {
   experiments::ScenarioConfig scenario;

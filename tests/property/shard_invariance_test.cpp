@@ -1,0 +1,223 @@
+// Shard-count invariance (the sharded engine's proof obligation): the same
+// scenario run under the sharded execution profile must produce BYTE-
+// IDENTICAL output for every shard count — every job record, every timeline
+// point, every energy integral at full double precision, and every twin
+// snapshot section digest. Across many seeds, in calm and chaotic weather,
+// each case runs the reference partition (shards=1) and compares shards
+// 2/4/8 (with a matching worker-thread pool, so real parallel windows are
+// exercised) against it: a single differing bit anywhere fails the suite.
+//
+// This is the property that makes the parallel engine *safe to use* for
+// paper figures: any shard count may be picked for speed without
+// re-validating a single number.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "experiments/scenario.hpp"
+#include "twin/probe.hpp"
+#include "util/rng.hpp"
+
+namespace fluxpower {
+namespace {
+
+using experiments::JobRequest;
+using experiments::Scenario;
+using experiments::ScenarioConfig;
+using experiments::ScenarioResult;
+
+// 25 nodes at fanout 8 gives eight placement cells of deliberately uneven
+// size (ranks {1,9..16}, {2,17..24}, then six singletons) — shards 2/4/8
+// split real work unevenly, which is the stressful case for the barrier.
+constexpr int kNodes = 25;
+constexpr int kFanout = 8;
+constexpr double kMaxTime = 1200.0;
+
+ScenarioConfig make_config(std::uint64_t seed, bool chaos, int shards) {
+  ScenarioConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.tbon_fanout = kFanout;
+  cfg.seed = 42;  // workload fixed; the case seed drives the fault weather
+  cfg.load_manager = true;
+  cfg.manager.cluster_power_bound_w = 30000.0;
+  cfg.manager.static_node_cap_w = 1950.0;
+  cfg.manager.node_policy = manager::NodePolicy::DirectGpuBudget;
+  cfg.manager.limit_refresh_s = 20.0;
+  cfg.shards = shards;
+  cfg.workers = shards;  // real threads: shards>1 exercises parallel windows
+  if (chaos) {
+    faultsim::FaultPlaneConfig f;
+    f.seed = seed;
+    f.msg_drop_rate = 0.06;
+    f.msg_dup_rate = 0.02;
+    f.msg_delay_rate = 0.06;
+    f.node_mtbf_s = 300.0;
+    f.node_reboot_s = 20.0;
+    f.sensor_dropout_rate = 0.06;
+    f.sensor_stuck_rate = 0.02;
+    f.sensor_stuck_duration_s = 12.0;
+    f.cap_write_failure_rate = 0.15;
+    cfg.faults = f;
+  }
+  return cfg;
+}
+
+std::vector<JobRequest> make_jobs() {
+  std::vector<JobRequest> jobs;
+  JobRequest gemm;
+  gemm.kind = apps::AppKind::Gemm;
+  gemm.nnodes = 3;
+  gemm.work_scale = 1.7;
+  jobs.push_back(gemm);
+  JobRequest lammps;
+  lammps.kind = apps::AppKind::Lammps;
+  lammps.nnodes = 2;
+  lammps.work_scale = 2.0;
+  lammps.submit_time_s = 30.0;
+  jobs.push_back(lammps);
+  JobRequest kripke;
+  kripke.kind = apps::AppKind::Kripke;
+  kripke.nnodes = 1;
+  kripke.work_scale = 1.5;
+  kripke.submit_time_s = 60.0;
+  jobs.push_back(kripke);
+  return jobs;
+}
+
+void hex(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a,", v);
+  out += buf;
+}
+
+/// Exact textual rendering of a ScenarioResult: doubles in hexfloat so two
+/// renders are equal iff every bit of every field is equal.
+std::string render(const ScenarioResult& r) {
+  std::string out;
+  out.reserve(1 << 16);
+  for (const experiments::JobResult& j : r.jobs) {
+    out += "job " + std::to_string(j.id) + " " + j.app + " " +
+           std::to_string(j.nnodes) + " ";
+    hex(out, j.t_submit);
+    hex(out, j.t_start);
+    hex(out, j.t_end);
+    hex(out, j.runtime_s);
+    hex(out, j.avg_node_power_w);
+    hex(out, j.max_node_power_w);
+    hex(out, j.max_aggregate_power_w);
+    hex(out, j.avg_node_energy_j);
+    hex(out, j.exact_avg_node_energy_j);
+    out += j.telemetry_complete ? "complete\n" : "partial\n";
+  }
+  out += "makespan ";
+  hex(out, r.makespan_s);
+  hex(out, r.total_energy_j);
+  hex(out, r.max_cluster_power_w);
+  hex(out, r.avg_cluster_power_w);
+  out += "\ncluster\n";
+  for (const auto& [t, w] : r.cluster_timeline) {
+    hex(out, t);
+    hex(out, w);
+    out += "\n";
+  }
+  for (const auto& [id, points] : r.timelines) {
+    out += "timeline " + std::to_string(id) + "\n";
+    for (const experiments::TimelinePoint& p : points) {
+      hex(out, p.t_s);
+      hex(out, p.node_w);
+      hex(out, p.mem_w);
+      for (double v : p.gpu_w) hex(out, v);
+      for (double v : p.cpu_w) hex(out, v);
+      for (double v : p.gpu_cap_w) hex(out, v);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+struct RunArtifacts {
+  /// Per-section snapshot digests at the mid-run probe instant, keyed by
+  /// tag: the twin-facing state identity.
+  std::map<std::uint32_t, std::uint64_t> section_digests;
+  std::uint64_t image_digest = 0;
+  std::string rendered;  ///< hexfloat-exact completed-run output
+};
+
+RunArtifacts run_case(std::uint64_t seed, bool chaos, int shards,
+                      double t_snap) {
+  Scenario scenario(make_config(seed, chaos, shards));
+  for (const JobRequest& j : make_jobs()) scenario.submit(j);
+  scenario.advance_until(t_snap, kMaxTime);
+
+  RunArtifacts art;
+  const twin::StateImage image = twin::capture_state(scenario);
+  for (const twin::StateSection& s : image.sections) {
+    art.section_digests[s.tag] = s.digest;
+  }
+  art.image_digest = image.digest();
+  art.rendered = render(scenario.finish(kMaxTime));
+  return art;
+}
+
+class ShardInvariance
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+TEST_P(ShardInvariance, AllShardCountsMatchReference) {
+  const auto [seed, chaos] = GetParam();
+
+  // Seed-derived probe instant, spread over the busy part of the run.
+  std::uint64_t sm = seed * 2654435761ULL + (chaos ? 1 : 0);
+  const double frac =
+      static_cast<double>(util::splitmix64(sm) >> 11) * 0x1.0p-53;
+  const double t_snap = 25.0 + frac * 350.0;
+
+  const RunArtifacts reference = run_case(seed, chaos, /*shards=*/1, t_snap);
+  // The workload must actually run: three job records, with telemetry
+  // completing in calm weather (chaos can legitimately leave every job's
+  // telemetry partial).
+  std::size_t job_lines = 0;
+  for (std::size_t pos = reference.rendered.find("job ");
+       pos != std::string::npos;
+       pos = reference.rendered.find("job ", pos + 1)) {
+    ++job_lines;
+  }
+  ASSERT_EQ(job_lines, 3u);
+  if (!chaos) {
+    ASSERT_NE(reference.rendered.find("complete"), std::string::npos);
+  }
+
+  for (int shards : {2, 4, 8}) {
+    const RunArtifacts candidate = run_case(seed, chaos, shards, t_snap);
+    EXPECT_EQ(reference.rendered, candidate.rendered)
+        << "seed " << seed << (chaos ? " chaos" : " calm") << " shards "
+        << shards << " t_snap " << t_snap;
+    for (const auto& [tag, digest] : reference.section_digests) {
+      const auto it = candidate.section_digests.find(tag);
+      ASSERT_NE(it, candidate.section_digests.end())
+          << "section " << twin::fourcc_name(tag) << " missing at shards "
+          << shards;
+      EXPECT_EQ(digest, it->second)
+          << "section " << twin::fourcc_name(tag) << " diverges: seed "
+          << seed << (chaos ? " chaos" : " calm") << " shards " << shards
+          << " t_snap " << t_snap;
+    }
+    EXPECT_EQ(reference.image_digest, candidate.image_digest);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ShardInvariance,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 51),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<ShardInvariance::ParamType>& info) {
+      return (std::get<1>(info.param) ? std::string("chaos") : "calm") +
+             std::to_string(std::get<0>(info.param));
+    });
+
+}  // namespace
+}  // namespace fluxpower

@@ -35,6 +35,7 @@ struct Options {
   hwsim::Platform platform = hwsim::Platform::LassenIbmAc922;
   double seconds = 240.0;
   std::uint64_t seed = 42;
+  int shards = 0;
   std::string metrics_path;
   std::string trace_path;
   bool check_ledger = false;
@@ -45,8 +46,8 @@ void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--nodes N] [--fanout F] [--platform lassen|tioga]\n"
-      "          [--seconds S] [--seed N] [--metrics PATH] [--trace PATH]\n"
-      "          [--check-ledger] [--faults]\n",
+      "          [--seconds S] [--seed N] [--shards N] [--metrics PATH]\n"
+      "          [--trace PATH] [--check-ledger] [--faults]\n",
       argv0);
 }
 
@@ -75,6 +76,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg == "--seed") {
       if (const char* v = next()) opt.seed = std::strtoull(v, nullptr, 10);
       else return false;
+    } else if (arg == "--shards") {
+      if (const char* v = next()) opt.shards = std::atoi(v); else return false;
     } else if (arg == "--metrics") {
       if (const char* v = next()) opt.metrics_path = v; else return false;
     } else if (arg == "--trace") {
@@ -88,7 +91,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       return false;
     }
   }
-  return opt.nodes > 0 && opt.fanout > 1 && opt.seconds > 0.0;
+  return opt.nodes > 0 && opt.fanout > 1 && opt.seconds > 0.0 &&
+         opt.shards >= 0;
 }
 
 bool write_file(const std::string& path, const std::string& content) {
@@ -120,6 +124,8 @@ int main(int argc, char** argv) {
   cfg.load_monitor = true;
   cfg.load_manager = true;
   cfg.seed = opt.seed;
+  cfg.shards = opt.shards;
+  cfg.workers = opt.shards;
   if (opt.faults) {
     faultsim::FaultPlaneConfig faults;
     faults.seed = opt.seed;
@@ -159,14 +165,24 @@ int main(int argc, char** argv) {
            },
            /*timeout_s=*/60.0);
   // Bounded drain: periodic monitor tasks keep the queue non-empty forever,
-  // so run to a horizon rather than to exhaustion.
-  scenario.sim().run_until(scenario.sim().now() + 120.0);
+  // so run to a horizon rather than to exhaustion. Under the sharded
+  // engine the drain must advance every island (the reply hops cross
+  // cell boundaries), not just island 0.
+  if (sim::ShardedEngine* engine = scenario.engine()) {
+    engine->advance_until(engine->now() + 120.0);
+  } else {
+    scenario.sim().run_until(scenario.sim().now() + 120.0);
+  }
   if (!responded) {
     std::fprintf(stderr, "trace_dump: power.metrics aggregation failed\n");
     return 1;
   }
 
-  obs::export_engine_gauges(scenario.sim(), obs::process_registry());
+  if (sim::ShardedEngine* engine = scenario.engine()) {
+    obs::export_engine_gauges(*engine, obs::process_registry());
+  } else {
+    obs::export_engine_gauges(scenario.sim(), obs::process_registry());
+  }
   const std::string metrics_text =
       aggregate.expose_text() + obs::process_registry().expose_text();
   if (!opt.metrics_path.empty() && !write_file(opt.metrics_path, metrics_text)) {
