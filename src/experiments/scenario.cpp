@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "manager/node_policies.hpp"
+
 namespace fluxpower::experiments {
 
 namespace {
@@ -94,6 +96,15 @@ Scenario::Scenario(ScenarioConfig config) : config_(config) {
     // admit against it (inert under FCFS/backfill).
     instance_->scheduler().set_power_budget(config_.manager.cluster_power_bound_w,
                                             config_.manager.node_peak_w);
+  }
+  // Name-based policy selection through the policy plane. The node-policy
+  // names are registered here too so tools resolving names (trace_dump,
+  // benches) work even when no manager module was constructed yet.
+  manager::register_builtin_node_policies();
+  if (!config_.sched_policy.empty()) {
+    // The queue is empty at construction, so the policy-change kick is a
+    // no-op and the event schedule stays byte-identical to the enum path.
+    instance_->scheduler().set_policy_by_name(config_.sched_policy);
   }
 
   // Track job lifecycle for energy accounting and completion detection.
@@ -280,6 +291,12 @@ flux::JobId Scenario::submit(const JobRequest& request) {
   spec.attributes["power_estimate_w_per_node"] = apps::estimate_peak_node_power_w(
       apps::make_profile(request.kind, config_.platform,
                          std::max(1, request.nnodes), request.work_scale));
+  if (request.eco_tolerance > 0.0) {
+    // Eco-mode enrollment travels in the jobspec like any other user
+    // attribute; absent for non-enrolled jobs so legacy specs are
+    // byte-identical.
+    spec.attributes["eco_tolerance"] = request.eco_tolerance;
+  }
 
   // JobIds are sequential starting at 1 in submission order across the
   // whole instance; predict this job's id for result bookkeeping.

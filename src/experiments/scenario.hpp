@@ -38,6 +38,13 @@ struct ScenarioConfig {
   bool load_manager = false;
   manager::PowerManagerConfig manager;
 
+  /// Scheduler policy by registry name ("fcfs", "easy-backfill",
+  /// "power-aware", "power-aware-easy", "eco-mode", or any policy
+  /// registered with the process-wide PolicyEngine). Empty = keep the
+  /// instance default (FCFS). Applied before any job is submitted, so the
+  /// three built-in names are byte-identical to setting the legacy enum.
+  std::string sched_policy;
+
   /// Publish job.progress events from running jobs (required by
   /// manager::NodePolicy::ProgressBased).
   bool report_progress = false;
@@ -75,6 +82,11 @@ struct JobRequest {
   int nnodes = 1;
   double work_scale = 1.0;
   double submit_time_s = 0.0;
+  /// Eco-mode opt-in: acceptable fractional slowdown (0 = not enrolled).
+  /// Lands in the jobspec as the "eco_tolerance" attribute; under the
+  /// eco-mode scheduler policy the job self-caps at
+  /// power_estimate_w_per_node * (1 - eco_tolerance) per node.
+  double eco_tolerance = 0.0;
 };
 
 struct JobResult {

@@ -212,9 +212,15 @@ void JobManager::publish_state_event(const Job& job, const char* event) {
   if (job.t_start >= 0.0) payload["t_start"] = job.t_start;
   if (job.t_end >= 0.0) payload["t_end"] = job.t_end;
   // Surface the job's self-imposed power cap (if any) so state-aware
-  // consumers (the power manager) can honor it without a KVS lookup.
-  const double requested =
+  // consumers (the power manager) can honor it without a KVS lookup. An
+  // explicit jobspec cap wins; otherwise the installed scheduler policy may
+  // derive one (eco-mode's tolerance-based self-cap) — legacy policies
+  // return 0 and the payload is unchanged.
+  double requested =
       job.spec.attributes.number_or("power_limit_w_per_node", 0.0);
+  if (requested <= 0.0) {
+    requested = instance_.scheduler().requested_node_power_w(job);
+  }
   if (requested > 0.0) payload["power_limit_w_per_node"] = requested;
   instance_.root().publish_event(event, std::move(payload));
 }

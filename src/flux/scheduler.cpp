@@ -1,17 +1,77 @@
 #include "flux/scheduler.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 #include "flux/instance.hpp"
+#include "obs/metrics.hpp"
+#include "policy/engine.hpp"
 #include "sim/simulation.hpp"
 
 namespace fluxpower::flux {
+
+namespace {
+/// Queue-wait spans an immediate start (0) through long power-blocked waits.
+constexpr std::array<double, 8> kQueueWaitBounds = {
+    1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 1800.0, 7200.0};
+
+const char* builtin_policy_name(Scheduler::Policy policy) noexcept {
+  switch (policy) {
+    case Scheduler::Policy::Fcfs: return "fcfs";
+    case Scheduler::Policy::EasyBackfill: return "easy-backfill";
+    case Scheduler::Policy::PowerAware: return "power-aware";
+  }
+  return "fcfs";
+}
+}  // namespace
 
 Scheduler::Scheduler(Instance& instance, Policy policy)
     : instance_(instance), policy_(policy) {
   busy_.assign(static_cast<std::size_t>(instance_.size()), false);
   drained_.assign(static_cast<std::size_t>(instance_.size()), false);
+  policy_obj_ =
+      policy::PolicyEngine::global().make_sched(builtin_policy_name(policy));
+}
+
+Scheduler::~Scheduler() = default;
+
+void Scheduler::set_policy(Policy policy) {
+  policy_ = policy;
+  policy_obj_ =
+      policy::PolicyEngine::global().make_sched(builtin_policy_name(policy));
+  kick_on_policy_change();
+}
+
+void Scheduler::set_policy_by_name(const std::string& name) {
+  policy_obj_ = policy::PolicyEngine::global().make_sched(name);
+  // Keep the legacy enum facade coherent for the built-ins; engine-only
+  // policies leave it untouched (policy_name() is the authoritative view).
+  if (name == "fcfs") {
+    policy_ = Policy::Fcfs;
+  } else if (name == "easy-backfill") {
+    policy_ = Policy::EasyBackfill;
+  } else if (name == "power-aware") {
+    policy_ = Policy::PowerAware;
+  }
+  kick_on_policy_change();
+}
+
+void Scheduler::install_policy(std::unique_ptr<policy::SchedulerPolicy> p) {
+  if (p == nullptr) {
+    throw std::invalid_argument("Scheduler::install_policy: null policy");
+  }
+  policy_obj_ = std::move(p);
+  kick_on_policy_change();
+}
+
+void Scheduler::kick_on_policy_change() {
+  // A mid-run policy change must re-examine the queue: jobs inadmissible
+  // under the old policy may start immediately under the new one. With an
+  // empty queue this is a no-op (no event scheduled even under the
+  // deferred-kick profile), so pre-run set_policy calls leave the event
+  // sequence untouched.
+  if (!queue_.empty()) kick();
 }
 
 void Scheduler::drain(Rank rank) {
@@ -86,19 +146,35 @@ int Scheduler::max_cell_size() const noexcept {
 
 void Scheduler::set_deferred_kick(sim::Simulation& sim) { kick_sim_ = &sim; }
 
-double Scheduler::job_power_estimate_w(const Job& job) const {
-  const double per_node =
-      job.spec.attributes.number_or("power_estimate_w_per_node", node_peak_w_);
-  return per_node * job.spec.nnodes;
+policy::SchedView Scheduler::make_view() const {
+  policy::SchedView view;
+  view.now_s = instance_.sim().now();
+  view.cluster_bound_w = cluster_bound_w_;
+  view.node_peak_w = node_peak_w_;
+  view.admitted_power_w = admitted_power_w_;
+  view.admitted_jobs = admitted_.size();
+  view.free_nodes = free_node_count();
+  view.total_nodes = instance_.size();
+  return view;
 }
 
-bool Scheduler::fits_power_budget(const Job& job) const {
-  if (policy_ != Policy::PowerAware || cluster_bound_w_ <= 0.0) return true;
-  const double estimate = job_power_estimate_w(job);
-  // A job whose estimate alone exceeds the bound would wait forever;
-  // admit it alone (it will be throttled by the power manager instead).
-  if (estimate >= cluster_bound_w_) return admitted_.empty();
-  return admitted_power_w_ + estimate <= cluster_bound_w_;
+void Scheduler::bind_instruments() {
+  if (decisions_total_ != nullptr) return;
+  obs::MetricsRegistry& reg = instance_.root().metrics();
+  decisions_total_ =
+      &reg.counter("fluxpower_policy_sched_decisions_total",
+                   "Admission verdicts issued during queue scans");
+  starts_total_ = &reg.counter("fluxpower_policy_sched_starts_total",
+                               "Queue-scan verdicts that started a job");
+  holds_total_ =
+      &reg.counter("fluxpower_policy_sched_holds_total",
+                   "Queue-scan verdicts that head-of-line blocked the queue");
+  skips_total_ =
+      &reg.counter("fluxpower_policy_sched_skips_total",
+                   "Queue-scan verdicts that passed over a job (backfill)");
+  queue_wait_seconds_ =
+      &reg.histogram("fluxpower_policy_sched_queue_wait_seconds",
+                     "Sim-time wait from submission to start", kQueueWaitBounds);
 }
 
 int Scheduler::free_node_count() const {
@@ -140,27 +216,45 @@ std::vector<Rank> Scheduler::try_allocate(int nnodes) {
 }
 
 bool Scheduler::start_one() {
-  // FCFS / PowerAware: only the head job may start; a blocked head blocks
-  // the queue (PowerAware adds the power-budget admission check).
-  // EasyBackfill: jobs behind a blocked head may start when they fit in the
-  // leftover nodes (conservative node-count backfill: without runtime
-  // estimates a reservation-accurate EASY cannot be modelled).
+  // One policy verdict per queued job, in submission order. The installed
+  // policy only sees the SchedView snapshot (the ledger cannot change
+  // mid-scan: a started job ends the scan), and the scheduler commits the
+  // admission charge — policies never touch the ledger directly.
+  bind_instruments();
+  const policy::SchedView view = make_view();
+  const Job* blocked_head = nullptr;
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
     const JobId id = *it;
     const Job& job = instance_.jobs().job(id);
-    if (!fits_power_budget(job)) {
+    decisions_total_->inc();
+    const policy::SchedHint hint = policy_obj_->admit(view, job, blocked_head);
+    if (hint == policy::SchedHint::HoldQueue ||
+        (hint == policy::SchedHint::SkipJob && !policy_obj_->backfill())) {
+      holds_total_->inc();
       return false;  // head-of-line blocking on power, like on nodes
+    }
+    if (hint == policy::SchedHint::SkipJob) {
+      skips_total_->inc();
+      if (blocked_head == nullptr) blocked_head = &job;
+      continue;  // backfill: consider later jobs
     }
     std::vector<Rank> ranks = try_allocate(job.spec.nnodes);
     if (ranks.empty()) {
-      if (policy_ != Policy::EasyBackfill) return false;
+      if (!policy_obj_->backfill()) {
+        holds_total_->inc();
+        return false;
+      }
+      skips_total_->inc();
+      if (blocked_head == nullptr) blocked_head = &job;
       continue;  // backfill: consider later jobs
     }
-    if (policy_ == Policy::PowerAware) {
-      const double estimate = job_power_estimate_w(job);
+    const double estimate = policy_obj_->admission_estimate_w(view, job);
+    if (estimate > 0.0) {
       admitted_[id] = estimate;
       admitted_power_w_ += estimate;
     }
+    starts_total_->inc();
+    queue_wait_seconds_->observe(view.now_s - job.t_submit);
     queue_.erase(it);
     // start_job may re-enter enqueue()/release()/kick(); the guard in
     // kick() flattens that recursion and we return to restart the scan

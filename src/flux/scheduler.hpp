@@ -4,7 +4,14 @@
 // experiment in the paper uses). Jobs that cannot be placed wait in
 // submission order; strict FCFS (no backfill) keeps makespan results easy
 // to reason about, and matches "Flux schedules these jobs as any regular
-// resource manager would" (§IV-E). Two extensions are provided:
+// resource manager would" (§IV-E).
+//
+// Admission decisions are delegated to a pluggable policy::SchedulerPolicy
+// (see src/policy/policy.hpp): one admit() verdict per queued job per scan,
+// plus an optional charge against the admitted-power ledger. The legacy
+// Policy enum (Fcfs, EasyBackfill, PowerAware) survives as a convenience
+// facade over the built-in policies; set_policy_by_name() reaches every
+// policy registered with the PolicyEngine, including:
 //   * EasyBackfill — conservative node-count backfill (scheduling
 //     ablation);
 //   * PowerAware — hardware-overprovisioning admission control (the
@@ -14,17 +21,26 @@
 //     jobs. Estimates come from the jobspec attribute
 //     `power_estimate_w_per_node` (the node peak is assumed when absent).
 //     Trades queueing delay for running every admitted job at full power
-//     instead of throttling everyone proportionally.
+//     instead of throttling everyone proportionally;
+//   * power-aware-easy / eco-mode — PAPERS.md additions, engine-only.
 #pragma once
 
 #include <deque>
 #include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "flux/jobspec.hpp"
+#include "policy/policy.hpp"
 
 namespace fluxpower::sim {
 class Simulation;
+}
+
+namespace fluxpower::obs {
+class Counter;
+class Histogram;
 }
 
 namespace fluxpower::flux {
@@ -40,8 +56,24 @@ class Scheduler {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  void set_policy(Policy policy) { policy_ = policy; }
+  ~Scheduler();
+
+  /// Install one of the legacy built-ins. A mid-run policy change kicks the
+  /// queue (deferred-kick aware): queued jobs admissible under the new
+  /// policy must not wait for the next enqueue/release.
+  void set_policy(Policy policy);
   Policy policy() const noexcept { return policy_; }
+
+  /// Install any policy registered with the PolicyEngine by name (e.g.
+  /// "power-aware-easy", "eco-mode"). Throws std::invalid_argument on
+  /// unknown names. Kicks the queue like set_policy.
+  void set_policy_by_name(const std::string& name);
+  /// Install a custom policy object (tests, out-of-tree policies).
+  void install_policy(std::unique_ptr<policy::SchedulerPolicy> p);
+  const char* policy_name() const noexcept { return policy_obj_->name(); }
+  const policy::SchedulerPolicy& policy_object() const noexcept {
+    return *policy_obj_;
+  }
 
   /// Add a job to the wait queue and try to place it.
   void enqueue(JobId id);
@@ -69,10 +101,22 @@ class Scheduler {
 
   /// Power-aware admission parameters: the cluster power bound and the
   /// per-node peak assumed for jobs without an estimate. Only consulted
-  /// under Policy::PowerAware.
+  /// by power-admission policies.
   void set_power_budget(double cluster_bound_w, double node_peak_w);
   /// Peak power currently admitted (sum of running-job estimates).
   double admitted_power_w() const noexcept { return admitted_power_w_; }
+  /// Power-admission ledger: running job -> charged estimate (twin codec).
+  const std::map<JobId, double>& admitted() const noexcept {
+    return admitted_;
+  }
+  /// Wait-queue contents in scan order (twin codec).
+  const std::deque<JobId>& queued_jobs() const noexcept { return queue_; }
+
+  /// Self-cap the installed policy requests for `job` (eco-mode), 0 = none;
+  /// consulted by the job manager when publishing job.state-run.
+  double requested_node_power_w(const Job& job) const {
+    return policy_obj_->requested_node_power_w(job);
+  }
 
   /// Sharded execution profile: confine every allocation to one TBON cell
   /// (a root-child subtree, given in child order with ranks in BFS
@@ -95,11 +139,19 @@ class Scheduler {
   std::vector<Rank> try_allocate(int nnodes);
   bool start_one();
   void kick_now();
-  double job_power_estimate_w(const Job& job) const;
-  bool fits_power_budget(const Job& job) const;
+  policy::SchedView make_view() const;
+  /// Kick the queue after a policy change; a no-op while the queue is
+  /// empty so pre-run set_policy calls schedule no events (keeps the
+  /// event sequence of every existing experiment byte-identical).
+  void kick_on_policy_change();
+  /// Lazily bind the per-policy decision instruments in the root broker's
+  /// registry (root exists only after bootstrap; first scan is late
+  /// enough, and the first-touch order is deterministic).
+  void bind_instruments();
 
   Instance& instance_;
   Policy policy_;
+  std::unique_ptr<policy::SchedulerPolicy> policy_obj_;
   std::deque<JobId> queue_;
   std::vector<bool> busy_;     ///< per-rank allocation bit
   std::vector<bool> drained_;  ///< per-rank admin drain bit
@@ -112,6 +164,12 @@ class Scheduler {
   double node_peak_w_ = 3050.0;
   double admitted_power_w_ = 0.0;
   std::map<JobId, double> admitted_;  ///< running job -> power estimate
+  // Decision instruments (root broker registry; null until first scan).
+  obs::Counter* decisions_total_ = nullptr;
+  obs::Counter* starts_total_ = nullptr;
+  obs::Counter* holds_total_ = nullptr;
+  obs::Counter* skips_total_ = nullptr;
+  obs::Histogram* queue_wait_seconds_ = nullptr;
 };
 
 }  // namespace fluxpower::flux

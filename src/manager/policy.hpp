@@ -34,6 +34,15 @@ enum class NodePolicy {
   /// needs application cooperation (progress reporting) but works on
   /// aperiodic applications where an FFT sees nothing.
   ProgressBased,
+  /// PI-controlled degradation bound (PAPERS.md "Sustaining Performance
+  /// While Reducing Energy Consumption: A Control Theory Approach"): a
+  /// proportional-integral loop steers the uniform device cap so the
+  /// measured progress-rate degradation converges to a configured bound —
+  /// the deepest cap that still honors the performance contract. Needs
+  /// progress reporting, like ProgressBased, but replaces its
+  /// probe-and-hold walk with a closed-loop controller that tracks phase
+  /// changes instead of latching the first good cap.
+  PiBound,
 };
 
 const char* node_policy_name(NodePolicy policy) noexcept;
@@ -43,6 +52,17 @@ struct ProgressPolicyConfig {
   double control_period_s = 30.0;
   double step_w = 25.0;      ///< cap reduction per accepted probe
   double tolerance = 0.03;   ///< acceptable relative progress-rate loss
+};
+
+/// PiBound parameters. Gains are in watts per unit of relative-degradation
+/// error; the integral accumulates one error sample per control tick and is
+/// clamped to the actuator range (anti-windup), so the steady-state cap
+/// settles where measured degradation equals the bound.
+struct PiPolicyConfig {
+  double control_period_s = 30.0;
+  double degradation_bound = 0.05;  ///< acceptable relative slowdown
+  double kp = 400.0;                ///< proportional gain (W per unit error)
+  double ki = 8.0;                  ///< integral gain (W per unit error-tick)
 };
 
 /// Algorithm 1 parameters (paper defaults; "these values are customizable").
@@ -172,6 +192,7 @@ struct PowerManagerConfig {
 
   FppConfig fpp;
   ProgressPolicyConfig progress;
+  PiPolicyConfig pi;
 };
 
 }  // namespace fluxpower::manager

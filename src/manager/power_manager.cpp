@@ -5,6 +5,7 @@
 #include <span>
 
 #include "flux/instance.hpp"
+#include "manager/node_policies.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "variorum/variorum.hpp"
@@ -31,12 +32,16 @@ const char* node_policy_name(NodePolicy policy) noexcept {
     case NodePolicy::DirectGpuBudget: return "gpu-budget";
     case NodePolicy::Fpp: return "fpp";
     case NodePolicy::ProgressBased: return "progress";
+    case NodePolicy::PiBound: return "pi-bound";
   }
   return "unknown";
 }
 
 PowerManagerModule::PowerManagerModule(PowerManagerConfig config)
-    : config_(config) {}
+    : config_(config) {
+  register_builtin_node_policies();
+  plugin_ = make_node_policy_plugin(*this, config_.node_policy);
+}
 
 PowerManagerModule::~PowerManagerModule() = default;
 
@@ -112,26 +117,24 @@ void PowerManagerModule::load(flux::Broker& broker) {
     variorum::cap_best_effort_node_power_limit(*node, config_.static_node_cap_w);
   }
 
-  if (node != nullptr && config_.node_policy == NodePolicy::ProgressBased &&
+  if (node != nullptr && plugin_->wants_progress() &&
       managed_domain_count() > 0) {
     progress_subscription_ = broker.subscribe_event(
         "job.progress", [this](const Message& m) { on_progress_event(m); });
     progress_task_ = std::make_unique<sim::PeriodicTask>(
-        broker.sim(), config_.progress.control_period_s, [this] {
-          progress_control_tick();
+        broker.sim(), plugin_->progress_tick_period_s(), [this] {
+          plugin_->on_progress_tick();
           return true;
         });
   }
-  if (node != nullptr && (config_.node_policy == NodePolicy::DirectGpuBudget ||
-                          config_.node_policy == NodePolicy::Fpp ||
-                          config_.node_policy == NodePolicy::ProgressBased)) {
+  if (node != nullptr && plugin_->wants_control_tick()) {
     control_task_ = std::make_unique<sim::PeriodicTask>(
         broker.sim(), config_.control_period_s, [this] {
           control_tick();
           return true;
         });
   }
-  if (node != nullptr && config_.node_policy == NodePolicy::Fpp &&
+  if (node != nullptr && plugin_->wants_fpp_engine() &&
       managed_domain_count() > 0) {
     // One controller per managed domain — GPUs when the node has them,
     // CPU sockets otherwise (the policy is device-agnostic, §III-B2).
@@ -640,22 +643,13 @@ std::pair<bool, bool> PowerManagerModule::apply_node_limit(double limit_w) {
   const bool raised = limit > node_limit_w_ && node_limit_w_ > 0.0;
   const bool fresh = node_limit_w_ == 0.0;
   node_limit_w_ = limit;
-  if ((raised || fresh) && config_.node_policy == NodePolicy::ProgressBased) {
-    // New headroom: re-baseline and probe again from the fresh budget.
-    reset_progress_state();
-  }
-  if ((raised || fresh) && config_.node_policy == NodePolicy::Fpp) {
-    // A raised limit starts a new FPP epoch: Algorithm 1's MAIN re-derives
-    // P_cap_cur = min(Max_GPU_Cap, GPU_Power_Lim) and the convergence
-    // latch resets, so a job inheriting freed power (proportional-sharing
-    // reclaim) rides the higher ceiling. A lowered limit does NOT reset:
-    // the tighter budget simply clamps the active caps, and the existing
-    // convergence state remains valid.
-    const FppConfig dcfg = domain_fpp_config();
-    for (auto& c : fpp_) {
-      c = std::make_unique<FppController>(dcfg, dcfg.max_gpu_cap_w);
-    }
-    time_since_fpp_control_s_ = 0.0;
+  if (raised || fresh) {
+    // New-headroom epoch: the plugin re-baselines (ProgressBased/PiBound
+    // re-probe from the fresh budget; FPP rebuilds its controllers so
+    // Algorithm 1's MAIN re-derives P_cap_cur and the convergence latch
+    // resets). A lowered limit does NOT reset: the tighter budget simply
+    // clamps the active caps, and the existing state remains valid.
+    plugin_->on_limit_refresh();
   }
   // A fresh limit supersedes any in-flight retry: restart the ladder. The
   // latency clock restarts with it — it measures this limit, not the
@@ -866,58 +860,8 @@ double PowerManagerModule::derive_gpu_budget_w() {
 }
 
 bool PowerManagerModule::enforce_node_limit() {
-  hwsim::Node* node = broker_->node();
-  if (node == nullptr) return true;
-  // Only a transient driver/firmware failure warrants a retry; permanent
-  // refusals (Unsupported, PermissionDenied) are the platform's answer.
-  auto transient = [](const hwsim::CapResult& r) {
-    return r.status == hwsim::CapStatus::IoError;
-  };
-  switch (config_.node_policy) {
-    case NodePolicy::None:
-      return true;
-    case NodePolicy::IbmDefaultNodeCap: {
-      const double cap = node_limit_w_ > 0.0 ? node_limit_w_ : config_.node_peak_w;
-      const auto result = variorum::cap_best_effort_node_power_limit(*node, cap);
-      if (!result.ok()) {
-        util::log_warning(std::string("power-manager: node cap failed: ") +
-                          hwsim::cap_status_name(result.status));
-      }
-      return !transient(result);
-    }
-    case NodePolicy::ProgressBased: {
-      // Budget refresh must respect the probing loop's active cap.
-      const double budget = derive_gpu_budget_w();
-      if (budget <= 0.0) return true;
-      const double cap =
-          prog_cap_w_ > 0.0 ? std::min(prog_cap_w_, budget) : budget;
-      return apply_uniform_cap(cap);
-    }
-    case NodePolicy::DirectGpuBudget: {
-      const double budget = derive_gpu_budget_w();
-      if (budget <= 0.0) return true;
-      return apply_uniform_cap(budget);
-    }
-    case NodePolicy::Fpp: {
-      // Clamp each controller's cap to the fresh budget; the 90 s control
-      // loop does the dynamic adjustment.
-      const double budget = derive_gpu_budget_w();
-      bool ok = true;
-      for (std::size_t i = 0; i < fpp_.size(); ++i) {
-        const double cap = std::min(fpp_[i]->current_cap_w(), budget);
-        if (manages_gpus()) {
-          ok = ok &&
-               !transient(variorum::cap_gpu_power_limit(
-                   *node, static_cast<int>(i), cap));
-        } else {
-          ok = ok &&
-               !transient(node->set_socket_power_cap(static_cast<int>(i), cap));
-        }
-      }
-      return ok;
-    }
-  }
-  return true;
+  if (broker_->node() == nullptr) return true;
+  return plugin_->enforce();
 }
 
 bool PowerManagerModule::enforce_with_retry() {
@@ -1041,11 +985,12 @@ void PowerManagerModule::release_emergency() {
 }
 
 // ---------------------------------------------------------------------------
-// ProgressBased policy
+// Progress-observing policies (ProgressBased, PiBound)
 // ---------------------------------------------------------------------------
 
 void PowerManagerModule::on_progress_event(const Message& event) {
-  // Only progress of the job running on *this* node matters.
+  // Only progress of the job running on *this* node matters; the rate
+  // derivation and control reaction belong to the installed plugin.
   bool local = false;
   if (event.payload.contains("ranks")) {
     for (const Json& r : event.payload.at("ranks").as_array()) {
@@ -1056,72 +1001,8 @@ void PowerManagerModule::on_progress_event(const Message& event) {
     }
   }
   if (!local) return;
-  const double work = event.payload.number_or("work_done", -1.0);
-  const double now = broker_->sim().now();
-  if (work < 0.0) return;
-  if (prog_last_work_ >= 0.0 && work >= prog_last_work_ &&
-      now > prog_last_t_) {
-    prog_rate_ = (work - prog_last_work_) / (now - prog_last_t_);
-  } else if (work < prog_last_work_) {
-    // A new job started on this node: forget the previous one's state.
-    reset_progress_state();
-  }
-  prog_last_work_ = work;
-  prog_last_t_ = now;
-}
-
-void PowerManagerModule::reset_progress_state() {
-  prog_state_ = ProgressState::Baseline;
-  prog_last_work_ = -1.0;
-  prog_rate_ = -1.0;
-  prog_baseline_ = -1.0;
-  prog_cap_w_ = 0.0;
-  prog_last_good_w_ = 0.0;
-}
-
-void PowerManagerModule::progress_control_tick() {
-  hwsim::Node* node = broker_->node();
-  if (node == nullptr) return;
-  const FppConfig dcfg = domain_fpp_config();  // reuses the cap ranges
-  const double budget = derive_gpu_budget_w();
-  if (prog_rate_ < 0.0) {
-    // No progress signal (idle node, or a job without reporting): behave
-    // like plain budget enforcement.
-    prog_state_ = ProgressState::Baseline;
-    prog_cap_w_ = 0.0;
-  } else {
-    switch (prog_state_) {
-      case ProgressState::Baseline:
-        // One full control window at the budget establishes the baseline.
-        prog_baseline_ = prog_rate_;
-        prog_last_good_w_ = budget;
-        prog_cap_w_ = std::max(dcfg.min_gpu_cap_w,
-                               budget - config_.progress.step_w);
-        prog_state_ = ProgressState::Probing;
-        break;
-      case ProgressState::Probing:
-        if (prog_rate_ >= (1.0 - config_.progress.tolerance) * prog_baseline_) {
-          // Progress unharmed: keep the saving and probe further down.
-          prog_last_good_w_ = prog_cap_w_;
-          const double next =
-              std::max(dcfg.min_gpu_cap_w, prog_cap_w_ - config_.progress.step_w);
-          if (next == prog_cap_w_) {
-            prog_state_ = ProgressState::Hold;  // at the floor
-          }
-          prog_cap_w_ = next;
-        } else {
-          // Progress degraded: restore the last good cap and hold.
-          prog_cap_w_ = prog_last_good_w_;
-          prog_state_ = ProgressState::Hold;
-        }
-        break;
-      case ProgressState::Hold:
-        break;
-    }
-  }
-
-  const double cap = prog_cap_w_ > 0.0 ? std::min(prog_cap_w_, budget) : budget;
-  apply_uniform_cap(cap);
+  plugin_->on_progress(event.payload.number_or("work_done", -1.0),
+                       broker_->sim().now());
 }
 
 bool PowerManagerModule::apply_uniform_cap(double cap_w) {

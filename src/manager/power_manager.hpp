@@ -25,6 +25,7 @@
 #include "flux/module.hpp"
 #include "manager/fpp.hpp"
 #include "manager/policy.hpp"
+#include "policy/policy.hpp"
 #include "sim/simulation.hpp"
 #include "util/ring_buffer.hpp"
 
@@ -53,6 +54,12 @@ class PowerManagerModule final : public flux::Module {
   void unload() override;
 
   const PowerManagerConfig& config() const noexcept { return config_; }
+
+  /// The node-policy plugin enforcing this node's limit (policy plane).
+  /// Never null: NodePolicy::None maps to a no-op plugin.
+  const policy::NodePolicyPlugin& node_plugin() const noexcept {
+    return *plugin_;
+  }
 
   // -- Node-level introspection (tests / timeline benches) -------------------
   double node_limit_w() const noexcept { return node_limit_w_; }
@@ -148,8 +155,9 @@ class PowerManagerModule final : public flux::Module {
   /// Accept a pushed limit and start enforcement; returns {applied,
   /// retrying} exactly as the set-node-limit ack reports them.
   std::pair<bool, bool> apply_node_limit(double limit_w);
-  /// Apply the active limit; false when any cap write failed transiently
-  /// (CapStatus::IoError) — permanent refusals are not failures.
+  /// Apply the active limit through the node-policy plugin; false when any
+  /// cap write failed transiently (CapStatus::IoError) — permanent
+  /// refusals are not failures.
   bool enforce_node_limit();
   /// enforce_node_limit plus the backoff ladder: on transient failure,
   /// schedule a re-enforcement after the current backoff delay (doubling
@@ -165,8 +173,19 @@ class PowerManagerModule final : public flux::Module {
   FppConfig domain_fpp_config() const;
   int managed_domain_count() const;
 
+  // Built-in node-policy plugins act through this module's cap primitives
+  // and (FPP) its controller bank; friendship keeps that state physically
+  // here so the twin's MGR section stays byte-compatible.
+  friend class NonePolicyPlugin;
+  friend class IbmNodeCapPlugin;
+  friend class GpuBudgetPlugin;
+  friend class FppNodePlugin;
+  friend class ProgressNodePlugin;
+  friend class PiBoundNodePlugin;
+
   PowerManagerConfig config_;
   flux::Broker* broker_ = nullptr;
+  std::unique_ptr<policy::NodePolicyPlugin> plugin_;
 
   // Node-level state.
   double node_limit_w_ = 0.0;  ///< 0 = unconstrained
@@ -193,27 +212,21 @@ class PowerManagerModule final : public flux::Module {
   double time_since_fpp_control_s_ = 0.0;
   std::size_t fpp_control_round_ = 0;
 
-  // ProgressBased policy state (per node).
+  // Progress-observing policies (ProgressBased, PiBound): the module owns
+  // the subscription and the control task; the rate/cap state lives in the
+  // plugin (locality filtering stays here — it needs the broker rank).
   void on_progress_event(const flux::Message& event);
-  void progress_control_tick();
-  void reset_progress_state();
-  enum class ProgressState { Baseline, Probing, Hold };
-  ProgressState prog_state_ = ProgressState::Baseline;
   std::uint64_t progress_subscription_ = 0;
   std::unique_ptr<sim::PeriodicTask> progress_task_;
-  double prog_last_work_ = -1.0;
-  double prog_last_t_ = 0.0;
-  double prog_rate_ = -1.0;      ///< latest measured work/s
-  double prog_baseline_ = -1.0;  ///< rate at the uncapped budget
-  double prog_cap_w_ = 0.0;      ///< active probe cap (0 = follow budget)
-  double prog_last_good_w_ = 0.0;
 
  public:
-  // ProgressBased introspection for tests/benches.
-  double progress_rate() const noexcept { return prog_rate_; }
-  double progress_cap_w() const noexcept { return prog_cap_w_; }
+  // Progress introspection for tests/benches (delegates to the plugin; the
+  // plugin defaults equal the former members' initial values, keeping the
+  // twin MGR section byte-compatible for non-progress policies).
+  double progress_rate() const noexcept { return plugin_->progress_rate(); }
+  double progress_cap_w() const noexcept { return plugin_->progress_cap_w(); }
   bool progress_holding() const noexcept {
-    return prog_state_ == ProgressState::Hold;
+    return plugin_->progress_holding();
   }
 
   // Cluster-level state (root only).

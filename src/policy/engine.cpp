@@ -1,0 +1,76 @@
+#include "policy/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "policy/sched_policies.hpp"
+
+namespace fluxpower::policy {
+
+PolicyEngine& PolicyEngine::global() {
+  static PolicyEngine engine;
+  return engine;
+}
+
+PolicyEngine::PolicyEngine() { register_builtin_sched_policies(*this); }
+
+void PolicyEngine::register_sched(std::string name, std::string summary,
+                                  SchedFactory f) {
+  if (sched_.contains(name)) return;
+  sched_order_.push_back(name);
+  sched_.emplace(std::move(name),
+                 SchedEntry{std::move(summary), std::move(f)});
+}
+
+bool PolicyEngine::has_sched(std::string_view name) const {
+  return sched_.find(name) != sched_.end();
+}
+
+std::unique_ptr<SchedulerPolicy> PolicyEngine::make_sched(
+    std::string_view name) const {
+  const auto it = sched_.find(name);
+  if (it == sched_.end()) {
+    std::string known;
+    for (const std::string& n : sched_order_) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("PolicyEngine: unknown scheduler policy \"" +
+                                std::string(name) + "\" (known: " + known +
+                                ")");
+  }
+  return it->second.factory();
+}
+
+std::vector<PolicyInfo> PolicyEngine::sched_policies() const {
+  std::vector<PolicyInfo> out;
+  out.reserve(sched_order_.size());
+  for (const std::string& n : sched_order_) {
+    out.push_back({n, sched_.at(n).summary});
+  }
+  return out;
+}
+
+void PolicyEngine::register_node(std::string name, std::string summary,
+                                 int code) {
+  if (node_.contains(name)) return;
+  node_order_.push_back(name);
+  node_.emplace(std::move(name), NodeEntry{std::move(summary), code});
+}
+
+std::optional<int> PolicyEngine::node_code(std::string_view name) const {
+  const auto it = node_.find(name);
+  if (it == node_.end()) return std::nullopt;
+  return it->second.code;
+}
+
+std::vector<PolicyInfo> PolicyEngine::node_policies() const {
+  std::vector<PolicyInfo> out;
+  out.reserve(node_order_.size());
+  for (const std::string& n : node_order_) {
+    out.push_back({n, node_.at(n).summary});
+  }
+  return out;
+}
+
+}  // namespace fluxpower::policy

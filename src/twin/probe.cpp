@@ -230,6 +230,43 @@ void encode_mgr(ByteWriter& w, experiments::Scenario& sc) {
   }
 }
 
+void encode_pol(ByteWriter& w, experiments::Scenario& sc) {
+  // Scheduler-side policy plane: identity, power-admission ledger, queue
+  // contents (scan order), and the policy object's opaque state blob.
+  flux::Scheduler& sched = sc.instance().scheduler();
+  w.str(sched.policy_name());
+  w.f64(sched.admitted_power_w());
+  const auto& admitted = sched.admitted();  // std::map: canonical id order
+  w.u32(static_cast<std::uint32_t>(admitted.size()));
+  for (const auto& [id, watts] : admitted) {
+    w.u64(id);
+    w.f64(watts);
+  }
+  const auto& queue = sched.queued_jobs();
+  w.u32(static_cast<std::uint32_t>(queue.size()));
+  for (flux::JobId id : queue) w.u64(id);
+  std::vector<std::uint8_t> blob;
+  sched.policy_object().encode_state(blob);
+  w.u32(static_cast<std::uint32_t>(blob.size()));
+  w.bytes(blob);
+
+  // Node-side plugins, rank order: plugin identity + opaque state blob.
+  flux::Instance& inst = sc.instance();
+  w.u32(static_cast<std::uint32_t>(inst.size()));
+  for (int rank = 0; rank < inst.size(); ++rank) {
+    auto* mod = dynamic_cast<manager::PowerManagerModule*>(
+        inst.broker(rank).find_module("power-manager"));
+    w.boolean(mod != nullptr);
+    if (mod == nullptr) continue;
+    const policy::NodePolicyPlugin& plugin = mod->node_plugin();
+    w.str(plugin.name());
+    blob.clear();
+    plugin.encode_state(blob);
+    w.u32(static_cast<std::uint32_t>(blob.size()));
+    w.bytes(blob);
+  }
+}
+
 void encode_fault(ByteWriter& w, experiments::Scenario& sc) {
   faultsim::FaultPlane& plane = *sc.fault_plane();
   const faultsim::FaultCounters& c = plane.counters();
@@ -345,6 +382,7 @@ StateImage capture_state(experiments::Scenario& scenario) {
   add_section(image, kTagJobs, scenario, encode_jobs);
   add_section(image, kTagMon, scenario, encode_mon);
   add_section(image, kTagMgr, scenario, encode_mgr);
+  add_section(image, kTagPol, scenario, encode_pol);
   if (scenario.fault_plane() != nullptr) {
     add_section(image, kTagFault, scenario, encode_fault);
   }

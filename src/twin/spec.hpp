@@ -26,7 +26,11 @@ namespace fluxpower::twin {
 /// teach decode() both shapes (or reject the old one loudly).
 /// v2 adds the sharded execution profile knobs (shards, workers) after
 /// record_period_s; v1 specs decode with shards=0 (monolithic engine).
-inline constexpr std::uint32_t kSpecVersion = 2;
+/// v3 adds the policy plane: PiPolicyConfig after progress in the manager
+/// block, the scheduler policy name after workers, and per-job
+/// eco_tolerance; older specs decode with the defaults (empty name = FCFS,
+/// tolerance 0 = not enrolled).
+inline constexpr std::uint32_t kSpecVersion = 3;
 
 struct TwinSpec {
   experiments::ScenarioConfig scenario;

@@ -220,6 +220,29 @@ int main(int argc, char** argv) {
     std::printf("trace_dump: ledger identity holds: %.0f == %.0f + %.0f + "
                 "%.0f\n",
                 samples, evicted, size, failures);
+
+    // Policy-plane decision ledger: every queue-scan verdict is exactly one
+    // of start / hold / skip, so the counters must tie out. The instruments
+    // live in the root broker's registry, which the TBON aggregate merges.
+    const double decisions =
+        aggregate.value("fluxpower_policy_sched_decisions_total")
+            .value_or(-1.0);
+    const double starts =
+        aggregate.value("fluxpower_policy_sched_starts_total").value_or(0.0);
+    const double holds =
+        aggregate.value("fluxpower_policy_sched_holds_total").value_or(0.0);
+    const double skips =
+        aggregate.value("fluxpower_policy_sched_skips_total").value_or(0.0);
+    if (decisions < 0.0 || decisions != starts + holds + skips) {
+      std::fprintf(stderr,
+                   "trace_dump: POLICY LEDGER VIOLATION: decisions=%.0f != "
+                   "starts=%.0f + holds=%.0f + skips=%.0f\n",
+                   decisions, starts, holds, skips);
+      return 1;
+    }
+    std::printf(
+        "trace_dump: policy ledger holds: %.0f == %.0f + %.0f + %.0f\n",
+        decisions, starts, holds, skips);
   }
   return 0;
 }
