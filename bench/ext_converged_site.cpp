@@ -9,6 +9,7 @@
 // across jobs. The timeline shows power following the load across
 // partitions.
 #include <iostream>
+#include <stdexcept>
 
 #include "apps/launcher.hpp"
 #include "bench/common.hpp"
@@ -89,6 +90,10 @@ int main() {
   auto bound_of = [](Site& s) {
     auto* mod = dynamic_cast<manager::PowerManagerModule*>(
         s.instance->broker(0).find_module("power-manager"));
+    if (mod == nullptr) {
+      throw std::runtime_error("ext_converged_site: site '" + s.name +
+                               "' has no power-manager module loaded");
+    }
     return mod->config().cluster_power_bound_w;
   };
   sim::PeriodicTask recorder(sim, 30.0, [&] {

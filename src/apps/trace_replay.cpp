@@ -1,5 +1,6 @@
 #include "apps/trace_replay.hpp"
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -24,7 +25,10 @@ Columns resolve_columns(const std::vector<std::string>& header) {
     const int idx = static_cast<int>(i);
     if (name == "timestamp_s" || name == "timestamp") {
       cols.timestamp = idx;
-    } else if (name.rfind("cpu", 0) == 0 && name.ends_with("_w")) {
+    } else if (name.rfind("cpu", 0) == 0 && name.ends_with("_w") &&
+               name.find("cap") == std::string::npos) {
+      // Cap columns (cpu0_cap_w) are control state, not demand — the same
+      // exclusion the GPU branch always had.
       cols.cpu.push_back(idx);
     } else if (name == "mem_w") {
       cols.mem = idx;
@@ -53,6 +57,48 @@ double cell_number(const std::vector<std::string>& row, int idx) {
 }
 
 }  // namespace
+
+double DiurnalModel::level_at(double t_s) const noexcept {
+  constexpr double kDayS = 86400.0;
+  constexpr double kWeekS = 7.0 * kDayS;
+  double week = std::fmod(t_s, kWeekS);
+  if (week < 0.0) week += kWeekS;
+  const int day = static_cast<int>(week / kDayS);
+  const double h = std::fmod(week, kDayS) / 3600.0;
+
+  double level = night_level;
+  if (h >= ramp_start_h && h < ramp_end_h) {
+    const double f = (h - ramp_start_h) / (ramp_end_h - ramp_start_h);
+    level = night_level + (day_level - night_level) * f;
+  } else if (h >= ramp_end_h && h < decline_start_h) {
+    level = day_level;
+  } else if (h >= decline_start_h && h < decline_end_h) {
+    const double f = (h - decline_start_h) / (decline_end_h - decline_start_h);
+    level = day_level + (night_level - day_level) * f;
+  }
+  if (day >= 5) level *= weekend_factor;
+  return level;
+}
+
+PowerTrace make_diurnal_trace(const DiurnalModel& model, double duration_s,
+                              double step_s, const hwsim::LoadDemand& peak) {
+  if (duration_s <= 0.0 || step_s <= 0.0) {
+    throw std::invalid_argument("make_diurnal_trace: nonpositive duration/step");
+  }
+  PowerTrace trace;
+  const std::size_t steps = static_cast<std::size_t>(duration_s / step_s) + 1;
+  trace.points.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    TracePoint p;
+    p.t_s = static_cast<double>(i) * step_s;
+    const double level = model.level_at(p.t_s);
+    for (double w : peak.cpu_w) p.demand.cpu_w.push_back(w * level);
+    for (double w : peak.gpu_w) p.demand.gpu_w.push_back(w * level);
+    p.demand.mem_w = peak.mem_w * level;
+    trace.points.push_back(std::move(p));
+  }
+  return trace;
+}
 
 PowerTrace PowerTrace::from_csv(const std::string& csv_text) {
   std::istringstream lines(csv_text);

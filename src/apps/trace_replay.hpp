@@ -40,6 +40,34 @@ struct PowerTrace {
   static PowerTrace from_csv(const std::string& csv_text);
 };
 
+/// Deterministic diurnal/weekly load curve: the multiplier a site's
+/// aggregate demand follows over a day (night floor, morning ramp, daytime
+/// plateau, evening decline) and a week (weekend factor). Site time is
+/// anchored at t=0 == midnight Monday. Piecewise-linear, so multi-week
+/// synthetic traces and arrival schedules generated from it replay
+/// byte-identically.
+struct DiurnalModel {
+  double night_level = 0.35;  ///< relative load before the morning ramp
+  double day_level = 1.0;     ///< plateau level
+  double ramp_start_h = 7.0;
+  double ramp_end_h = 9.0;
+  double decline_start_h = 17.0;
+  double decline_end_h = 22.0;
+  /// Weekend (site days 5 and 6) load multiplier.
+  double weekend_factor = 0.45;
+
+  /// Load multiplier at site time t_s, in (0, day_level].
+  double level_at(double t_s) const noexcept;
+};
+
+/// Synthesize a multi-week trace: every `step_s` the per-domain demand is
+/// `peak * level_at(t)`. Feed it to TraceReplayRuntime to replay recorded
+/// production *shapes* without recorded production *data* — the multi-week
+/// operations studies (bench/ext_site_ops) build their background load this
+/// way.
+PowerTrace make_diurnal_trace(const DiurnalModel& model, double duration_s,
+                              double step_s, const hwsim::LoadDemand& peak);
+
 /// JobExecution that replays a trace on every allocated node.
 class TraceReplayRuntime final : public flux::JobExecution {
  public:

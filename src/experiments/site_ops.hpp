@@ -1,0 +1,97 @@
+// site_ops.hpp — multi-week federated site operations runner.
+//
+// The production-site scenario the roadmap's scenario pack targets: several
+// heterogeneous clusters (a Lassen-like GPU machine, a Tioga-like MI250X
+// machine, an ARM Grace CPU pool) federate under one facility power budget,
+// coordinated by manager::SiteCoordinator through the same power-manager
+// RPC surface production would use. A deterministic multi-week workload
+// (experiments/site_workload.hpp) drives the federation while a site policy
+// (manager/site_policy.hpp) apportions the budget — and, for the
+// demand-response policy, shifts deferrable submissions out of the peak
+// tariff window.
+//
+// The runner reports the operator-facing numbers the policies trade off:
+// energy cost under the time-of-use tariff, SLO attainment (jobs starting
+// within their requested deadline, measured against the *original* submit
+// time so deferral pays its real price), and cap-violation minutes (site
+// draw above the facility bound).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiments/site_workload.hpp"
+#include "hwsim/cluster.hpp"
+#include "manager/site_policy.hpp"
+
+namespace fluxpower::experiments {
+
+/// One federation member: a whole cluster with its own Flux instance and
+/// power-manager, plus the workload shape its platform supports.
+struct SiteMemberSpec {
+  std::string name;
+  hwsim::Platform platform = hwsim::Platform::LassenIbmAc922;
+  int nodes = 8;
+  double node_peak_w = 3050.0;
+  /// Guaranteed share floor handed to the SiteCoordinator.
+  double floor_w = 0.0;
+  MemberWorkload workload;
+};
+
+/// The default heterogeneous trio (Lassen-like + Tioga-like + ARM Grace).
+/// Application mixes are platform-safe: Sw4lite and Kripke only run on the
+/// Lassen member (they fail on Tioga, §II-D).
+std::vector<SiteMemberSpec> default_site_members();
+
+struct SiteOpsConfig {
+  /// default_site_members() when empty.
+  std::vector<SiteMemberSpec> members;
+  SiteWorkloadConfig workload;
+  /// Site apportionment policy name (manager::make_site_policy).
+  std::string site_policy = "demand-proportional";
+  manager::TariffConfig tariff;
+  /// Scheduler policy per member instance.
+  std::string sched_policy = "eco-mode";
+  /// Facility budget and rebalance cadence.
+  double site_bound_w = 22000.0;
+  double rebalance_period_s = 300.0;
+  double app_step_s = 1.0;
+  /// Cadence of the cost/violation recorder.
+  double record_period_s = 60.0;
+  /// Drain margin past the last arrival (0 = two extra days).
+  double max_time_s = 0.0;
+  std::uint64_t seed = 42;
+};
+
+struct SiteMemberStats {
+  std::string name;
+  int jobs = 0;       ///< routed to this member
+  int completed = 0;
+  double energy_j = 0.0;  ///< member cluster energy over the run
+};
+
+struct SiteOpsResult {
+  std::string site_policy;
+  int jobs_total = 0;
+  int jobs_deferred = 0;   ///< submissions shifted by demand-response
+  int jobs_started = 0;
+  int jobs_completed = 0;
+  int slo_met = 0;         ///< started within start_deadline_s of original submit
+  double slo_attainment = 0.0;  ///< slo_met / jobs_total
+  double energy_j = 0.0;
+  double energy_cost_usd = 0.0;  ///< tariff-priced site energy
+  double cap_violation_min = 0.0;  ///< minutes with site draw > site bound
+  double peak_site_draw_w = 0.0;
+  double avg_site_draw_w = 0.0;
+  int rebalances = 0;
+  int rounds_completed = 0;
+  std::uint64_t member_misses = 0;
+  double end_s = 0.0;  ///< sim time when the run stopped
+  std::vector<SiteMemberStats> members;
+};
+
+/// Build the federation, replay the workload, and collect the scorecard.
+SiteOpsResult run_site_ops(const SiteOpsConfig& config);
+
+}  // namespace fluxpower::experiments

@@ -1,0 +1,87 @@
+#include "experiments/site_workload.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "apps/app_model.hpp"
+#include "util/rng.hpp"
+
+namespace fluxpower::experiments {
+
+std::vector<SiteJobSpec> make_site_workload(
+    const SiteWorkloadConfig& config,
+    const std::vector<MemberWorkload>& members) {
+  if (members.empty()) {
+    throw std::invalid_argument("make_site_workload: no members");
+  }
+  if (config.duration_s <= 0.0 || config.jobs_per_hour_peak <= 0.0) {
+    throw std::invalid_argument(
+        "make_site_workload: duration and peak rate must be positive");
+  }
+  double weight_total = 0.0;
+  for (const MemberWorkload& m : members) {
+    if (m.kinds.empty()) {
+      throw std::invalid_argument("make_site_workload: member with no kinds");
+    }
+    if (m.max_nodes <= 0 || m.min_runtime_s <= 0.0 ||
+        m.max_runtime_s < m.min_runtime_s) {
+      throw std::invalid_argument("make_site_workload: bad member shape");
+    }
+    weight_total += std::max(0.0, m.arrival_weight);
+  }
+  if (weight_total <= 0.0) {
+    throw std::invalid_argument("make_site_workload: all-zero arrival weights");
+  }
+
+  util::Rng rng(config.seed);
+  const double peak_gap_s = 3600.0 / config.jobs_per_hour_peak;
+  const double top = config.diurnal.day_level;
+
+  std::vector<SiteJobSpec> jobs;
+  double t = rng.exponential(peak_gap_s);
+  while (t < config.duration_s) {
+    // Thinning: a candidate at peak rate survives with probability
+    // level(t)/day_level, yielding the exact diurnal-modulated process.
+    // Draw the thinning variate unconditionally so the candidate stream is
+    // independent of the diurnal parameters (same seed, same skeleton).
+    const double keep = rng.uniform();
+    if (keep * top < config.diurnal.level_at(t)) {
+      // Route by arrival weight.
+      double pick = rng.uniform(0.0, weight_total);
+      int member = 0;
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        pick -= std::max(0.0, members[i].arrival_weight);
+        if (pick <= 0.0) {
+          member = static_cast<int>(i);
+          break;
+        }
+      }
+      const MemberWorkload& shape = members[static_cast<std::size_t>(member)];
+      SiteJobSpec job;
+      job.member = member;
+      job.kind = shape.kinds[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(shape.kinds.size()) - 1))];
+      job.nnodes = static_cast<int>(rng.uniform_int(1, shape.max_nodes));
+      // Size by target runtime; the application model converts it to the
+      // kind's work scale (runtime_s is linear in work_scale everywhere).
+      const double target_s =
+          rng.uniform(shape.min_runtime_s, shape.max_runtime_s);
+      const double base_s =
+          apps::make_profile(job.kind, shape.platform, job.nnodes, 1.0)
+              .runtime_s;
+      job.work_scale = target_s / base_s;
+      job.submit_time_s = t;
+      job.deferrable = rng.chance(config.deferrable_frac);
+      job.start_deadline_s = job.deferrable ? config.deferrable_deadline_s
+                                            : config.start_deadline_s;
+      if (rng.chance(config.eco_frac)) {
+        job.eco_tolerance = config.eco_tolerance;
+      }
+      jobs.push_back(job);
+    }
+    t += rng.exponential(peak_gap_s);
+  }
+  return jobs;
+}
+
+}  // namespace fluxpower::experiments

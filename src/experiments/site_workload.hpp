@@ -1,0 +1,73 @@
+// site_workload.hpp — deterministic multi-week site workload generation.
+//
+// The production-site studies (bench/ext_site_ops) need weeks of arrivals,
+// not the paper's single queue: job pressure follows the site's diurnal and
+// weekly rhythm (apps::DiurnalModel), a fraction of jobs is deferrable
+// (batch campaigns that tolerate shifting into cheap-power windows) and a
+// fraction is eco-enrolled (PR 8's eco_tolerance self-cap). Arrivals are
+// drawn by Poisson thinning — candidate arrivals at the peak rate, each
+// kept with probability level(t)/day_level — so the process is an exact
+// inhomogeneous Poisson stream yet replays byte-identically from its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/trace_replay.hpp"
+#include "apps/workload.hpp"
+#include "hwsim/cluster.hpp"
+
+namespace fluxpower::experiments {
+
+/// One generated job, routed to a federation member.
+struct SiteJobSpec {
+  int member = 0;  ///< index into the member list the generator was given
+  apps::AppKind kind = apps::AppKind::Gemm;
+  int nnodes = 1;
+  double work_scale = 1.0;
+  double submit_time_s = 0.0;
+  /// Eco-mode enrollment (0 = not enrolled); see ScenarioConfig.
+  double eco_tolerance = 0.0;
+  /// Deferrable jobs may be shifted by a demand-response site policy.
+  bool deferrable = false;
+  /// SLO: the job should *start* within this many seconds of its original
+  /// submit time (deferrable jobs get the looser deferrable deadline).
+  double start_deadline_s = 1800.0;
+};
+
+/// Per-member workload shape: which applications the member's platform can
+/// run and how much of the arrival stream it attracts. Job sizes are drawn
+/// as *target runtimes* and converted to per-kind work scales through the
+/// application model (a work-scale unit is ~12 s of Laghos but ~274 s of
+/// GEMM — drawing scales directly would skew the mix by kind).
+struct MemberWorkload {
+  hwsim::Platform platform = hwsim::Platform::LassenIbmAc922;
+  std::vector<apps::AppKind> kinds;
+  double arrival_weight = 1.0;
+  int max_nodes = 4;
+  double min_runtime_s = 240.0;
+  double max_runtime_s = 900.0;
+};
+
+struct SiteWorkloadConfig {
+  /// Two simulated weeks by default.
+  double duration_s = 14.0 * 86400.0;
+  /// Arrival rate at the diurnal plateau (level == day_level).
+  double jobs_per_hour_peak = 6.0;
+  apps::DiurnalModel diurnal;
+  double deferrable_frac = 0.35;
+  double eco_frac = 0.5;
+  double eco_tolerance = 0.2;
+  double start_deadline_s = 1800.0;
+  /// Deferrable jobs promise only a same-shift start.
+  double deferrable_deadline_s = 6.0 * 3600.0;
+  std::uint64_t seed = 42;
+};
+
+/// Generate the arrival stream, sorted by submit time. Throws
+/// std::invalid_argument on an empty member list, a member with no kinds,
+/// nonpositive duration/rate, or all-zero arrival weights.
+std::vector<SiteJobSpec> make_site_workload(
+    const SiteWorkloadConfig& config, const std::vector<MemberWorkload>& members);
+
+}  // namespace fluxpower::experiments

@@ -1,6 +1,7 @@
 #include "manager/site_coordinator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "manager/power_manager.hpp"
@@ -10,7 +11,10 @@ namespace fluxpower::manager {
 
 SiteCoordinator::SiteCoordinator(sim::Simulation& sim, double site_bound_w,
                                  double period_s)
-    : sim_(sim), site_bound_w_(site_bound_w) {
+    : sim_(sim),
+      site_bound_w_(site_bound_w),
+      effective_bound_w_(site_bound_w),
+      policy_(make_demand_proportional_policy()) {
   if (site_bound_w <= 0.0) {
     throw std::invalid_argument("SiteCoordinator: bound must be positive");
   }
@@ -36,25 +40,57 @@ void SiteCoordinator::add_member(MemberConfig member) {
   members_.push_back(std::move(m));
 }
 
+void SiteCoordinator::set_policy(std::unique_ptr<SitePolicy> policy) {
+  if (policy == nullptr) {
+    throw std::invalid_argument("SiteCoordinator: null policy");
+  }
+  policy_ = std::move(policy);
+}
+
+void SiteCoordinator::set_policy_by_name(const std::string& name) {
+  set_policy(make_site_policy(name));
+}
+
+double SiteCoordinator::health_of(int strikes) noexcept {
+  return std::pow(0.5, std::min(strikes, kMaxHealthStrikes));
+}
+
 void SiteCoordinator::rebalance() {
   if (members_.empty()) return;
   ++rebalances_;
-  // Phase 1: read each member's demand via its cluster-status service.
+  const std::uint64_t round = ++round_;
+  // Phase 1: read each member's demand via its cluster-status service. The
+  // round completes — and apportionment runs — once every member RPC
+  // *resolved*: a fresh answer, an error, or the 5 s timeout. Errored and
+  // timed-out members resolve with their stale demand and accrue a strike;
+  // they must never leave the round incomplete (the stalled-round bug).
   for (Member& m : members_) {
-    m.demand_fresh = false;
+    m.resolved = false;
     flux::Broker& root = m.config.instance->root();
     Member* target = &m;
     root.rpc(
         flux::kRootRank, kClusterStatusTopic, util::Json::object(),
-        [this, target](const flux::Message& resp) {
-          if (resp.is_error()) return;  // keep stale demand
-          const double nodes =
-              static_cast<double>(resp.payload.int_or("total_allocated_nodes", 0));
-          target->demand_w = nodes * target->config.node_peak_w;
-          target->demand_fresh = true;
-          // Apportion once every member answered (or timed out).
+        [this, target, round](const flux::Message& resp) {
+          if (resp.is_error()) {
+            // Dead or unreachable member: keep the stale demand, count the
+            // miss, and shrink its future shares via the strike weight.
+            ++member_misses_;
+            target->strikes = std::min(target->strikes + 1,
+                                       kMaxHealthStrikes);
+          } else {
+            const double nodes = static_cast<double>(
+                resp.payload.int_or("total_allocated_nodes", 0));
+            target->demand_w = nodes * target->config.node_peak_w;
+            target->strikes = 0;
+          }
+          // A response from a superseded round (RPC timeout longer than the
+          // rebalance period) may update demand/strikes above but must not
+          // complete the newer round's barrier.
+          if (round != round_) return;
+          target->resolved = true;
+          // Apportion once every member resolved (answered or timed out).
           if (std::all_of(members_.begin(), members_.end(),
-                          [](const Member& mm) { return mm.demand_fresh; })) {
+                          [](const Member& mm) { return mm.resolved; })) {
             apportion_and_push();
           }
         },
@@ -63,35 +99,45 @@ void SiteCoordinator::rebalance() {
 }
 
 void SiteCoordinator::apportion_and_push() {
-  // Floors first, then split the remainder proportionally to unmet demand.
-  double floors = 0.0;
-  for (const Member& m : members_) floors += m.config.floor_w;
-  double spare = std::max(0.0, site_bound_w_ - floors);
+  ++rounds_completed_;
 
-  double unmet_total = 0.0;
-  for (const Member& m : members_) {
-    unmet_total += std::max(0.0, m.demand_w - m.config.floor_w);
+  SiteView view;
+  view.now_s = sim_.now();
+  view.site_bound_w = site_bound_w_;
+  view.effective_bound_w = policy_->effective_bound_w(view.now_s,
+                                                      site_bound_w_);
+  effective_bound_w_ = view.effective_bound_w;
+
+  std::vector<SiteMemberView> mview(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const Member& m = members_[i];
+    mview[i].name = m.config.name;
+    mview[i].demand_w = m.demand_w;
+    mview[i].floor_w = m.config.floor_w;
+    mview[i].node_peak_w = m.config.node_peak_w;
+    mview[i].strikes = m.strikes;
+    mview[i].health = health_of(m.strikes);
   }
-  for (Member& m : members_) {
-    const double unmet = std::max(0.0, m.demand_w - m.config.floor_w);
-    double share = m.config.floor_w;
-    if (unmet_total > 0.0) {
-      share += spare * (unmet / unmet_total);
-    } else {
-      // Nobody demands anything: split spare evenly so arrivals are fast.
-      share += spare / static_cast<double>(members_.size());
-    }
-    m.share_w = share;
+
+  std::vector<double> shares(members_.size(), 0.0);
+  policy_->apportion(view, mview, shares);
+
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    Member& m = members_[i];
+    m.share_w = shares[i];
     util::Json payload = util::Json::object();
-    payload["bound_w"] = share;
+    payload["bound_w"] = m.share_w;
     m.config.instance->root().rpc(flux::kRootRank, kSetClusterBoundTopic,
                                   std::move(payload), nullptr);
   }
 
   state_.clear();
-  for (const Member& m : members_) {
-    state_.push_back({m.config.name, m.demand_w, m.share_w});
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const Member& m = members_[i];
+    state_.push_back({m.config.name, m.demand_w, m.share_w, m.strikes,
+                      mview[i].health});
   }
+  if (round_callback_) round_callback_(state_);
 }
 
 }  // namespace fluxpower::manager

@@ -1,0 +1,220 @@
+#include "manager/site_policy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fluxpower::manager {
+
+namespace {
+
+constexpr double kDayS = 86400.0;
+constexpr double kWeekS = 7.0 * kDayS;
+
+/// Hour-of-day in [0, 24) and day-of-week in [0, 7) for site time t.
+double hour_of_day(double t_s) {
+  const double day = std::fmod(t_s, kDayS);
+  return (day < 0.0 ? day + kDayS : day) / 3600.0;
+}
+
+int day_of_week(double t_s) {
+  double week = std::fmod(t_s, kWeekS);
+  if (week < 0.0) week += kWeekS;
+  return static_cast<int>(week / kDayS);
+}
+
+}  // namespace
+
+PriceSignal::Tier PriceSignal::tier_at(double t_s) const noexcept {
+  if (config_.weekend_offpeak && day_of_week(t_s) >= 5) return Tier::OffPeak;
+  const double h = hour_of_day(t_s);
+  if (h >= config_.peak_start_h && h < config_.peak_end_h) return Tier::Peak;
+  if (h >= config_.shoulder_start_h && h < config_.shoulder_end_h) {
+    return Tier::Shoulder;
+  }
+  return Tier::OffPeak;
+}
+
+double PriceSignal::price_usd_per_mwh(double t_s) const noexcept {
+  switch (tier_at(t_s)) {
+    case Tier::Peak:
+      return config_.peak_usd_mwh;
+    case Tier::Shoulder:
+      return config_.shoulder_usd_mwh;
+    case Tier::OffPeak:
+      break;
+  }
+  return config_.offpeak_usd_mwh;
+}
+
+double PriceSignal::next_offpeak_s(double t_s) const noexcept {
+  if (tier_at(t_s) != Tier::Peak) return t_s;
+  // The peak window is a daily [start, end) interval on weekdays, so the
+  // first non-peak instant is the end of today's window.
+  const double day_start = std::floor(t_s / kDayS) * kDayS;
+  return day_start + config_.peak_end_h * 3600.0;
+}
+
+const char* PriceSignal::tier_name(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::OffPeak:
+      return "off-peak";
+    case Tier::Shoulder:
+      return "shoulder";
+    case Tier::Peak:
+      return "peak";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Floors first, spare proportional to health-weighted unmet demand. The
+/// expression order reproduces the pre-policy coordinator bit-for-bit when
+/// every health weight is 1.0 (multiplying by 1.0 is exact), which the
+/// byte-identity of ext_converged_site depends on.
+void proportional_apportion(const SiteView& view,
+                            const std::vector<SiteMemberView>& members,
+                            std::vector<double>& shares_w) {
+  double floors = 0.0;
+  for (const SiteMemberView& m : members) floors += m.floor_w;
+  const double spare = std::max(0.0, view.effective_bound_w - floors);
+
+  double unmet_total = 0.0;
+  for (const SiteMemberView& m : members) {
+    unmet_total += std::max(0.0, m.demand_w - m.floor_w) * m.health;
+  }
+  double health_total = 0.0;
+  for (const SiteMemberView& m : members) health_total += m.health;
+
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const SiteMemberView& m = members[i];
+    const double unmet = std::max(0.0, m.demand_w - m.floor_w) * m.health;
+    double share = m.floor_w;
+    if (unmet_total > 0.0) {
+      share += spare * (unmet / unmet_total);
+    } else if (health_total > 0.0) {
+      // Nobody demands anything: split spare evenly (health-weighted) so
+      // arrivals are fast. (spare * 1.0) / N == spare / N exactly, keeping
+      // the all-healthy case byte-identical to the historical `spare / N`.
+      share += (spare * m.health) / health_total;
+    }
+    shares_w[i] = share;
+  }
+}
+
+class DemandProportionalPolicy final : public SitePolicy {
+ public:
+  const char* name() const noexcept override { return "demand-proportional"; }
+
+  void apportion(const SiteView& view,
+                 const std::vector<SiteMemberView>& members,
+                 std::vector<double>& shares_w) const override {
+    proportional_apportion(view, members, shares_w);
+  }
+};
+
+class TariffAwarePolicy final : public SitePolicy {
+ public:
+  TariffAwarePolicy(PriceSignal signal, double peak_bound_factor)
+      : signal_(signal), peak_bound_factor_(peak_bound_factor) {
+    if (peak_bound_factor <= 0.0 || peak_bound_factor > 1.0) {
+      throw std::invalid_argument(
+          "tariff-aware-dr: peak_bound_factor must be in (0, 1]");
+    }
+  }
+
+  const char* name() const noexcept override { return "tariff-aware-dr"; }
+
+  double effective_bound_w(double now_s,
+                           double site_bound_w) const noexcept override {
+    return signal_.tier_at(now_s) == PriceSignal::Tier::Peak
+               ? site_bound_w * peak_bound_factor_
+               : site_bound_w;
+  }
+
+  void apportion(const SiteView& view,
+                 const std::vector<SiteMemberView>& members,
+                 std::vector<double>& shares_w) const override {
+    proportional_apportion(view, members, shares_w);
+  }
+
+  bool defer_submission(double now_s) const noexcept override {
+    return signal_.tier_at(now_s) == PriceSignal::Tier::Peak;
+  }
+
+  double deferral_release_s(double now_s) const noexcept override {
+    return signal_.next_offpeak_s(now_s);
+  }
+
+  const PriceSignal& signal() const noexcept { return signal_; }
+
+ private:
+  PriceSignal signal_;
+  double peak_bound_factor_;
+};
+
+class FairSharePolicy final : public SitePolicy {
+ public:
+  const char* name() const noexcept override { return "fair-share"; }
+
+  void apportion(const SiteView& view,
+                 const std::vector<SiteMemberView>& members,
+                 std::vector<double>& shares_w) const override {
+    double floors = 0.0;
+    for (const SiteMemberView& m : members) floors += m.floor_w;
+    const double spare = std::max(0.0, view.effective_bound_w - floors);
+    double health_total = 0.0;
+    for (const SiteMemberView& m : members) health_total += m.health;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      double share = members[i].floor_w;
+      if (health_total > 0.0) {
+        share += (spare * members[i].health) / health_total;
+      }
+      shares_w[i] = share;
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SitePolicy> make_demand_proportional_policy() {
+  return std::make_unique<DemandProportionalPolicy>();
+}
+
+std::unique_ptr<SitePolicy> make_tariff_aware_policy(PriceSignal signal,
+                                                     double peak_bound_factor) {
+  return std::make_unique<TariffAwarePolicy>(signal, peak_bound_factor);
+}
+
+std::unique_ptr<SitePolicy> make_fair_share_policy() {
+  return std::make_unique<FairSharePolicy>();
+}
+
+std::unique_ptr<SitePolicy> make_site_policy(const std::string& name) {
+  return make_site_policy(name, TariffConfig{});
+}
+
+std::unique_ptr<SitePolicy> make_site_policy(const std::string& name,
+                                             const TariffConfig& tariff) {
+  if (name == "demand-proportional") return make_demand_proportional_policy();
+  if (name == "tariff-aware-dr") {
+    return make_tariff_aware_policy(PriceSignal(tariff));
+  }
+  if (name == "fair-share") return make_fair_share_policy();
+  throw std::invalid_argument(
+      "make_site_policy: unknown policy '" + name +
+      "' (known: demand-proportional, tariff-aware-dr, fair-share)");
+}
+
+std::vector<policy::PolicyInfo> site_policies() {
+  return {
+      {"demand-proportional",
+       "floors first, spare proportional to health-weighted unmet demand"},
+      {"tariff-aware-dr",
+       "demand-proportional over a peak-tariff-tightened bound; defers "
+       "deferrable submissions to the next off-peak window"},
+      {"fair-share", "floors first, spare split evenly across members"},
+  };
+}
+
+}  // namespace fluxpower::manager

@@ -41,6 +41,20 @@ TEST(PowerTrace, IgnoresCapColumnsAndHandlesOam) {
   EXPECT_DOUBLE_EQ(trace.points[1].demand.gpu_w[1], 330.0);
 }
 
+TEST(PowerTrace, CpuCapColumnsAreNotDemand) {
+  // Regression: resolve_columns used to count `cpu<i>_cap_w` as CPU demand
+  // because only the GPU branch carried the cap exclusion. A node-dial CSV
+  // (IBM OPAL caps) would then replay its own control state as load.
+  const std::string csv =
+      "timestamp_s,cpu0_w,cpu0_cap_w,cpu1_w,cpu1_cap_w,mem_w\n"
+      "0,110,330,112,330,70\n"
+      "2,111,250,113,250,71\n";
+  const PowerTrace trace = PowerTrace::from_csv(csv);
+  ASSERT_EQ(trace.points[0].demand.cpu_w.size(), 2u);  // caps skipped
+  EXPECT_DOUBLE_EQ(trace.points[0].demand.cpu_w[0], 110.0);
+  EXPECT_DOUBLE_EQ(trace.points[1].demand.cpu_w[1], 113.0);
+}
+
 TEST(PowerTrace, Validation) {
   EXPECT_THROW(PowerTrace::from_csv(""), std::invalid_argument);
   EXPECT_THROW(PowerTrace::from_csv("a,b\n1,2\n"), std::invalid_argument);

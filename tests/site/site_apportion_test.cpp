@@ -1,0 +1,207 @@
+// Apportionment invariants for the site-policy plane, plus chaos-seeded
+// determinism of the full coordinator loop: floors are honoured, shares
+// never exceed the effective bound, and a federation run replays its exact
+// round-by-round share sequence from the same seed even while the fault
+// plane drops messages and crashes members.
+#include "manager/site_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "apps/launcher.hpp"
+#include "faultsim/fault_plane.hpp"
+#include "hwsim/cluster.hpp"
+#include "manager/power_manager.hpp"
+#include "manager/site_coordinator.hpp"
+
+namespace fluxpower::manager {
+namespace {
+
+SiteView view_at(double bound, double now = 0.0) {
+  SiteView v;
+  v.now_s = now;
+  v.site_bound_w = bound;
+  v.effective_bound_w = bound;
+  return v;
+}
+
+SiteMemberView member(double demand, double floor, double health = 1.0) {
+  SiteMemberView m;
+  m.demand_w = demand;
+  m.floor_w = floor;
+  m.node_peak_w = 3050.0;
+  m.health = health;
+  return m;
+}
+
+class ApportionInvariants
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ApportionInvariants, FloorsHonouredAndSumWithinBound) {
+  const auto policy = make_site_policy(GetParam());
+  const std::vector<std::vector<SiteMemberView>> cases = {
+      {member(12200.0, 1000.0), member(0.0, 1000.0)},
+      {member(5000.0, 500.0), member(9000.0, 2000.0), member(100.0, 0.0)},
+      {member(0.0, 0.0), member(0.0, 0.0)},
+      {member(8000.0, 1000.0, 0.25), member(8000.0, 1000.0)},
+      {member(50000.0, 3000.0), member(50000.0, 3000.0),
+       member(50000.0, 3000.0)},
+  };
+  for (const auto& members : cases) {
+    const SiteView view = view_at(10000.0);
+    std::vector<double> shares(members.size(), 0.0);
+    policy->apportion(view, members, shares);
+    double total = 0.0, floors = 0.0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      EXPECT_GE(shares[i], members[i].floor_w) << GetParam() << " case " << i;
+      total += shares[i];
+      floors += members[i].floor_w;
+    }
+    // Floors win when they alone exceed the bound; otherwise the sum must
+    // stay within it (tiny epsilon for the float folds).
+    EXPECT_LE(total, std::max(view.effective_bound_w, floors) + 1e-6)
+        << GetParam();
+  }
+}
+
+TEST_P(ApportionInvariants, UnhealthyMemberShrinksTowardFloor) {
+  const auto policy = make_site_policy(GetParam());
+  const std::vector<SiteMemberView> members = {
+      member(9000.0, 1000.0, std::pow(0.5, 4)), member(9000.0, 1000.0)};
+  std::vector<double> shares(2, 0.0);
+  policy->apportion(view_at(12000.0), members, shares);
+  EXPECT_LT(shares[0], shares[1]);
+  EXPECT_GE(shares[0], 1000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ApportionInvariants,
+                         ::testing::Values("demand-proportional",
+                                           "tariff-aware-dr", "fair-share"));
+
+TEST(Apportion, ZeroDemandSplitsSpareEvenly) {
+  // The historical arithmetic: spare / N exactly (bit-for-bit — the
+  // ext_converged_site byte-identity depends on the all-healthy path).
+  const auto policy = make_demand_proportional_policy();
+  const std::vector<SiteMemberView> members = {member(0.0, 1000.0),
+                                               member(0.0, 1000.0)};
+  std::vector<double> shares(2, 0.0);
+  policy->apportion(view_at(12000.0), members, shares);
+  EXPECT_DOUBLE_EQ(shares[0], 1000.0 + 10000.0 / 2);
+  EXPECT_DOUBLE_EQ(shares[1], 1000.0 + 10000.0 / 2);
+}
+
+TEST(Apportion, TariffTightensBoundOnlyAtPeak) {
+  const auto policy = make_tariff_aware_policy(PriceSignal{TariffConfig{}});
+  const double tuesday = 86400.0;
+  // 18:00 Tuesday is peak; 10:00 is shoulder; 03:00 is off-peak.
+  EXPECT_DOUBLE_EQ(policy->effective_bound_w(tuesday + 18.0 * 3600.0, 10000.0),
+                   6500.0);
+  EXPECT_DOUBLE_EQ(policy->effective_bound_w(tuesday + 10.0 * 3600.0, 10000.0),
+                   10000.0);
+  EXPECT_DOUBLE_EQ(policy->effective_bound_w(tuesday + 3.0 * 3600.0, 10000.0),
+                   10000.0);
+  EXPECT_TRUE(policy->defer_submission(tuesday + 18.0 * 3600.0));
+  EXPECT_FALSE(policy->defer_submission(tuesday + 10.0 * 3600.0));
+  EXPECT_DOUBLE_EQ(policy->deferral_release_s(tuesday + 18.0 * 3600.0),
+                   tuesday + 21.0 * 3600.0);
+}
+
+TEST(Apportion, PolicyFactoryValidation) {
+  EXPECT_THROW(make_site_policy("nope"), std::invalid_argument);
+  EXPECT_THROW(make_tariff_aware_policy(PriceSignal{}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(make_tariff_aware_policy(PriceSignal{}, 1.5),
+               std::invalid_argument);
+  EXPECT_EQ(site_policies().size(), 3u);
+}
+
+// -- Chaos determinism -------------------------------------------------------
+
+struct Round {
+  std::vector<double> shares;
+  std::vector<int> strikes;
+  bool operator==(const Round&) const = default;
+};
+
+/// One federation run under a lossy fault plane; returns the full
+/// round-by-round share/strike sequence.
+std::vector<Round> chaos_run(std::uint64_t seed) {
+  sim::Simulation sim;
+  struct Site {
+    hwsim::Cluster cluster;
+    std::unique_ptr<flux::Instance> instance;
+    std::unique_ptr<faultsim::FaultPlane> faults;
+  };
+  auto make_site = [&sim, seed](int nodes, std::uint64_t salt) {
+    auto site = std::make_unique<Site>();
+    site->cluster =
+        hwsim::make_cluster(sim, hwsim::Platform::LassenIbmAc922, nodes);
+    std::vector<hwsim::Node*> ptrs;
+    for (int i = 0; i < nodes; ++i) ptrs.push_back(&site->cluster.node(i));
+    site->instance = std::make_unique<flux::Instance>(sim, std::move(ptrs));
+    site->instance->jobs().set_launcher(
+        apps::make_launcher({.platform = hwsim::Platform::LassenIbmAc922}));
+    PowerManagerConfig cfg;
+    cfg.cluster_power_bound_w = 2000.0;
+    cfg.node_policy = NodePolicy::DirectGpuBudget;
+    site->instance->load_module_on_all<PowerManagerModule>(cfg);
+    faultsim::FaultPlaneConfig fcfg;
+    fcfg.seed = seed * 7919ULL + salt;
+    fcfg.msg_drop_rate = 0.25;  // lossy enough that RPC timeouts happen
+    site->faults = std::make_unique<faultsim::FaultPlane>(fcfg);
+    site->faults->attach(*site->instance);
+    return site;
+  };
+  auto a = make_site(2, 1);
+  auto b = make_site(2, 2);
+
+  auto submit = [](Site& site, const char* app, int nnodes, double scale) {
+    flux::JobSpec spec;
+    spec.name = app;
+    spec.app = app;
+    spec.nnodes = nnodes;
+    spec.attributes = util::Json::object();
+    spec.attributes["work_scale"] = scale;
+    site.instance->jobs().submit(spec);
+  };
+  submit(*a, "gemm", 2, 1.0);
+  submit(*b, "laghos", 2, 10.0);
+
+  SiteCoordinator coord(sim, 9000.0, 10.0);
+  coord.add_member({"a", a->instance.get(), 3050.0, 800.0});
+  coord.add_member({"b", b->instance.get(), 3050.0, 800.0});
+
+  std::vector<Round> rounds;
+  coord.set_round_callback(
+      [&rounds](const std::vector<SiteCoordinator::MemberState>& members) {
+        Round r;
+        for (const auto& m : members) {
+          r.shares.push_back(m.share_w);
+          r.strikes.push_back(m.strikes);
+        }
+        rounds.push_back(std::move(r));
+      });
+  sim.run_until(300.0);
+  return rounds;
+}
+
+TEST(ChaosDeterminism, RoundSequenceReplaysAcrossTwentySeeds) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::vector<Round> first = chaos_run(seed);
+    const std::vector<Round> second = chaos_run(seed);
+    ASSERT_FALSE(first.empty()) << "seed " << seed;
+    EXPECT_EQ(first, second) << "seed " << seed;
+    // Invariants hold on every completed round, faults or not.
+    for (const Round& r : first) {
+      const double total =
+          std::accumulate(r.shares.begin(), r.shares.end(), 0.0);
+      EXPECT_LE(total, 9000.0 + 1e-6) << "seed " << seed;
+      for (double s : r.shares) EXPECT_GE(s, 800.0 - 1e-9) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fluxpower::manager
